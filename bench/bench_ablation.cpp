@@ -1,0 +1,104 @@
+// Experiment E4: decompilation-pass ablation.
+//
+// Paper §2 argues each recovery technique is needed for good synthesis:
+// constant propagation kills move-idiom ALUs, stack-op removal avoids
+// serializing through the memory port, strength promotion frees the
+// synthesis tool to choose the multiplier implementation, loop rerolling
+// recovers compact loop bodies, and size reduction shrinks every operator.
+// Here each pass is disabled in turn and the suite-average hardware time
+// and area are re-measured: the delta is that pass's contribution.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "partition/flow.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+using namespace b2h;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  void (*apply)(decomp::DecompileOptions&);
+};
+
+struct Totals {
+  double hw_time = 0.0;
+  double area = 0.0;
+  double speedup = 0.0;
+  int count = 0;
+};
+
+Totals Measure(const Variant& variant) {
+  Totals totals;
+  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+    // -O3 binaries stress rerolling; -O0 would stress stack removal most,
+    // but O3 exercises every pass at once.
+    auto binary = suite::BuildBinary(*bench, 3);
+    if (!binary.ok()) continue;
+    partition::FlowOptions options;
+    variant.apply(options.decompile);
+    auto flow = partition::RunFlow(binary.value(), options);
+    if (!flow.ok()) continue;
+    double hw_time = 0.0;
+    for (const auto& kernel : flow.value().estimate.kernels) {
+      hw_time += kernel.hw_time;
+    }
+    totals.hw_time += hw_time;
+    totals.area += flow.value().estimate.area_gates;
+    totals.speedup += flow.value().estimate.speedup;
+    ++totals.count;
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== E4: decompilation optimization ablation (suite at -O3) ===\n\n");
+  const std::vector<Variant> variants = {
+      {"all passes (baseline)", [](decomp::DecompileOptions&) {}},
+      {"no constant propagation",
+       [](decomp::DecompileOptions& o) { o.simplify_constants = false; }},
+      {"no stack-op removal",
+       [](decomp::DecompileOptions& o) { o.remove_stack_ops = false; }},
+      {"no loop rerolling",
+       [](decomp::DecompileOptions& o) { o.reroll_loops = false; }},
+      {"no strength promotion",
+       [](decomp::DecompileOptions& o) { o.promote_strength = false; }},
+      {"no strength reduction",
+       [](decomp::DecompileOptions& o) { o.reduce_strength = false; }},
+      {"no size reduction",
+       [](decomp::DecompileOptions& o) { o.reduce_operator_sizes = false; }},
+      {"no inlining",
+       [](decomp::DecompileOptions& o) { o.inline_small_functions = false; }},
+      {"no if-conversion",
+       [](decomp::DecompileOptions& o) { o.convert_ifs = false; }},
+  };
+
+  printf("%-26s %10s %12s %12s %9s\n", "variant", "ok", "hw time(ms)",
+         "avg gates", "speedup");
+  Totals baseline;
+  bool first = true;
+  for (const Variant& variant : variants) {
+    const Totals totals = Measure(variant);
+    if (first) {
+      baseline = totals;
+      first = false;
+    }
+    printf("%-26s %7d/18 %12.3f %12.0f %9.2f", variant.name, totals.count,
+           totals.hw_time * 1e3, totals.area / totals.count,
+           totals.speedup / totals.count);
+    if (&variant != &variants.front() && totals.count > 0) {
+      const double area_delta =
+          (totals.area / totals.count) / (baseline.area / baseline.count);
+      printf("   (area x%.2f)", area_delta);
+    }
+    printf("\n");
+  }
+  printf("\nReading: disabling a recovery pass should not change results\n"
+         "(co-simulation guards that) but costs area and/or hardware time.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment E5: partitioning speed (google-benchmark).
+//
+// Paper §3: "we use a simpler technique based on the well-known 90-10 rule
+// in order to reduce the time required for partitioning.  Achieving a small
+// partitioning execution time is important because we intend to integrate
+// our approach with existing dynamic partitioning and dynamic synthesis
+// approaches."
+//
+// Measures the wall time of each flow stage on representative binaries:
+// decompilation alone, partitioning+synthesis alone, and the full flow.
+// For dynamic (on-chip) use the whole flow must be milliseconds-scale.
+#include <benchmark/benchmark.h>
+
+#include "decomp/pipeline.hpp"
+#include "mips/simulator.hpp"
+#include "partition/flow.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+using namespace b2h;
+
+namespace {
+
+struct Prepared {
+  mips::SoftBinary binary;
+  mips::RunResult run;
+};
+
+Prepared Prepare(const char* name) {
+  const suite::Benchmark* bench = suite::FindBenchmark(name);
+  auto binary = suite::BuildBinary(*bench, 1);
+  Prepared prepared;
+  prepared.binary = std::move(binary).take();
+  mips::Simulator sim(prepared.binary);
+  prepared.run = sim.Run();
+  return prepared;
+}
+
+void BM_Decompile(benchmark::State& state, const char* name) {
+  const Prepared prepared = Prepare(name);
+  decomp::DecompileOptions options;
+  options.profile = &prepared.run.profile;
+  for (auto _ : state) {
+    auto program = decomp::Decompile(prepared.binary, options);
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetLabel(std::to_string(prepared.binary.text.size()) + " instrs");
+}
+
+void BM_PartitionAndSynthesize(benchmark::State& state, const char* name) {
+  const Prepared prepared = Prepare(name);
+  decomp::DecompileOptions options;
+  options.profile = &prepared.run.profile;
+  auto program = decomp::Decompile(prepared.binary, options);
+  if (!program.ok()) {
+    state.SkipWithError("decompilation failed");
+    return;
+  }
+  const partition::Platform platform;
+  for (auto _ : state) {
+    auto result = partition::PartitionProgram(
+        program.value(), prepared.run.profile, platform, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_FullFlow(benchmark::State& state, const char* name) {
+  const Prepared prepared = Prepare(name);
+  for (auto _ : state) {
+    auto flow = partition::RunFlow(prepared.binary, {});
+    benchmark::DoNotOptimize(flow);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Decompile, fir, "fir");
+BENCHMARK_CAPTURE(BM_Decompile, adpcm_enc, "adpcm_enc");
+BENCHMARK_CAPTURE(BM_Decompile, matmul, "matmul");
+BENCHMARK_CAPTURE(BM_PartitionAndSynthesize, fir, "fir");
+BENCHMARK_CAPTURE(BM_PartitionAndSynthesize, adpcm_enc, "adpcm_enc");
+BENCHMARK_CAPTURE(BM_PartitionAndSynthesize, matmul, "matmul");
+BENCHMARK_CAPTURE(BM_FullFlow, fir, "fir");
+BENCHMARK_CAPTURE(BM_FullFlow, brev, "brev");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Experiment E2: platform clock sweep.
+//
+//   "Compared to a 400 MHz MIPS, the application speedups were 3.8 and the
+//    energy savings were 49%.  For slower platforms with a 40 MHz
+//    microprocessor, the application speedup was 12.6 and the energy
+//    savings were 84%."  (paper §4)
+//
+// The same suite is partitioned against 40/200/400 MHz CPUs; hardware time
+// is CPU-frequency independent, so slower processors see larger speedups —
+// the trend must fall out of the model, not be pasted in.
+#include <cstdio>
+
+#include "partition/flow.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+using namespace b2h;
+
+int main() {
+  printf("=== E2: platform sweep (suite averages at each CPU clock) ===\n\n");
+  printf("%10s %12s %12s %14s\n", "cpu (MHz)", "speedup", "energy %",
+         "paper (s/e%)");
+  const double clocks[] = {40.0, 200.0, 400.0};
+  const char* paper[] = {"12.6 / 84%", "5.4 / 69%", "3.8 / 49%"};
+
+  for (int i = 0; i < 3; ++i) {
+    double sum_speedup = 0.0;
+    double sum_energy = 0.0;
+    int count = 0;
+    for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+      auto binary = suite::BuildBinary(*bench, 1);
+      if (!binary.ok()) continue;
+      partition::FlowOptions options;
+      options.platform = partition::Platform::WithCpuMhz(clocks[i]);
+      auto flow = partition::RunFlow(binary.value(), options);
+      if (!flow.ok()) continue;
+      sum_speedup += flow.value().estimate.speedup;
+      sum_energy += flow.value().estimate.energy_savings;
+      ++count;
+    }
+    printf("%10.0f %12.1f %12.0f %14s\n", clocks[i], sum_speedup / count,
+           sum_energy / count * 100.0, paper[i]);
+  }
+  printf("\nShape check: speedup and savings must both fall as the CPU "
+         "clock rises.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// A vendor-tool style command-line partitioner (paper §1: "The
+// partitioning/synthesis tool could be provided by the platform vendor").
+//
+// Input: a MIPS assembly file (the stand-in for a linked binary), or the
+// name of a bundled benchmark.  Output: partitioning report on stdout and
+// one VHDL file per hardware region.
+//
+//   ./build/examples/binary_partitioner path/to/program.s
+//   ./build/examples/binary_partitioner crc
+//   ./build/examples/binary_partitioner crc --cpu-mhz 400 --fpga-kgates 50
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mips/assembler.hpp"
+#include "partition/flow.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+using namespace b2h;
+
+namespace {
+
+Result<mips::SoftBinary> LoadInput(const std::string& input) {
+  if (const suite::Benchmark* bench = suite::FindBenchmark(input)) {
+    return suite::BuildBinary(*bench, 1);
+  }
+  std::ifstream file(input);
+  if (!file) {
+    return Status::Error(ErrorKind::kParse,
+                         "cannot open '" + input +
+                             "' (not a file or bundled benchmark)");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return mips::Assemble(text.str());
+}
+
+std::string SafeFileName(std::string name) {
+  for (char& c : name) {
+    if (c == '/' || c == ':') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    printf("usage: %s <program.s | benchmark-name> [--cpu-mhz N] "
+           "[--fpga-kgates N]\n", argv[0]);
+    return 1;
+  }
+  partition::FlowOptions options;
+  const std::string input = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--cpu-mhz") == 0) {
+      options.platform.cpu.clock_mhz = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--fpga-kgates") == 0) {
+      options.platform.fpga.capacity_gates = std::atof(argv[i + 1]) * 1000.0;
+      options.platform.fpga.usable_fraction = 1.0;
+    }
+  }
+
+  auto binary = LoadInput(input);
+  if (!binary.ok()) {
+    printf("error: %s\n", binary.status().message().c_str());
+    return 1;
+  }
+  printf("loaded %zu instructions, %zu data bytes\n",
+         binary.value().text.size(), binary.value().data.size());
+
+  auto flow = partition::RunFlow(binary.value(), options);
+  if (!flow.ok()) {
+    // The paper's failure mode: indirect jumps defeat CDFG recovery; the
+    // program simply stays all-software.
+    printf("partitioning failed (%s): %s\n",
+           ToString(flow.status().kind()),
+           flow.status().message().c_str());
+    printf("the application remains software-only.\n");
+    return 2;
+  }
+
+  printf("\n%s\n", flow.value().Report().c_str());
+
+  for (const auto& kernel : flow.value().partition.hw) {
+    const std::string path =
+        "hw_" + SafeFileName(kernel.synthesized.region.name) + ".vhd";
+    std::ofstream out(path);
+    out << kernel.synthesized.vhdl;
+    printf("wrote %s (%.0f gates, %s)\n", path.c_str(),
+           kernel.synthesized.area.total_gates,
+           kernel.arrays_resident ? "arrays resident in BRAM"
+                                  : "arrays in main memory");
+  }
+  if (!flow.value().partition.rejected.empty()) {
+    printf("\nregions not moved to hardware:\n");
+    for (const auto& reason : flow.value().partition.rejected) {
+      printf("  %s\n", reason.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Platform exploration (paper §4: "Using a hypothetical platform allows us
+// to more easily evaluate different types of platforms with different clock
+// speeds and FPGA sizes").
+//
+// Sweeps CPU clock and FPGA capacity for one benchmark and prints the
+// speedup/energy matrix a platform architect would look at.
+//
+// Build & run:  ./build/examples/platform_explorer [benchmark]
+#include <cstdio>
+#include <string>
+
+#include "partition/flow.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+using namespace b2h;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "fir";
+  const suite::Benchmark* bench = suite::FindBenchmark(name);
+  if (bench == nullptr) {
+    printf("unknown benchmark '%s'; available:\n", name.c_str());
+    for (const auto& b : suite::AllBenchmarks()) {
+      printf("  %-12s (%s) %s\n", b.name.c_str(), b.origin.c_str(),
+             b.description.c_str());
+    }
+    return 1;
+  }
+  auto binary = suite::BuildBinary(*bench, 1);
+  if (!binary.ok()) {
+    printf("build error: %s\n", binary.status().message().c_str());
+    return 1;
+  }
+
+  printf("platform exploration for '%s' (%s)\n\n", bench->name.c_str(),
+         bench->description.c_str());
+
+  const double cpu_clocks[] = {40, 100, 200, 400};
+  const double fpga_kgates[] = {15, 50, 300};
+
+  printf("%-10s", "cpu\\fpga");
+  for (double kg : fpga_kgates) printf("   %6.0fk gates   ", kg);
+  printf("\n");
+  for (double mhz : cpu_clocks) {
+    printf("%6.0fMHz ", mhz);
+    for (double kg : fpga_kgates) {
+      partition::FlowOptions options;
+      options.platform = partition::Platform::WithCpuMhz(mhz);
+      options.platform.fpga.capacity_gates = kg * 1000.0;
+      options.platform.fpga.usable_fraction = 1.0;
+      auto flow = partition::RunFlow(binary.value(), options);
+      if (!flow.ok()) {
+        printf("   %-15s", "flow failed");
+        continue;
+      }
+      char cell[32];
+      snprintf(cell, sizeof cell, "%5.1fx / %3.0f%%",
+               flow.value().estimate.speedup,
+               flow.value().estimate.energy_savings * 100.0);
+      printf("   %-15s", cell);
+    }
+    printf("\n");
+  }
+  printf("\n(each cell: application speedup / energy savings vs "
+         "software-only on the same CPU)\n");
+  return 0;
+}

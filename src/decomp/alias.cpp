@@ -1,0 +1,158 @@
+#include "decomp/alias.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace b2h::decomp {
+namespace {
+
+using ir::Opcode;
+using ir::Value;
+
+constexpr std::uint32_t kDataBase = 0x1000'0000u;
+constexpr std::uint32_t kStackBase = 0x7FF0'0000u;
+
+/// Additive decomposition of an address expression: constant part plus
+/// non-constant leaves (looking through adds/subs only).
+struct Decomposition {
+  std::int64_t const_sum = 0;
+  std::vector<const ir::Instr*> leaves;
+  bool ok = true;
+};
+
+void Decompose(const Value& value, Decomposition& out, int sign, int depth) {
+  if (depth > 16) {
+    out.ok = false;
+    return;
+  }
+  if (value.is_const()) {
+    out.const_sum += sign * static_cast<std::int64_t>(
+                                static_cast<std::uint32_t>(value.imm));
+    return;
+  }
+  const ir::Instr* def = value.def;
+  if (def->op == Opcode::kAdd) {
+    Decompose(def->operands[0], out, sign, depth + 1);
+    Decompose(def->operands[1], out, sign, depth + 1);
+    return;
+  }
+  if (def->op == Opcode::kSub) {
+    Decompose(def->operands[0], out, sign, depth + 1);
+    Decompose(def->operands[1], out, -sign, depth + 1);
+    return;
+  }
+  out.leaves.push_back(def);
+}
+
+}  // namespace
+
+AliasAnalysis::AliasAnalysis(
+    const ir::Function& function,
+    const std::map<std::string, std::uint32_t>* data_symbols)
+    : function_(function) {
+  if (data_symbols != nullptr) {
+    for (const auto& [name, addr] : *data_symbols) {
+      if (addr >= kDataBase && addr < kStackBase) {
+        sorted_symbols_.emplace_back(addr, name);
+      }
+    }
+    std::sort(sorted_symbols_.begin(), sorted_symbols_.end());
+  }
+  for (const auto& block : function.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op != Opcode::kLoad && instr->op != Opcode::kStore) continue;
+      region_of_[instr] = ClassifyAddress(instr->operands[0]);
+    }
+  }
+}
+
+int AliasAnalysis::InternRegion(MemRegion region) {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].kind == region.kind && regions_[i].key == region.key) {
+      return static_cast<int>(i);
+    }
+  }
+  regions_.push_back(std::move(region));
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+int AliasAnalysis::ClassifyAddress(const Value& addr) {
+  Decomposition decomp;
+  Decompose(addr, decomp, 1, 0);
+  if (!decomp.ok) return -1;
+
+  const auto base = static_cast<std::uint64_t>(decomp.const_sum);
+  // Global array: constant base inside the data segment.
+  if (decomp.const_sum > 0 && base >= kDataBase && base < kStackBase) {
+    MemRegion region;
+    region.kind = MemRegion::Kind::kGlobal;
+    region.key = base;
+    // Resolve to the containing data symbol when available.
+    if (!sorted_symbols_.empty()) {
+      auto it = std::upper_bound(
+          sorted_symbols_.begin(), sorted_symbols_.end(),
+          std::make_pair(static_cast<std::uint32_t>(base),
+                         std::string("\xff")));
+      if (it != sorted_symbols_.begin()) {
+        --it;
+        region.key = it->first;
+        region.name = it->second;
+      }
+    }
+    return InternRegion(std::move(region));
+  }
+  // Stack access: base derived from the sp input.
+  for (const ir::Instr* leaf : decomp.leaves) {
+    if (leaf->op == Opcode::kInput && leaf->input_index == 29) {
+      MemRegion region;
+      region.kind = MemRegion::Kind::kStack;
+      region.key = 0;
+      region.name = "<stack>";
+      return InternRegion(std::move(region));
+    }
+  }
+  // Parameter-relative: a single non-constant leaf that is a function input
+  // or call result acts as the array base (arrays passed as arguments).
+  if (decomp.leaves.size() == 1 &&
+      (decomp.leaves[0]->op == Opcode::kInput ||
+       decomp.leaves[0]->op == Opcode::kCall)) {
+    MemRegion region;
+    region.kind = MemRegion::Kind::kParam;
+    region.key = static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(decomp.leaves[0]));
+    region.name = "<param>";
+    return InternRegion(std::move(region));
+  }
+  return -1;
+}
+
+int AliasAnalysis::RegionIdOf(const ir::Instr* instr) const {
+  const auto it = region_of_.find(instr);
+  return it == region_of_.end() ? -1 : it->second;
+}
+
+std::set<int> AliasAnalysis::RegionsIn(const ir::Loop& loop) const {
+  std::set<int> out;
+  for (const ir::Block* block : loop.blocks) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op != Opcode::kLoad && instr->op != Opcode::kStore) continue;
+      out.insert(RegionIdOf(instr));
+    }
+  }
+  return out;
+}
+
+std::set<int> AliasAnalysis::AllRegions() const {
+  std::set<int> out;
+  for (const auto& [instr, region] : region_of_) out.insert(region);
+  return out;
+}
+
+bool AliasAnalysis::MayAlias(const ir::Instr* a, const ir::Instr* b) const {
+  const int ra = RegionIdOf(a);
+  const int rb = RegionIdOf(b);
+  if (ra < 0 || rb < 0) return true;  // unknown: conservative
+  return ra == rb;
+}
+
+}  // namespace b2h::decomp

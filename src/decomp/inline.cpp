@@ -1,0 +1,269 @@
+// Small-function inlining.
+//
+// The paper's kernels are loops; when a loop body calls a small helper
+// (abs, min, saturate, ...) the call would make the region unsynthesizable.
+// Inlining the callee keeps such loops eligible for hardware.  Only small
+// leaf functions (no calls, no stack traffic left after stack-op removal)
+// are inlined, so this cannot blow up the CDFG.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "decomp/lifter.hpp"
+#include "decomp/passes.hpp"
+
+namespace b2h::decomp {
+namespace {
+
+using ir::Opcode;
+using ir::Value;
+
+constexpr std::size_t kMaxInlineOps = 80;
+constexpr std::size_t kMaxInlineBlocks = 8;
+
+bool IsLeaf(const ir::Function& function) {
+  for (const auto& block : function.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == Opcode::kCall) return false;
+      // Stack traffic left after promotion (sp input used by memory ops)
+      // makes frames overlap after inlining; skip such callees.
+      if (instr->op == Opcode::kInput && instr->input_index == 29) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Inline one call site.  Returns the block that execution continues in.
+void InlineCall(ir::Function& caller, ir::Block* block, ir::Instr* call,
+                const ir::Function& callee) {
+  // Split the caller block at the call.
+  ir::Block* cont = caller.CreateBlock(block->name + "_ret", call->src_pc);
+  auto& instrs = block->instrs;
+  const auto call_it = std::find(instrs.begin(), instrs.end(), call);
+  Check(call_it != instrs.end(), "InlineCall: call not in block");
+  // Move everything after the call into the continuation block; the call
+  // itself stays (deleted at the end once its uses are rewritten).
+  for (auto it = call_it + 1; it != instrs.end(); ++it) {
+    (*it)->parent = cont;
+    cont->instrs.push_back(*it);
+  }
+  instrs.erase(call_it + 1, instrs.end());
+
+  // Clone callee blocks and instructions.
+  std::unordered_map<const ir::Block*, ir::Block*> block_map;
+  std::unordered_map<const ir::Instr*, ir::Instr*> instr_map;
+  for (const auto& cb : callee.blocks()) {
+    block_map[cb.get()] = caller.CreateBlock(
+        callee.name() + "_" + cb->name, cb->start_pc);
+  }
+  // Return values collected for the merge phi.
+  std::vector<std::pair<ir::Block*, Value>> returns;
+
+  const auto map_value = [&](const Value& value) -> Value {
+    if (!value.is_instr()) return value;
+    const auto it = instr_map.find(value.def);
+    if (it == instr_map.end()) {
+      throw InternalError(std::string("InlineCall: unmapped operand op=") +
+                          ir::OpcodeName(value.def->op) +
+                          " id=" + std::to_string(value.def->id) +
+                          " parent=" +
+                          (value.def->parent != nullptr
+                               ? value.def->parent->name
+                               : std::string("<none>")));
+    }
+    return Value::Of(it->second);
+  };
+
+  for (const auto& cb : callee.blocks()) {
+    ir::Block* nb = block_map[cb.get()];
+    for (const ir::Instr* ci : cb->instrs) {
+      if (ci->op == Opcode::kInput) {
+        // Map callee inputs to call operands (a0..a3 = 0..3, sp = 4).
+        Value replacement;
+        if (ci->input_index >= 4 && ci->input_index <= 7) {
+          replacement = call->operands[ci->input_index - 4];
+        } else if (ci->input_index == 29) {
+          replacement = call->operands[4];
+        } else {
+          ir::Instr* undef = caller.Create(Opcode::kUndef);
+          nb->Append(undef);
+          replacement = Value::Of(undef);
+        }
+        // Record mapping via a synthetic entry (no new instruction unless
+        // undef); store in instr_map through a shim below.
+        ir::Instr* shim = caller.Create(Opcode::kOr);
+        shim->operands = {replacement, Value::Const(0)};
+        shim->src_pc = ci->src_pc;
+        nb->Append(shim);
+        instr_map[ci] = shim;
+        continue;
+      }
+      if (ci->op == Opcode::kRet) {
+        // The returned value may live in a block cloned later (block order
+        // is address-based, but previous inlining appends split blocks at
+        // the end); defer the mapping until every block is cloned.
+        returns.emplace_back(nb, ci->operands.empty()
+                                     ? Value::Const(0)
+                                     : ci->operands[0]);
+        ir::Instr* br = caller.Create(Opcode::kBr);
+        br->target0 = cont;
+        nb->Append(br);
+        continue;
+      }
+      ir::Instr* ni = caller.Create(ci->op);
+      ni->width = ci->width;
+      ni->is_signed = ci->is_signed;
+      ni->mem_bytes = ci->mem_bytes;
+      ni->mem_signed = ci->mem_signed;
+      ni->ext_from = ci->ext_from;
+      ni->input_index = ci->input_index;
+      ni->call_target = ci->call_target;
+      ni->imm = ci->imm;
+      ni->src_pc = ci->src_pc;
+      ni->target0 = ci->target0;  // remapped to cloned blocks below
+      ni->target1 = ci->target1;
+      for (const Value& operand : ci->operands) {
+        // Phi operands may reference not-yet-cloned instrs; fill later.
+        if (operand.is_instr() && instr_map.count(operand.def) == 0) {
+          ni->operands.push_back(Value::None());
+          continue;
+        }
+        ni->operands.push_back(map_value(operand));
+      }
+      if (ci->op == Opcode::kPhi) {
+        nb->PrependPhi(ni);
+      } else {
+        nb->Append(ni);
+      }
+      instr_map[ci] = ni;
+    }
+  }
+  // Fix forward references (phi operands and any cross-block forward uses).
+  for (const auto& [ci, ni] : instr_map) {
+    for (std::size_t i = 0; i < ni->operands.size(); ++i) {
+      if (ni->operands[i].is_none()) {
+        ni->operands[i] = map_value(ci->operands[i]);
+      }
+    }
+  }
+  // Resolve the deferred return values.
+  for (auto& [rb, rv] : returns) rv = map_value(rv);
+  // Map branch targets.
+  for (const auto& cb : callee.blocks()) {
+    ir::Block* nb = block_map[cb.get()];
+    if (!nb->has_terminator()) continue;
+    ir::Instr* term = nb->terminator();
+    if (term->target0 != nullptr && block_map.count(term->target0) != 0) {
+      term->target0 = block_map[term->target0];
+    }
+    if (term->target1 != nullptr && block_map.count(term->target1) != 0) {
+      term->target1 = block_map[term->target1];
+    }
+  }
+  // Profile annotations: scale callee counts into the caller by call count.
+  // (Approximation: the call instruction's own block count.)
+  for (const auto& cb : callee.blocks()) {
+    block_map[cb.get()]->exec_count = cb->exec_count;
+    block_map[cb.get()]->taken_count = cb->taken_count;
+    block_map[cb.get()]->not_taken_count = cb->not_taken_count;
+  }
+
+  // Branch from the call block into the inlined entry.
+  ir::Instr* enter = caller.Create(Opcode::kBr);
+  enter->target0 = block_map[callee.entry()];
+  block->Append(enter);
+  cont->exec_count = block->exec_count;
+
+  // Merge return value: phi in the continuation block.
+  Check(!returns.empty(), "InlineCall: callee has no returns");
+  Value result;
+  if (returns.size() == 1) {
+    result = returns.front().second;
+  } else {
+    ir::Instr* phi = caller.Create(Opcode::kPhi);
+    // Operand order must match cont->preds; RecomputeCfg will order preds
+    // by block iteration order, so build after recompute below.  Use a
+    // placeholder now.
+    cont->PrependPhi(phi);
+    caller.RecomputeCfg();
+    std::vector<Value> operands(cont->preds.size(), Value::Const(0));
+    for (std::size_t i = 0; i < cont->preds.size(); ++i) {
+      for (const auto& [rb, rv] : returns) {
+        if (cont->preds[i] == rb) operands[i] = rv;
+      }
+    }
+    phi->operands = std::move(operands);
+    result = Value::Of(phi);
+  }
+
+  // Replace the call's uses with the return value and delete the call.
+  std::unordered_map<const ir::Instr*, Value> replacement{{call, result}};
+  caller.ReplaceAllUses(replacement);
+  block->Remove(call);
+  caller.RecomputeCfg();
+}
+
+}  // namespace
+
+InlineStats InlineSmallFunctions(ir::Module& module) {
+  InlineStats stats;
+  // Leaf callees with a single call site always inline (that is simply
+  // whole-program flattening: no code growth); multi-site callees inline
+  // only under the size caps.
+  std::unordered_map<std::uint32_t, unsigned> call_sites;
+  for (const auto& function : module.functions) {
+    for (const auto& block : function->blocks()) {
+      for (const ir::Instr* instr : block->instrs) {
+        if (instr->op == Opcode::kCall) ++call_sites[instr->call_target];
+      }
+    }
+  }
+  // Outer fixpoint: inlining a helper into a kernel makes the kernel a
+  // leaf, which can unlock inlining the kernel into main on a later round.
+  bool module_changed = true;
+  while (module_changed) {
+    module_changed = false;
+    for (auto& function : module.functions) {
+      bool changed = true;
+      bool function_changed = false;
+      while (changed) {
+        changed = false;
+        for (const auto& block : function->blocks()) {
+          for (ir::Instr* instr : block->instrs) {
+            if (instr->op != Opcode::kCall) continue;
+            const ir::Function* callee =
+                module.FindByEntry(instr->call_target);
+            if (callee == nullptr || callee == function.get()) continue;
+            if (!IsLeaf(*callee)) continue;
+            const bool single_site = call_sites[instr->call_target] == 1;
+            if (!single_site &&
+                (callee->CountOps() > kMaxInlineOps ||
+                 callee->blocks().size() > kMaxInlineBlocks)) {
+              continue;
+            }
+            InlineCall(*function, block.get(), instr, *callee);
+            ++stats.calls_inlined;
+            changed = true;
+            function_changed = true;
+            module_changed = true;
+            break;  // block structure changed; restart scan
+          }
+          if (changed) break;
+        }
+      }
+      if (function_changed) {
+        // Clean up immediately: the deleted call was often the only user
+        // of this function's sp input, and IsLeaf must see the post-DCE
+        // state for the next round to flatten transitively.
+        EliminateTrivialPhis(*function);
+        function->RemoveDeadInstrs();
+        function->RecomputeCfg();
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace b2h::decomp

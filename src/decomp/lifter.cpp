@@ -1,0 +1,598 @@
+#include "decomp/lifter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "mips/isa.hpp"
+#include "support/bits.hpp"
+
+namespace b2h::decomp {
+namespace {
+
+using mips::Instr;
+using mips::Op;
+using mips::SoftBinary;
+
+constexpr unsigned kNumLocs = 34;  // 32 GPRs + HI + LO
+constexpr unsigned kHi = 32;
+constexpr unsigned kLo = 33;
+
+/// Machine-level basic block discovered during CFG recovery.
+struct MBlock {
+  std::uint32_t start = 0;  // first instruction address
+  std::uint32_t end = 0;    // one past last instruction address
+  std::vector<std::uint32_t> succs;  // successor leader addresses
+};
+
+/// Machine-level CFG of one function.
+struct MachineCfg {
+  std::uint32_t entry = 0;
+  std::map<std::uint32_t, MBlock> blocks;  // keyed by leader address
+  std::set<std::uint32_t> call_targets;    // jal destinations seen
+};
+
+std::string Hex(std::uint32_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+/// Discover the machine CFG of the function entered at `entry`.
+Result<MachineCfg> RecoverCfg(const SoftBinary& binary, std::uint32_t entry) {
+  MachineCfg cfg;
+  cfg.entry = entry;
+
+  // Pass 1: walk reachable instructions, record leaders and flow edges.
+  std::set<std::uint32_t> visited;
+  std::set<std::uint32_t> leaders{entry};
+  std::deque<std::uint32_t> work{entry};
+  // flow[pc] = successor addresses of the instruction at pc (empty for ret).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> flow;
+
+  while (!work.empty()) {
+    std::uint32_t pc = work.front();
+    work.pop_front();
+    if (visited.count(pc) != 0) continue;
+    visited.insert(pc);
+    if (!binary.ContainsText(pc)) {
+      return Status::Error(ErrorKind::kMalformedBinary,
+                           "control flows outside text at " + Hex(pc));
+    }
+    const auto decoded = mips::Decode(binary.WordAt(pc));
+    if (!decoded) {
+      return Status::Error(ErrorKind::kMalformedBinary,
+                           "undecodable instruction at " + Hex(pc));
+    }
+    const Instr& in = *decoded;
+    std::vector<std::uint32_t>& succs = flow[pc];
+    if (mips::IsBranch(in.op)) {
+      const std::uint32_t target = mips::BranchTarget(pc, in);
+      // `beq $0,$0` (assembler pseudo `b`) is unconditional.
+      if (in.op == Op::kBeq && in.rs == 0 && in.rt == 0) {
+        succs = {target};
+      } else if (in.op == Op::kBne && in.rs == in.rt) {
+        succs = {pc + 4};
+      } else {
+        succs = {target, pc + 4};
+      }
+      leaders.insert(succs.begin(), succs.end());
+    } else if (in.op == Op::kJ) {
+      const std::uint32_t target = mips::JumpTarget(pc, in);
+      succs = {target};
+      leaders.insert(target);
+    } else if (in.op == Op::kJal) {
+      // A call: control continues after the call in this function.
+      cfg.call_targets.insert(mips::JumpTarget(pc, in));
+      succs = {pc + 4};
+    } else if (in.op == Op::kJr) {
+      if (in.rs == mips::kRa) {
+        succs = {};  // return
+      } else {
+        // The paper: "CDFG recovery ... failed for two EEMBC examples
+        // because of indirect jumps."  Reproduce that failure mode.
+        return Status::Error(
+            ErrorKind::kIndirectJump,
+            "unresolvable indirect jump (jr " +
+                std::string(mips::RegName(in.rs)) + ") at " + Hex(pc));
+      }
+    } else if (in.op == Op::kJalr) {
+      return Status::Error(ErrorKind::kIndirectJump,
+                           "unresolvable indirect call (jalr) at " + Hex(pc));
+    } else {
+      succs = {pc + 4};
+    }
+    for (std::uint32_t succ : succs) work.push_back(succ);
+  }
+
+  // Pass 2: form blocks [leader, next leader / control instruction].
+  for (std::uint32_t leader : leaders) {
+    if (visited.count(leader) == 0) continue;  // e.g. dead fallthrough
+    MBlock block;
+    block.start = leader;
+    std::uint32_t pc = leader;
+    while (true) {
+      const auto& succs = flow.at(pc);
+      const bool is_control =
+          succs.empty() || succs.size() > 1 || succs[0] != pc + 4 ||
+          leaders.count(pc + 4) != 0;
+      if (is_control) {
+        block.end = pc + 4;
+        block.succs = succs;
+        break;
+      }
+      pc += 4;
+    }
+    cfg.blocks.emplace(leader, std::move(block));
+  }
+  return cfg;
+}
+
+/// Per-function lifter: machine CFG -> SSA function.
+class FunctionLifter {
+ public:
+  FunctionLifter(const SoftBinary& binary, const MachineCfg& cfg,
+                 ir::Function& function, const LiftOptions& options)
+      : binary_(binary), cfg_(cfg), function_(function), options_(options) {}
+
+  Status Run() {
+    CreateBlocks();
+    // Lift blocks in discovery (address) order; SSA state resolution handles
+    // any order because block-entry reads become placeholders.
+    for (const auto& [leader, mblock] : cfg_.blocks) {
+      if (Status status = LiftBlock(mblock); !status.ok()) return status;
+    }
+    function_.RecomputeCfg();
+    ResolvePlaceholders();
+    function_.RemoveUnreachableBlocks();
+    EliminateTrivialPhis(function_);
+    function_.RemoveDeadInstrs();
+    function_.RecomputeCfg();
+    AnnotateProfile();
+    return Status::Ok();
+  }
+
+ private:
+  struct BlockState {
+    std::array<ir::Value, kNumLocs> reg;  // value at current point / exit
+    ir::Block* block = nullptr;
+  };
+
+  void CreateBlocks() {
+    // The entry block must be first in the function.
+    std::vector<std::uint32_t> order;
+    order.push_back(cfg_.entry);
+    for (const auto& [leader, mblock] : cfg_.blocks) {
+      if (leader != cfg_.entry) order.push_back(leader);
+    }
+    for (std::uint32_t leader : order) {
+      std::ostringstream name;
+      name << "bb_" << std::hex << leader;
+      ir::Block* block = function_.CreateBlock(name.str(), leader);
+      blocks_[leader] = block;
+      states_[leader].block = block;
+    }
+  }
+
+  ir::Value Undef() {
+    if (undef_ == nullptr) {
+      undef_ = function_.Create(ir::Opcode::kUndef);
+      // Prepend into entry so it dominates all uses.
+      ir::Block* entry = blocks_.at(cfg_.entry);
+      entry->instrs.insert(entry->instrs.begin(), undef_);
+      undef_->parent = entry;
+    }
+    return ir::Value::Of(undef_);
+  }
+
+  /// Value of register `reg` at the entry of `leader`'s block.
+  ir::Value EntryValue(std::uint32_t leader, unsigned reg) {
+    if (reg == 0) return ir::Value::Const(0);
+    const auto key = std::make_pair(leader, reg);
+    if (const auto it = entry_values_.find(key); it != entry_values_.end()) {
+      return it->second;
+    }
+    ir::Value value;
+    if (leader == cfg_.entry) {
+      ir::Instr* input = function_.Create(ir::Opcode::kInput);
+      input->input_index = static_cast<std::uint16_t>(reg);
+      input->src_pc = leader;
+      ir::Block* entry = blocks_.at(cfg_.entry);
+      entry->instrs.insert(entry->instrs.begin(), input);
+      input->parent = entry;
+      value = ir::Value::Of(input);
+    } else {
+      // Create a phi placeholder; operands are filled after all blocks are
+      // lifted (ResolvePlaceholders).  Memoize first to break cycles.
+      ir::Instr* phi = function_.Create(ir::Opcode::kPhi);
+      phi->src_pc = leader;
+      blocks_.at(leader)->PrependPhi(phi);
+      entry_values_[key] = ir::Value::Of(phi);
+      pending_phis_.emplace_back(phi, leader, reg);
+      return ir::Value::Of(phi);
+    }
+    entry_values_[key] = value;
+    return value;
+  }
+
+  /// Value of register `reg` at the exit of `leader`'s block.
+  ir::Value ExitValue(std::uint32_t leader, unsigned reg) {
+    if (reg == 0) return ir::Value::Const(0);
+    const BlockState& state = states_.at(leader);
+    if (!state.reg[reg].is_none()) return state.reg[reg];
+    return EntryValue(leader, reg);
+  }
+
+  void ResolvePlaceholders() {
+    // ExitValue may create further placeholder phis while we fill operands,
+    // so iterate by index over the growing vector.
+    for (std::size_t i = 0; i < pending_phis_.size(); ++i) {
+      const auto [phi, leader, reg] = pending_phis_[i];
+      ir::Block* block = blocks_.at(leader);
+      std::vector<ir::Value> operands;
+      operands.reserve(block->preds.size());
+      for (ir::Block* pred : block->preds) {
+        operands.push_back(ExitValue(pred->start_pc, reg));
+      }
+      phi->operands = std::move(operands);
+    }
+  }
+
+  Status LiftBlock(const MBlock& mblock) {
+    ir::Block* block = blocks_.at(mblock.start);
+    BlockState& state = states_.at(mblock.start);
+
+    const auto read = [&](unsigned reg) -> ir::Value {
+      if (reg == 0) return ir::Value::Const(0);
+      if (state.reg[reg].is_none()) {
+        state.reg[reg] = EntryValue(mblock.start, reg);
+      }
+      return state.reg[reg];
+    };
+    const auto write = [&](unsigned reg, ir::Value value) {
+      if (reg != 0) state.reg[reg] = value;
+    };
+    const auto emit = [&](ir::Opcode op, std::vector<ir::Value> operands,
+                          std::uint32_t pc) -> ir::Instr* {
+      ir::Instr* instr = function_.Emit(block, op, std::move(operands));
+      instr->src_pc = pc;
+      return instr;
+    };
+    const auto binop = [&](ir::Opcode op, ir::Value a, ir::Value b,
+                           std::uint32_t pc) -> ir::Value {
+      return ir::Value::Of(emit(op, {a, b}, pc));
+    };
+
+    for (std::uint32_t pc = mblock.start; pc < mblock.end; pc += 4) {
+      const Instr in = *mips::Decode(binary_.WordAt(pc));
+      const ir::Value imm = ir::Value::Const(in.imm);
+      switch (in.op) {
+        case Op::kSll:
+          write(in.rd, binop(ir::Opcode::kShl, read(in.rt),
+                             ir::Value::Const(in.shamt), pc));
+          break;
+        case Op::kSrl:
+          write(in.rd, binop(ir::Opcode::kShrL, read(in.rt),
+                             ir::Value::Const(in.shamt), pc));
+          break;
+        case Op::kSra:
+          write(in.rd, binop(ir::Opcode::kShrA, read(in.rt),
+                             ir::Value::Const(in.shamt), pc));
+          break;
+        case Op::kSllv:
+          write(in.rd, binop(ir::Opcode::kShl, read(in.rt),
+                             binop(ir::Opcode::kAnd, read(in.rs),
+                                   ir::Value::Const(31), pc), pc));
+          break;
+        case Op::kSrlv:
+          write(in.rd, binop(ir::Opcode::kShrL, read(in.rt),
+                             binop(ir::Opcode::kAnd, read(in.rs),
+                                   ir::Value::Const(31), pc), pc));
+          break;
+        case Op::kSrav:
+          write(in.rd, binop(ir::Opcode::kShrA, read(in.rt),
+                             binop(ir::Opcode::kAnd, read(in.rs),
+                                   ir::Value::Const(31), pc), pc));
+          break;
+        case Op::kAdd: case Op::kAddu:
+          write(in.rd, binop(ir::Opcode::kAdd, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kSub: case Op::kSubu:
+          write(in.rd, binop(ir::Opcode::kSub, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kAnd:
+          write(in.rd, binop(ir::Opcode::kAnd, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kOr:
+          write(in.rd, binop(ir::Opcode::kOr, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kXor:
+          write(in.rd, binop(ir::Opcode::kXor, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kNor:
+          write(in.rd, binop(ir::Opcode::kNor, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kSlt:
+          write(in.rd, binop(ir::Opcode::kLtS, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kSltu:
+          write(in.rd, binop(ir::Opcode::kLtU, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kMfhi: write(in.rd, read(kHi)); break;
+        case Op::kMflo: write(in.rd, read(kLo)); break;
+        case Op::kMthi: write(kHi, read(in.rs)); break;
+        case Op::kMtlo: write(kLo, read(in.rs)); break;
+        case Op::kMult:
+          write(kLo, binop(ir::Opcode::kMul, read(in.rs), read(in.rt), pc));
+          write(kHi, binop(ir::Opcode::kMulHiS, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kMultu:
+          write(kLo, binop(ir::Opcode::kMul, read(in.rs), read(in.rt), pc));
+          write(kHi, binop(ir::Opcode::kMulHiU, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kDiv:
+          write(kLo, binop(ir::Opcode::kDivS, read(in.rs), read(in.rt), pc));
+          write(kHi, binop(ir::Opcode::kRemS, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kDivu:
+          write(kLo, binop(ir::Opcode::kDivU, read(in.rs), read(in.rt), pc));
+          write(kHi, binop(ir::Opcode::kRemU, read(in.rs), read(in.rt), pc));
+          break;
+        case Op::kAddi: case Op::kAddiu:
+          write(in.rt, binop(ir::Opcode::kAdd, read(in.rs), imm, pc));
+          break;
+        case Op::kSlti:
+          write(in.rt, binop(ir::Opcode::kLtS, read(in.rs), imm, pc));
+          break;
+        case Op::kSltiu:
+          write(in.rt, binop(ir::Opcode::kLtU, read(in.rs), imm, pc));
+          break;
+        case Op::kAndi:
+          write(in.rt, binop(ir::Opcode::kAnd, read(in.rs), imm, pc));
+          break;
+        case Op::kOri:
+          write(in.rt, binop(ir::Opcode::kOr, read(in.rs), imm, pc));
+          break;
+        case Op::kXori:
+          write(in.rt, binop(ir::Opcode::kXor, read(in.rs), imm, pc));
+          break;
+        case Op::kLui:
+          write(in.rt, ir::Value::Const(in.imm << 16));
+          break;
+        case Op::kLb: case Op::kLbu: case Op::kLh: case Op::kLhu:
+        case Op::kLw: {
+          // Always materialize the base+offset add, even for offset 0:
+          // unrolled loop sections then stay position-isomorphic for the
+          // rerolling matcher (constant folding removes the +0 later).
+          ir::Value addr = binop(ir::Opcode::kAdd, read(in.rs), imm, pc);
+          ir::Instr* load = emit(ir::Opcode::kLoad, {addr}, pc);
+          switch (in.op) {
+            case Op::kLb:  load->mem_bytes = 1; load->mem_signed = true;
+                           load->width = 8;  load->is_signed = true;  break;
+            case Op::kLbu: load->mem_bytes = 1; load->mem_signed = false;
+                           load->width = 8;  load->is_signed = false; break;
+            case Op::kLh:  load->mem_bytes = 2; load->mem_signed = true;
+                           load->width = 16; load->is_signed = true;  break;
+            case Op::kLhu: load->mem_bytes = 2; load->mem_signed = false;
+                           load->width = 16; load->is_signed = false; break;
+            default:       load->mem_bytes = 4; break;
+          }
+          write(in.rt, ir::Value::Of(load));
+          break;
+        }
+        case Op::kSb: case Op::kSh: case Op::kSw: {
+          ir::Value addr = binop(ir::Opcode::kAdd, read(in.rs), imm, pc);
+          ir::Instr* store = emit(ir::Opcode::kStore, {addr, read(in.rt)}, pc);
+          store->mem_bytes = in.op == Op::kSw ? 4 : in.op == Op::kSh ? 2 : 1;
+          break;
+        }
+        case Op::kJal: {
+          ir::Instr* call = emit(
+              ir::Opcode::kCall,
+              {read(mips::kA0), read(mips::kA1), read(mips::kA2),
+               read(mips::kA3), read(mips::kSp)},
+              pc);
+          call->call_target = mips::JumpTarget(pc, in);
+          write(mips::kV0, ir::Value::Of(call));
+          // Caller-saved registers are clobbered by the call (MIPS ABI).
+          write(mips::kV1, Undef());
+          write(mips::kAt, Undef());
+          write(mips::kRa, Undef());
+          for (unsigned reg = mips::kA0; reg <= mips::kA3; ++reg) {
+            write(reg, Undef());
+          }
+          for (unsigned reg = mips::kT0; reg <= mips::kT7; ++reg) {
+            write(reg, Undef());
+          }
+          write(mips::kT8, Undef());
+          write(mips::kT9, Undef());
+          write(kHi, Undef());
+          write(kLo, Undef());
+          break;
+        }
+        case Op::kBeq: case Op::kBne: case Op::kBlez: case Op::kBgtz:
+        case Op::kBltz: case Op::kBgez: {
+          const std::uint32_t target = mips::BranchTarget(pc, in);
+          // Unconditional pseudo-branches were normalized in CFG recovery.
+          if (in.op == Op::kBeq && in.rs == 0 && in.rt == 0) {
+            ir::Instr* br = emit(ir::Opcode::kBr, {}, pc);
+            br->target0 = blocks_.at(target);
+            break;
+          }
+          if (in.op == Op::kBne && in.rs == in.rt) {
+            ir::Instr* br = emit(ir::Opcode::kBr, {}, pc);
+            br->target0 = blocks_.at(pc + 4);
+            break;
+          }
+          ir::Value cond;
+          switch (in.op) {
+            case Op::kBeq:
+              cond = binop(ir::Opcode::kEq, read(in.rs), read(in.rt), pc);
+              break;
+            case Op::kBne:
+              cond = binop(ir::Opcode::kNe, read(in.rs), read(in.rt), pc);
+              break;
+            case Op::kBlez:
+              cond = binop(ir::Opcode::kLeS, read(in.rs),
+                           ir::Value::Const(0), pc);
+              break;
+            case Op::kBgtz:
+              cond = binop(ir::Opcode::kGtS, read(in.rs),
+                           ir::Value::Const(0), pc);
+              break;
+            case Op::kBltz:
+              cond = binop(ir::Opcode::kLtS, read(in.rs),
+                           ir::Value::Const(0), pc);
+              break;
+            default:
+              cond = binop(ir::Opcode::kGeS, read(in.rs),
+                           ir::Value::Const(0), pc);
+              break;
+          }
+          ir::Instr* br = emit(ir::Opcode::kCondBr, {cond}, pc);
+          br->target0 = blocks_.at(target);
+          br->target1 = blocks_.at(pc + 4);
+          break;
+        }
+        case Op::kJ: {
+          ir::Instr* br = emit(ir::Opcode::kBr, {}, pc);
+          br->target0 = blocks_.at(mips::JumpTarget(pc, in));
+          break;
+        }
+        case Op::kJr:
+          Check(in.rs == mips::kRa, "lifter: jr to non-ra survived recovery");
+          emit(ir::Opcode::kRet, {read(mips::kV0)}, pc);
+          break;
+        case Op::kJalr:
+          throw InternalError("lifter: jalr survived CFG recovery");
+        case Op::kInvalid:
+          return Status::Error(ErrorKind::kMalformedBinary,
+                               "invalid instruction at " + Hex(pc));
+      }
+    }
+
+    // Fallthrough block (last instruction was not control flow).
+    if (!block->has_terminator()) {
+      Check(mblock.succs.size() == 1, "lifter: fallthrough without successor");
+      ir::Instr* br = function_.Create(ir::Opcode::kBr);
+      br->src_pc = mblock.end - 4;
+      br->target0 = blocks_.at(mblock.succs[0]);
+      block->Append(br);
+    }
+    return Status::Ok();
+  }
+
+  void AnnotateProfile() {
+    if (options_.profile == nullptr) return;
+    const mips::ExecProfile& profile = *options_.profile;
+    for (const auto& block_ptr : function_.blocks()) {
+      ir::Block* block = block_ptr.get();
+      block->exec_count = profile.CountAt(block->start_pc);
+      if (!block->has_terminator()) continue;
+      ir::Instr* term = block->terminator();
+      if (term->op != ir::Opcode::kCondBr || term->src_pc == 0) continue;
+      const std::size_t index = (term->src_pc - mips::kTextBase) / 4u;
+      if (index < profile.branch_taken.size()) {
+        block->taken_count = profile.branch_taken[index];
+        block->not_taken_count = profile.branch_not_taken[index];
+      }
+    }
+  }
+
+  const SoftBinary& binary_;
+  const MachineCfg& cfg_;
+  ir::Function& function_;
+  const LiftOptions& options_;
+  std::map<std::uint32_t, ir::Block*> blocks_;
+  std::map<std::uint32_t, BlockState> states_;
+  std::map<std::pair<std::uint32_t, unsigned>, ir::Value> entry_values_;
+  std::vector<std::tuple<ir::Instr*, std::uint32_t, unsigned>> pending_phis_;
+  ir::Instr* undef_ = nullptr;
+};
+
+}  // namespace
+
+std::size_t EliminateTrivialPhis(ir::Function& function) {
+  std::size_t total_removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_map<const ir::Instr*, ir::Value> replacements;
+    for (const auto& block : function.blocks()) {
+      for (ir::Instr* phi : block->Phis()) {
+        ir::Value unique = ir::Value::None();
+        bool trivial = true;
+        for (const ir::Value& operand : phi->operands) {
+          if (operand.is_instr() && operand.def == phi) continue;  // self
+          if (unique.is_none()) {
+            unique = operand;
+          } else if (!(unique == operand)) {
+            trivial = false;
+            break;
+          }
+        }
+        if (trivial && !unique.is_none()) {
+          replacements[phi] = unique;
+        }
+      }
+    }
+    if (replacements.empty()) break;
+    function.ReplaceAllUses(replacements);
+    for (const auto& block : function.blocks()) {
+      auto& instrs = block->instrs;
+      instrs.erase(std::remove_if(instrs.begin(), instrs.end(),
+                                  [&](const ir::Instr* instr) {
+                                    return replacements.count(instr) != 0;
+                                  }),
+                   instrs.end());
+    }
+    total_removed += replacements.size();
+    changed = true;
+  }
+  return total_removed;
+}
+
+Result<ir::Module> Lift(const mips::SoftBinary& binary,
+                        const LiftOptions& options) {
+  ir::Module module;
+
+  // Discover functions: entry point plus transitive jal targets.
+  std::set<std::uint32_t> discovered{binary.entry};
+  std::deque<std::uint32_t> work{binary.entry};
+  std::map<std::uint32_t, MachineCfg> cfgs;
+  while (!work.empty()) {
+    const std::uint32_t entry = work.front();
+    work.pop_front();
+    if (cfgs.count(entry) != 0) continue;
+    auto cfg = RecoverCfg(binary, entry);
+    if (!cfg.ok()) return cfg.status();
+    for (std::uint32_t callee : cfg.value().call_targets) {
+      if (discovered.insert(callee).second) work.push_back(callee);
+    }
+    cfgs.emplace(entry, std::move(cfg).take());
+  }
+
+  // Lift each function.  Names come from symbols when available.
+  for (const auto& [entry, cfg] : cfgs) {
+    std::string name = "func_" + Hex(entry);
+    for (const auto& [symbol, addr] : binary.symbols) {
+      if (addr == entry) {
+        name = symbol;
+        break;
+      }
+    }
+    auto function = std::make_unique<ir::Function>(name, entry);
+    FunctionLifter lifter(binary, cfg, *function, options);
+    if (Status status = lifter.Run(); !status.ok()) return status;
+    if (entry == binary.entry) module.main = function.get();
+    module.functions.push_back(std::move(function));
+  }
+  Check(module.main != nullptr, "Lift: entry function missing");
+  return module;
+}
+
+}  // namespace b2h::decomp

@@ -1,0 +1,43 @@
+// Binary parsing, CFG recovery, and lifting to SSA IR.
+//
+// Implements the front half of the paper's decompilation flow (§2):
+//   "Initially, binary parsing converts the software binary into an
+//    instruction set independent representation.  Next, CDFG creation builds
+//    a control/data flow graph for the application."
+//
+// Function discovery starts at the binary entry point and follows `jal`
+// targets transitively (no symbol table needed).  Within each function, CFG
+// recovery discovers basic-block leaders by following branch targets.
+// An unresolvable indirect jump (`jr` to a non-return-address register, or
+// `jalr`) aborts recovery with ErrorKind::kIndirectJump — exactly the
+// failure mode the paper reports for two EEMBC benchmarks.
+//
+// Lifting produces SSA directly: machine registers are treated as variables,
+// per-block symbolic state maps registers to IR values, and block-entry
+// reads become phi placeholders resolved once the CFG is complete (trivial
+// phis are then removed).
+#pragma once
+
+#include "ir/ir.hpp"
+#include "mips/binary.hpp"
+#include "mips/simulator.hpp"
+#include "support/error.hpp"
+
+namespace b2h::decomp {
+
+struct LiftOptions {
+  /// Optional profile; when present, blocks and branch edges are annotated
+  /// with execution counts (consumed by the partitioner).
+  const mips::ExecProfile* profile = nullptr;
+};
+
+/// Decompile `binary` into an SSA module.  Fails with kIndirectJump /
+/// kMalformedBinary when CDFG recovery is impossible.
+[[nodiscard]] Result<ir::Module> Lift(const mips::SoftBinary& binary,
+                                      const LiftOptions& options = {});
+
+/// Remove phis whose operands are all identical (or self-references).
+/// Returns number of phis removed.  Exposed for reuse by stack-op removal.
+std::size_t EliminateTrivialPhis(ir::Function& function);
+
+}  // namespace b2h::decomp

@@ -1,0 +1,79 @@
+// End-to-end decompilation pipeline: binary -> optimized, annotated CDFG.
+//
+// Pass order (rationale):
+//   1. Lift                 — CFG recovery + SSA construction
+//   2. RerollLoops          — needs textually isomorphic sections, so it
+//                             runs before any folding
+//   3. SimplifyConstants    — IS-overhead removal (move idioms, folding)
+//   4. RemoveStackOperations
+//   5. SimplifyConstants    — cleanup enabled by promotion
+//   6. InlineSmallFunctions — keeps helper-calling loops synthesizable
+//   7. PromoteStrength      — shift/add chains -> mul (undo compiler opt)
+//   8. ReduceStrength       — mul/div by 2^k -> shift/mask (for synthesis)
+//   9. ReduceOperatorSizes  — width annotations for the area/delay model
+//  10. final DCE + IR verification
+//
+// Every pass can be disabled individually (the ablation benchmark measures
+// each one's contribution to synthesis quality).
+#pragma once
+
+#include <string>
+
+#include "decomp/alias.hpp"
+#include "decomp/passes.hpp"
+#include "decomp/structure.hpp"
+#include "ir/ir.hpp"
+#include "mips/binary.hpp"
+#include "mips/simulator.hpp"
+#include "support/error.hpp"
+
+namespace b2h::decomp {
+
+struct DecompileOptions {
+  const mips::ExecProfile* profile = nullptr;
+  bool reroll_loops = true;
+  bool simplify_constants = true;
+  bool remove_stack_ops = true;
+  bool inline_small_functions = true;
+  bool convert_ifs = true;
+  bool promote_strength = true;
+  bool reduce_strength = true;
+  bool reduce_operator_sizes = true;
+  bool verify = true;  ///< run the IR verifier after the pipeline
+};
+
+/// Aggregated pass statistics for reporting and the ablation benches.
+struct DecompileStats {
+  std::size_t constants_simplified = 0;
+  std::size_t stack_slots_promoted = 0;
+  std::size_t stack_ops_removed = 0;
+  std::size_t loops_rerolled = 0;
+  std::size_t reroll_ops_removed = 0;
+  std::size_t muls_recovered = 0;
+  std::size_t strength_reduced = 0;
+  std::size_t instrs_narrowed = 0;
+  std::size_t bits_saved = 0;
+  std::size_t calls_inlined = 0;
+  std::size_t ifs_converted = 0;
+  std::size_t lifted_instrs = 0;
+  std::size_t final_instrs = 0;
+};
+
+/// A decompiled program with its analyses.
+struct DecompiledProgram {
+  ir::Module module;
+  DecompileStats stats;
+  const mips::SoftBinary* binary = nullptr;  ///< non-owning
+
+  /// Per-function recovered control structure (reporting).
+  [[nodiscard]] StructureInfo StructureOf(const ir::Function& f) const {
+    return RecoverStructure(f);
+  }
+};
+
+/// Run the full decompilation pipeline.  Fails (kIndirectJump /
+/// kMalformedBinary) exactly when CDFG recovery is impossible.
+[[nodiscard]] Result<DecompiledProgram> Decompile(
+    const mips::SoftBinary& binary, const DecompileOptions& options = {});
+
+}  // namespace b2h::decomp

@@ -1,0 +1,158 @@
+#include "decomp/structure.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+
+namespace b2h::decomp {
+namespace {
+
+/// Immediate post-dominator sets via simple iterative dataflow (CFGs here
+/// are small; the set-based formulation keeps the code obvious).
+class PostDominators {
+ public:
+  explicit PostDominators(const ir::Function& function) {
+    int n = 0;
+    for (const auto& block : function.blocks()) {
+      index_[block.get()] = n++;
+      blocks_.push_back(block.get());
+    }
+    // pdom(b) = {b} ∪ ∩_{s∈succ(b)} pdom(s);   exits: pdom = {b}.
+    std::vector<std::set<int>> pdom(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (blocks_[static_cast<std::size_t>(i)]->succs().empty()) {
+        pdom[static_cast<std::size_t>(i)] = {i};
+      } else {
+        for (int j = 0; j < n; ++j) pdom[static_cast<std::size_t>(i)].insert(j);
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int i = n - 1; i >= 0; --i) {
+        const ir::Block* block = blocks_[static_cast<std::size_t>(i)];
+        const auto succs = block->succs();
+        if (succs.empty()) continue;
+        std::set<int> meet = pdom[static_cast<std::size_t>(index_[succs[0]])];
+        for (std::size_t s = 1; s < succs.size(); ++s) {
+          const auto& other = pdom[static_cast<std::size_t>(index_[succs[s]])];
+          std::set<int> next;
+          for (int x : meet) {
+            if (other.count(x) != 0) next.insert(x);
+          }
+          meet = std::move(next);
+        }
+        meet.insert(i);
+        if (meet != pdom[static_cast<std::size_t>(i)]) {
+          pdom[static_cast<std::size_t>(i)] = std::move(meet);
+          changed = true;
+        }
+      }
+    }
+    pdom_ = std::move(pdom);
+  }
+
+  /// True when `a` post-dominates `b`.
+  [[nodiscard]] bool PostDominates(const ir::Block* a,
+                                   const ir::Block* b) const {
+    return pdom_[static_cast<std::size_t>(index_.at(b))].count(
+               index_.at(a)) != 0;
+  }
+
+  /// Nearest common post-dominator of two blocks, or nullptr.
+  [[nodiscard]] const ir::Block* Join(const ir::Block* a,
+                                      const ir::Block* b) const {
+    const auto& pa = pdom_[static_cast<std::size_t>(index_.at(a))];
+    const auto& pb = pdom_[static_cast<std::size_t>(index_.at(b))];
+    // Smallest set member common to both, by set size heuristic: pick the
+    // common post-dominator with the largest pdom set intersection...
+    // simpler: the common post-dominator whose own pdom set is largest is
+    // the nearest (it post-dominates the fewest others).  Use minimal set.
+    const ir::Block* best = nullptr;
+    std::size_t best_size = SIZE_MAX;
+    for (int x : pa) {
+      if (pb.count(x) == 0) continue;
+      const auto size = pdom_[static_cast<std::size_t>(x)].size();
+      if (size < best_size) {
+        best_size = size;
+        best = blocks_[static_cast<std::size_t>(x)];
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::map<const ir::Block*, int> index_;
+  std::vector<const ir::Block*> blocks_;
+  std::vector<std::set<int>> pdom_;
+};
+
+}  // namespace
+
+StructureInfo RecoverStructure(const ir::Function& function) {
+  StructureInfo info;
+  info.total_blocks = function.blocks().size();
+
+  const ir::DominatorTree dom(function);
+  const ir::LoopForest loops(function, dom);
+  info.loops = loops.loops().size();
+  const PostDominators pdom(function);
+
+  std::ostringstream pseudo;
+  pseudo << function.name() << " {\n";
+
+  for (const ir::Block* block : dom.ReversePostOrder()) {
+    const ir::Loop* loop_here = nullptr;
+    for (const auto& loop : loops.loops()) {
+      if (loop->header == block) {
+        loop_here = loop.get();
+        break;
+      }
+    }
+    const ir::Loop* innermost = loops.LoopFor(block);
+    const int depth = innermost != nullptr ? innermost->depth : 0;
+    const std::string indent(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    if (loop_here != nullptr) {
+      pseudo << indent << "loop " << block->name << " ("
+             << loop_here->blocks.size() << " blocks";
+      if (loop_here->header_count > 0) {
+        pseudo << ", ~" << static_cast<std::uint64_t>(
+                               loop_here->AverageTripCount() + 0.5)
+               << " iters";
+      }
+      pseudo << ")\n";
+    }
+    if (!block->has_terminator()) continue;
+    const ir::Instr* term = block->terminator();
+    if (term->op != ir::Opcode::kCondBr) continue;
+    // Skip loop exit branches (the latch / header tests).
+    const ir::Loop* loop = loops.LoopFor(block);
+    if (loop != nullptr &&
+        (term->target0 == loop->header || term->target1 == loop->header)) {
+      continue;
+    }
+    const ir::Block* t0 = term->target0;
+    const ir::Block* t1 = term->target1;
+    const ir::Block* join = pdom.Join(t0, t1);
+    if (join == t0 || join == t1) {
+      ++info.ifs;
+      pseudo << indent << "if " << block->name << " then "
+             << (join == t1 ? t0->name : t1->name) << "\n";
+    } else if (join != nullptr) {
+      ++info.if_elses;
+      pseudo << indent << "if " << block->name << " then " << t0->name
+             << " else " << t1->name << " join " << join->name << "\n";
+    } else {
+      ++info.unstructured_branches;
+      pseudo << indent << "branch " << block->name << " (unstructured)\n";
+    }
+  }
+  pseudo << "}\n";
+  info.pseudo = pseudo.str();
+  return info;
+}
+
+}  // namespace b2h::decomp

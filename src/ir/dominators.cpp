@@ -1,0 +1,119 @@
+#include "ir/dominators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace b2h::ir {
+namespace {
+
+void PostOrderVisit(const Block* block, std::unordered_set<const Block*>& seen,
+                    std::vector<const Block*>& order) {
+  seen.insert(block);
+  for (const Block* succ : block->succs()) {
+    if (seen.count(succ) == 0) PostOrderVisit(succ, seen, order);
+  }
+  order.push_back(block);
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Function& function) : function_(function) {
+  // Reverse post order over reachable blocks.
+  std::unordered_set<const Block*> seen;
+  std::vector<const Block*> post;
+  PostOrderVisit(function.entry(), seen, post);
+  rpo_.assign(post.rbegin(), post.rend());
+
+  int max_id = 0;
+  for (const auto& block : function.blocks()) {
+    max_id = std::max(max_id, block->id);
+  }
+  rpo_index_.assign(static_cast<std::size_t>(max_id) + 1, -1);
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index_[static_cast<std::size_t>(rpo_[i]->id)] = static_cast<int>(i);
+  }
+
+  // Cooper-Harvey-Kennedy iteration.  idom in rpo positions; entry = 0.
+  const int n = static_cast<int>(rpo_.size());
+  idom_.assign(static_cast<std::size_t>(n), -1);
+  idom_[0] = 0;
+  const auto intersect = [this](int a, int b) {
+    while (a != b) {
+      while (a > b) a = idom_[static_cast<std::size_t>(a)];
+      while (b > a) b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 1; i < n; ++i) {
+      int new_idom = -1;
+      for (const Block* pred : rpo_[static_cast<std::size_t>(i)]->preds) {
+        const int p = rpo_index_[static_cast<std::size_t>(pred->id)];
+        if (p < 0 || idom_[static_cast<std::size_t>(p)] < 0) continue;
+        new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+      }
+      Check(new_idom >= 0, "DominatorTree: unreachable block in RPO");
+      if (idom_[static_cast<std::size_t>(i)] != new_idom) {
+        idom_[static_cast<std::size_t>(i)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Dominance frontiers (CHK §4).
+  frontier_.assign(static_cast<std::size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    const Block* block = rpo_[static_cast<std::size_t>(i)];
+    if (block->preds.size() < 2) continue;
+    for (const Block* pred : block->preds) {
+      int runner = rpo_index_[static_cast<std::size_t>(pred->id)];
+      if (runner < 0) continue;
+      while (runner != idom_[static_cast<std::size_t>(i)]) {
+        auto& frontier = frontier_[static_cast<std::size_t>(runner)];
+        if (std::find(frontier.begin(), frontier.end(), block) ==
+            frontier.end()) {
+          frontier.push_back(block);
+        }
+        runner = idom_[static_cast<std::size_t>(runner)];
+      }
+    }
+  }
+}
+
+int DominatorTree::IndexOf(const Block* block) const {
+  Check(block != nullptr, "DominatorTree: null block");
+  const auto id = static_cast<std::size_t>(block->id);
+  Check(id < rpo_index_.size() && rpo_index_[id] >= 0,
+        "DominatorTree: block not in RPO (unreachable or stale CFG)");
+  return rpo_index_[id];
+}
+
+const Block* DominatorTree::Idom(const Block* block) const {
+  const int i = IndexOf(block);
+  if (i == 0) return nullptr;  // entry has no idom
+  return rpo_[static_cast<std::size_t>(idom_[static_cast<std::size_t>(i)])];
+}
+
+bool DominatorTree::Dominates(const Block* a, const Block* b) const {
+  int i = IndexOf(b);
+  const int target = IndexOf(a);
+  while (i > target) i = idom_[static_cast<std::size_t>(i)];
+  return i == target;
+}
+
+bool DominatorTree::StrictlyDominates(const Block* a, const Block* b) const {
+  return a != b && Dominates(a, b);
+}
+
+const std::vector<const Block*>& DominatorTree::Frontier(
+    const Block* block) const {
+  return frontier_[static_cast<std::size_t>(IndexOf(block))];
+}
+
+int DominatorTree::PostOrderIndex(const Block* block) const {
+  return static_cast<int>(rpo_.size()) - 1 - IndexOf(block);
+}
+
+}  // namespace b2h::ir

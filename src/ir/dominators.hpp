@@ -1,0 +1,41 @@
+// Dominator tree (Cooper-Harvey-Kennedy "A Simple, Fast Dominance
+// Algorithm") plus dominance frontiers.  Used by SSA construction during
+// lifting, by the verifier, and by control structure recovery.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace b2h::ir {
+
+class DominatorTree {
+ public:
+  /// Function must have an up-to-date CFG (RecomputeCfg) with entry first.
+  explicit DominatorTree(const Function& function);
+
+  [[nodiscard]] const Block* Idom(const Block* block) const;
+  [[nodiscard]] bool Dominates(const Block* a, const Block* b) const;
+  /// Strict domination: Dominates(a, b) && a != b.
+  [[nodiscard]] bool StrictlyDominates(const Block* a, const Block* b) const;
+  /// Dominance frontier of `block`.
+  [[nodiscard]] const std::vector<const Block*>& Frontier(
+      const Block* block) const;
+  /// Blocks in reverse post order.
+  [[nodiscard]] const std::vector<const Block*>& ReversePostOrder() const {
+    return rpo_;
+  }
+  /// Post-order index (for tests / tie-breaking).
+  [[nodiscard]] int PostOrderIndex(const Block* block) const;
+
+ private:
+  [[nodiscard]] int IndexOf(const Block* block) const;
+
+  const Function& function_;
+  std::vector<const Block*> rpo_;
+  std::vector<int> rpo_index_;       // block id -> rpo position (-1 if dead)
+  std::vector<int> idom_;            // rpo position -> rpo position of idom
+  std::vector<std::vector<const Block*>> frontier_;  // by rpo position
+};
+
+}  // namespace b2h::ir

@@ -1,0 +1,226 @@
+// Instruction-set-independent SSA IR ("the CDFG").
+//
+// The decompiler lifts MIPS binaries into this representation (paper §2:
+// "binary parsing converts the software binary into an instruction set
+// independent representation" followed by "CDFG creation").  The IR is a
+// control-flow graph of basic blocks whose instructions form the data-flow
+// graph via SSA def-use edges; together they are the annotated CDFG that
+// drives partitioning and behavioral synthesis.
+//
+// Design notes:
+//  - Instructions are the only value producers; operands are either the
+//    result of another instruction or an immediate constant (`Value`).
+//  - No persistent use-lists: passes rewrite operands through
+//    ReplaceAllUses(), which is O(instructions) and keeps invariants simple.
+//  - Every instruction carries `width`, the number of significant result
+//    bits.  Lifting produces width 32 (or 1 for comparisons); the operator
+//    size reduction pass narrows widths, which the synthesis area/delay
+//    models consume directly.
+//  - `src_pc` records binary provenance so profiling data (per-PC counts)
+//    can be mapped onto CDFG blocks and loops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace b2h::ir {
+
+class Block;
+class Function;
+
+enum class Opcode : std::uint8_t {
+  // Values without operands.
+  kInput,   ///< live-in machine register at function entry (input_index)
+  kConst,   ///< immediate constant (imm)
+  kUndef,   ///< unknown value (e.g. caller-saved register after a call)
+  // Integer arithmetic / logic.
+  kAdd, kSub, kMul, kMulHiS, kMulHiU, kDivS, kDivU, kRemS, kRemU,
+  kAnd, kOr, kXor, kNor,
+  kShl, kShrL, kShrA,
+  // Comparisons (result width 1).
+  kEq, kNe, kLtS, kLtU, kLeS, kLeU, kGtS, kGtU, kGeS, kGeU,
+  // Conditional select: operands (cond, if_true, if_false).
+  kSelect,
+  // Width adjustment (operand 0; ext_from gives the source width).
+  kSExt, kZExt, kTrunc,
+  // Memory (mem_bytes: 1/2/4; loads: mem_signed picks sign/zero extension).
+  kLoad,   ///< operands (address)
+  kStore,  ///< operands (address, value)
+  // SSA merge: operands parallel to Block::preds order.
+  kPhi,
+  // Control flow (block terminators).
+  kBr,      ///< unconditional; successor target0
+  kCondBr,  ///< operands (cond); target0 = taken, target1 = fallthrough
+  kRet,     ///< operands () or (value)
+  // Call to another recovered function (call site keeps register-passed
+  // arguments in MIPS ABI order $a0..$a3; result models $v0).
+  kCall,
+};
+
+[[nodiscard]] const char* OpcodeName(Opcode op) noexcept;
+[[nodiscard]] bool IsTerminator(Opcode op) noexcept;
+[[nodiscard]] bool IsComparison(Opcode op) noexcept;
+[[nodiscard]] bool IsCommutative(Opcode op) noexcept;
+/// Instructions that must not be removed even when their result is unused.
+[[nodiscard]] bool HasSideEffects(Opcode op) noexcept;
+
+class Instr;
+
+/// An operand: either the SSA result of an instruction or a constant.
+struct Value {
+  enum class Kind : std::uint8_t { kNone, kInstr, kConst };
+  Kind kind = Kind::kNone;
+  Instr* def = nullptr;
+  std::int32_t imm = 0;
+
+  [[nodiscard]] static Value Of(Instr* instr) {
+    Check(instr != nullptr, "Value::Of(nullptr)");
+    return Value{Kind::kInstr, instr, 0};
+  }
+  [[nodiscard]] static Value Const(std::int32_t imm) {
+    return Value{Kind::kConst, nullptr, imm};
+  }
+  [[nodiscard]] static Value None() { return Value{}; }
+
+  [[nodiscard]] bool is_instr() const noexcept { return kind == Kind::kInstr; }
+  [[nodiscard]] bool is_const() const noexcept { return kind == Kind::kConst; }
+  [[nodiscard]] bool is_none() const noexcept { return kind == Kind::kNone; }
+  [[nodiscard]] bool is_const_value(std::int32_t v) const noexcept {
+    return is_const() && imm == v;
+  }
+  [[nodiscard]] bool operator==(const Value& other) const noexcept {
+    return kind == other.kind && def == other.def && imm == other.imm;
+  }
+};
+
+class Instr {
+ public:
+  Opcode op = Opcode::kUndef;
+  std::uint8_t width = 32;       ///< significant result bits (0 if no result)
+  bool is_signed = true;         ///< signedness of the produced value
+  std::uint8_t mem_bytes = 4;    ///< kLoad/kStore access size
+  bool mem_signed = true;        ///< kLoad: sign-extend narrow loads
+  std::uint8_t ext_from = 32;    ///< kSExt/kZExt/kTrunc source width
+  std::uint16_t input_index = 0; ///< kInput: machine register number
+  std::uint32_t call_target = 0; ///< kCall: callee entry address
+  std::int32_t imm = 0;          ///< kConst value
+  std::uint32_t src_pc = 0;      ///< binary provenance (0 = synthesized)
+  int id = -1;                   ///< dense id assigned by Function
+
+  std::vector<Value> operands;
+  Block* parent = nullptr;
+  Block* target0 = nullptr;  ///< kBr/kCondBr successor
+  Block* target1 = nullptr;  ///< kCondBr fallthrough successor
+
+  [[nodiscard]] Value result() { return Value::Of(this); }
+  [[nodiscard]] bool is(Opcode o) const noexcept { return op == o; }
+  [[nodiscard]] bool is_terminator() const noexcept {
+    return IsTerminator(op);
+  }
+  [[nodiscard]] Value operand(std::size_t i) const {
+    Check(i < operands.size(), "Instr::operand out of range");
+    return operands[i];
+  }
+};
+
+class Block {
+ public:
+  int id = -1;
+  std::string name;
+  std::uint32_t start_pc = 0;      ///< binary address of the block leader
+  std::uint64_t exec_count = 0;    ///< profile annotation
+  /// Profile annotation for the terminating branch (kCondBr only):
+  /// executions that went to target0 / target1.
+  std::uint64_t taken_count = 0;
+  std::uint64_t not_taken_count = 0;
+  Function* parent = nullptr;
+  std::vector<Instr*> instrs;      ///< phis first, terminator last
+  std::vector<Block*> preds;       ///< maintained by Function::RecomputeCfg
+
+  /// Successors derived from the terminator (empty for kRet).
+  [[nodiscard]] std::vector<Block*> succs() const;
+  [[nodiscard]] Instr* terminator() const;
+  [[nodiscard]] bool has_terminator() const;
+
+  /// Append before the terminator if present, else at the end.
+  void Append(Instr* instr);
+  /// Insert a phi at the start of the block.
+  void PrependPhi(Instr* phi);
+  /// Remove an instruction from this block (does not free it).
+  void Remove(const Instr* instr);
+  /// Index of `pred` in preds (phi operand position).
+  [[nodiscard]] std::size_t PredIndex(const Block* pred) const;
+  /// Non-phi instruction count.
+  [[nodiscard]] std::size_t BodySize() const;
+  [[nodiscard]] std::vector<Instr*> Phis() const;
+};
+
+class Function {
+ public:
+  explicit Function(std::string name, std::uint32_t entry_pc = 0)
+      : name_(std::move(name)), entry_pc_(entry_pc) {}
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t entry_pc() const noexcept { return entry_pc_; }
+  [[nodiscard]] Block* entry() const {
+    Check(!blocks_.empty(), "Function has no blocks");
+    return blocks_.front().get();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Block>>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] std::size_t NumInstrs() const;
+
+  Block* CreateBlock(std::string name, std::uint32_t start_pc = 0);
+  /// Allocate an instruction owned by this function (not yet in a block).
+  Instr* Create(Opcode op);
+  /// Allocate + append a simple value-producing instruction.
+  Instr* Emit(Block* block, Opcode op, std::vector<Value> operands,
+              std::uint8_t width = 32);
+
+  /// Recompute preds from terminators; renumber blocks and instructions.
+  void RecomputeCfg();
+
+  /// Rewrite every operand whose definition appears in `replacements`.
+  /// Chains (a->b, b->c) are followed.  Does not erase replaced instrs.
+  void ReplaceAllUses(const std::unordered_map<const Instr*, Value>& map);
+
+  /// Remove instructions not reachable from side effects (classic DCE).
+  /// Returns the number of instructions removed.
+  std::size_t RemoveDeadInstrs();
+
+  /// Erase blocks unreachable from the entry; fixes phis of surviving blocks.
+  void RemoveUnreachableBlocks();
+
+  /// Total static operation count (reporting).
+  [[nodiscard]] std::size_t CountOps() const;
+
+ private:
+  std::string name_;
+  std::uint32_t entry_pc_ = 0;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::unique_ptr<Instr>> pool_;
+};
+
+/// A whole decompiled program: functions plus the data image they run over.
+struct Module {
+  std::vector<std::unique_ptr<Function>> functions;
+  Function* main = nullptr;
+
+  [[nodiscard]] Function* FindByEntry(std::uint32_t entry_pc) const {
+    for (const auto& f : functions) {
+      if (f->entry_pc() == entry_pc) return f.get();
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace b2h::ir

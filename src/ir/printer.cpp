@@ -1,0 +1,97 @@
+#include "ir/printer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace b2h::ir {
+namespace {
+
+void PrintValue(std::ostream& out, const Value& value) {
+  switch (value.kind) {
+    case Value::Kind::kInstr:
+      out << '%' << value.def->id;
+      break;
+    case Value::Kind::kConst:
+      out << value.imm;
+      break;
+    case Value::Kind::kNone:
+      out << "<none>";
+      break;
+  }
+}
+
+void PrintInstr(std::ostream& out, const Instr& instr) {
+  out << "  ";
+  if (instr.width > 0) {
+    out << '%' << instr.id << ":i" << static_cast<int>(instr.width) << " = ";
+  }
+  out << OpcodeName(instr.op);
+  switch (instr.op) {
+    case Opcode::kInput:
+      out << " r" << instr.input_index;
+      break;
+    case Opcode::kConst:
+      out << ' ' << instr.imm;
+      break;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      out << '.' << static_cast<int>(instr.mem_bytes)
+          << (instr.op == Opcode::kLoad && instr.mem_bytes < 4
+                  ? (instr.mem_signed ? "s" : "u")
+                  : "");
+      break;
+    case Opcode::kSExt:
+    case Opcode::kZExt:
+    case Opcode::kTrunc:
+      out << ".from" << static_cast<int>(instr.ext_from);
+      break;
+    case Opcode::kCall:
+      out << " @0x" << std::hex << instr.call_target << std::dec;
+      break;
+    default:
+      break;
+  }
+  bool first = true;
+  for (std::size_t i = 0; i < instr.operands.size(); ++i) {
+    out << (first ? " " : ", ");
+    first = false;
+    PrintValue(out, instr.operands[i]);
+    if (instr.op == Opcode::kPhi && instr.parent != nullptr &&
+        i < instr.parent->preds.size()) {
+      out << " [" << instr.parent->preds[i]->name << ']';
+    }
+  }
+  if (instr.op == Opcode::kBr) {
+    out << ' ' << instr.target0->name;
+  } else if (instr.op == Opcode::kCondBr) {
+    out << ", " << instr.target0->name << ", " << instr.target1->name;
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+std::string Print(const Function& function) {
+  std::ostringstream out;
+  out << "func " << function.name() << " @0x" << std::hex
+      << function.entry_pc() << std::dec << " {\n";
+  for (const auto& block : function.blocks()) {
+    out << block->name << ":";
+    if (block->exec_count > 0) out << "  ; exec=" << block->exec_count;
+    out << '\n';
+    for (const Instr* instr : block->instrs) PrintInstr(out, *instr);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string Print(const Module& module) {
+  std::string out;
+  for (const auto& function : module.functions) {
+    out += Print(*function);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace b2h::ir

@@ -1,0 +1,13 @@
+// Human-readable IR dump, used in tests and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace b2h::ir {
+
+[[nodiscard]] std::string Print(const Function& function);
+[[nodiscard]] std::string Print(const Module& module);
+
+}  // namespace b2h::ir

@@ -1,0 +1,18 @@
+// Structural and SSA well-formedness checks.  Run after lifting and after
+// every decompilation pass in debug/test builds to catch pass bugs early.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace b2h::ir {
+
+/// Returns OK or a description of the first violated invariant.
+/// Checks: block/terminator structure, phi placement and arity,
+/// def-dominates-use (including phi edge semantics), operand sanity,
+/// width ranges, and CFG pred/succ consistency.
+[[nodiscard]] Status Verify(const Function& function);
+
+/// Verifies every function in the module.
+[[nodiscard]] Status Verify(const Module& module);
+
+}  // namespace b2h::ir

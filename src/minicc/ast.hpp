@@ -1,0 +1,111 @@
+// MiniC abstract syntax tree.
+//
+// MiniC is the source language of the benchmark suite — a small, C-like
+// language rich enough for the EEMBC/PowerStone/MediaBench-style kernels the
+// paper evaluates (32-bit ints, global int/byte arrays, functions, loops).
+// The compiler back end lowers it to MIPS with selectable optimization
+// levels O0..O3, standing in for "compiled using gcc" (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace b2h::minicc {
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnaryOp { kNeg, kNot, kBitNot };
+
+struct Expr {
+  enum class Kind {
+    kNumber,     // value
+    kVar,        // name
+    kIndex,      // name[index]
+    kUnary,      // op a
+    kBinary,     // a op b
+    kCall,       // name(args...)
+  };
+  Kind kind = Kind::kNumber;
+  std::int32_t value = 0;
+  std::string name;
+  BinaryOp bop = BinaryOp::kAdd;
+  UnaryOp uop = UnaryOp::kNeg;
+  std::unique_ptr<Expr> a;
+  std::unique_ptr<Expr> b;
+  std::vector<std::unique_ptr<Expr>> args;
+  int line = 0;
+};
+
+struct Stmt {
+  enum class Kind {
+    kDecl,       // int name = init;
+    kAssign,     // name = value;  /  name[index] = value;
+    kIf,         // if (cond) then_body else else_body
+    kWhile,      // while (cond) body
+    kFor,        // for (init; cond; step) body
+    kReturn,     // return value;
+    kBlock,      // { body... }
+    kExpr,       // expression statement (calls)
+  };
+  Kind kind = Kind::kBlock;
+  std::string name;
+  std::unique_ptr<Expr> index;  // non-null for array assignment
+  std::unique_ptr<Expr> value;  // init / rhs / cond / return value
+  std::unique_ptr<Stmt> init;   // for
+  std::unique_ptr<Expr> cond;   // if/while/for
+  std::unique_ptr<Stmt> step;   // for
+  std::unique_ptr<Stmt> then_body;
+  std::unique_ptr<Stmt> else_body;
+  std::vector<std::unique_ptr<Stmt>> body;  // block
+  int line = 0;
+};
+
+struct Param {
+  std::string name;
+  bool is_array = false;  ///< array parameters are base addresses
+  bool is_byte = false;   ///< byte-array parameter
+};
+
+struct Function {
+  std::string name;
+  bool returns_value = true;
+  std::vector<Param> params;
+  std::unique_ptr<Stmt> body;  // block
+  int line = 0;
+};
+
+struct Global {
+  std::string name;
+  bool is_array = false;
+  bool is_byte = false;      ///< element size 1 (lbu/sb) instead of 4
+  std::int32_t size = 1;     ///< element count for arrays
+  std::vector<std::int32_t> init;  ///< initializer (scalar: 1 entry)
+  int line = 0;
+};
+
+struct Program {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+
+  [[nodiscard]] const Function* FindFunction(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Global* FindGlobal(const std::string& name) const {
+    for (const auto& g : globals) {
+      if (g.name == name) return &g;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace b2h::minicc

@@ -1,0 +1,40 @@
+// MiniC -> MIPS code generator with gcc-style optimization levels.
+//
+//   O0  locals live on the stack; every read/write is a lw/sw (the stack
+//       traffic the decompiler's stack-operation-removal pass undoes).
+//   O1  AST constant folding; scalar locals register-allocated to $s0..$s7;
+//       rotated (guarded do-while) loops; branch-on-compare emission.
+//   O2  + multiply/divide strength reduction (x*c as shift/add chains — the
+//       patterns strength *promotion* recovers) and loop-invariant array
+//       base hoisting into spare $s registers.
+//   O3  + innermost-loop unrolling by a constant factor (what loop
+//       *rerolling* undoes).
+//
+// The generator emits assembly text, then assembles it with b2h::mips, so
+// every compiled program is also available in readable form for tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "minicc/ast.hpp"
+#include "mips/binary.hpp"
+#include "support/error.hpp"
+
+namespace b2h::minicc {
+
+struct CompileOptions {
+  int opt_level = 1;      ///< 0..3, mirroring gcc -O0..-O3
+  int unroll_factor = 4;  ///< applied to eligible loops at O3
+};
+
+struct CompileResult {
+  mips::SoftBinary binary;
+  std::string assembly;
+};
+
+/// Compile MiniC source to a MIPS SoftBinary.
+[[nodiscard]] Result<CompileResult> Compile(std::string_view source,
+                                            const CompileOptions& options = {});
+
+}  // namespace b2h::minicc

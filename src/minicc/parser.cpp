@@ -1,0 +1,626 @@
+#include "minicc/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace b2h::minicc {
+namespace {
+
+enum class TokKind {
+  kEnd, kNumber, kIdent,
+  // keywords
+  kInt, kByte, kVoid, kIf, kElse, kWhile, kFor, kReturn,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kLt, kLe, kGt, kGe, kEqEq, kNe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= source_.size()) break;
+      const char c = source_[pos_];
+      Token token;
+      token.line = line_;
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        token.kind = TokKind::kNumber;
+        token.number = LexNumber();
+        tokens.push_back(token);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.text = LexIdent();
+        token.kind = Keyword(token.text);
+        tokens.push_back(token);
+        continue;
+      }
+      const auto two = [&](char second) {
+        return pos_ + 1 < source_.size() && source_[pos_ + 1] == second;
+      };
+      switch (c) {
+        case '(': token.kind = TokKind::kLParen; ++pos_; break;
+        case ')': token.kind = TokKind::kRParen; ++pos_; break;
+        case '{': token.kind = TokKind::kLBrace; ++pos_; break;
+        case '}': token.kind = TokKind::kRBrace; ++pos_; break;
+        case '[': token.kind = TokKind::kLBracket; ++pos_; break;
+        case ']': token.kind = TokKind::kRBracket; ++pos_; break;
+        case ';': token.kind = TokKind::kSemi; ++pos_; break;
+        case ',': token.kind = TokKind::kComma; ++pos_; break;
+        case '+': token.kind = TokKind::kPlus; ++pos_; break;
+        case '-': token.kind = TokKind::kMinus; ++pos_; break;
+        case '*': token.kind = TokKind::kStar; ++pos_; break;
+        case '/': token.kind = TokKind::kSlash; ++pos_; break;
+        case '%': token.kind = TokKind::kPercent; ++pos_; break;
+        case '^': token.kind = TokKind::kCaret; ++pos_; break;
+        case '~': token.kind = TokKind::kTilde; ++pos_; break;
+        case '&':
+          if (two('&')) { token.kind = TokKind::kAndAnd; pos_ += 2; }
+          else { token.kind = TokKind::kAmp; ++pos_; }
+          break;
+        case '|':
+          if (two('|')) { token.kind = TokKind::kOrOr; pos_ += 2; }
+          else { token.kind = TokKind::kPipe; ++pos_; }
+          break;
+        case '<':
+          if (two('<')) { token.kind = TokKind::kShl; pos_ += 2; }
+          else if (two('=')) { token.kind = TokKind::kLe; pos_ += 2; }
+          else { token.kind = TokKind::kLt; ++pos_; }
+          break;
+        case '>':
+          if (two('>')) { token.kind = TokKind::kShr; pos_ += 2; }
+          else if (two('=')) { token.kind = TokKind::kGe; pos_ += 2; }
+          else { token.kind = TokKind::kGt; ++pos_; }
+          break;
+        case '=':
+          if (two('=')) { token.kind = TokKind::kEqEq; pos_ += 2; }
+          else { token.kind = TokKind::kAssign; ++pos_; }
+          break;
+        case '!':
+          if (two('=')) { token.kind = TokKind::kNe; pos_ += 2; }
+          else { token.kind = TokKind::kBang; ++pos_; }
+          break;
+        default: {
+          std::ostringstream out;
+          out << "minicc:" << line_ << ": unexpected character '" << c << "'";
+          return Status::Error(ErrorKind::kParse, out.str());
+        }
+      }
+      tokens.push_back(token);
+    }
+    Token end;
+    end.kind = TokKind::kEnd;
+    end.line = line_;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < source_.size() &&
+               !(source_[pos_] == '*' && source_[pos_ + 1] == '/')) {
+          if (source_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, source_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::int64_t LexNumber() {
+    std::int64_t value = 0;
+    if (source_[pos_] == '0' && pos_ + 1 < source_.size() &&
+        (source_[pos_ + 1] == 'x' || source_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      while (pos_ < source_.size() &&
+             std::isxdigit(static_cast<unsigned char>(source_[pos_]))) {
+        const char c = source_[pos_++];
+        const int digit = c <= '9' ? c - '0'
+                          : c <= 'F' ? c - 'A' + 10
+                                     : c - 'a' + 10;
+        value = value * 16 + digit;
+      }
+      return value;
+    }
+    while (pos_ < source_.size() &&
+           std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+      value = value * 10 + (source_[pos_++] - '0');
+    }
+    return value;
+  }
+
+  std::string LexIdent() {
+    std::string text;
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_')) {
+      text.push_back(source_[pos_++]);
+    }
+    return text;
+  }
+
+  static TokKind Keyword(const std::string& text) {
+    if (text == "int") return TokKind::kInt;
+    if (text == "byte") return TokKind::kByte;
+    if (text == "void") return TokKind::kVoid;
+    if (text == "if") return TokKind::kIf;
+    if (text == "else") return TokKind::kElse;
+    if (text == "while") return TokKind::kWhile;
+    if (text == "for") return TokKind::kFor;
+    if (text == "return") return TokKind::kReturn;
+    return TokKind::kIdent;
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    Program program;
+    while (Peek().kind != TokKind::kEnd) {
+      if (Status status = ParseTopLevel(program); !status.ok()) {
+        return status;
+      }
+    }
+    if (program.FindFunction("main") == nullptr) {
+      return Status::Error(ErrorKind::kParse, "minicc: missing main()");
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& message) const {
+    std::ostringstream out;
+    out << "minicc:" << Peek().line << ": " << message;
+    return Status::Error(ErrorKind::kParse, out.str());
+  }
+  Status Expect(TokKind kind, const char* what) {
+    if (!Accept(kind)) return Fail(std::string("expected ") + what);
+    return Status::Ok();
+  }
+
+  Status ParseTopLevel(Program& program) {
+    const bool is_void = Peek().kind == TokKind::kVoid;
+    const bool is_byte = Peek().kind == TokKind::kByte;
+    if (!is_void && !is_byte && Peek().kind != TokKind::kInt) {
+      return Fail("expected 'int', 'byte' or 'void' at top level");
+    }
+    Next();
+    if (Peek().kind != TokKind::kIdent) return Fail("expected identifier");
+    Token name = Next();
+
+    if (Peek().kind == TokKind::kLParen) {
+      if (is_byte) return Fail("functions must return int or void");
+      return ParseFunction(program, name.text, !is_void);
+    }
+    // Global variable / array.
+    Global global;
+    global.name = name.text;
+    global.is_byte = is_byte;
+    global.line = name.line;
+    if (Accept(TokKind::kLBracket)) {
+      if (Peek().kind != TokKind::kNumber) return Fail("expected array size");
+      global.size = static_cast<std::int32_t>(Next().number);
+      global.is_array = true;
+      if (Status s = Expect(TokKind::kRBracket, "']'"); !s.ok()) return s;
+    } else if (is_byte) {
+      return Fail("byte is only valid for arrays");
+    }
+    if (Accept(TokKind::kAssign)) {
+      if (Accept(TokKind::kLBrace)) {
+        if (!global.is_array) return Fail("brace init requires array");
+        while (!Accept(TokKind::kRBrace)) {
+          auto v = ParseSignedNumber();
+          if (!v) return Fail("expected number in initializer");
+          global.init.push_back(*v);
+          if (Peek().kind != TokKind::kRBrace) {
+            if (Status s = Expect(TokKind::kComma, "','"); !s.ok()) return s;
+          }
+        }
+        if (global.init.size() > static_cast<std::size_t>(global.size)) {
+          return Fail("too many initializers");
+        }
+      } else {
+        auto v = ParseSignedNumber();
+        if (!v) return Fail("expected initializer value");
+        global.init.push_back(*v);
+      }
+    }
+    if (Status s = Expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+    program.globals.push_back(std::move(global));
+    return Status::Ok();
+  }
+
+  std::optional<std::int32_t> ParseSignedNumber() {
+    const bool negative = Accept(TokKind::kMinus);
+    if (Peek().kind != TokKind::kNumber) return std::nullopt;
+    const std::int64_t v = Next().number;
+    return static_cast<std::int32_t>(negative ? -v : v);
+  }
+
+  Status ParseFunction(Program& program, const std::string& name,
+                       bool returns_value) {
+    Function function;
+    function.name = name;
+    function.returns_value = returns_value;
+    function.line = Peek().line;
+    if (Status s = Expect(TokKind::kLParen, "'('"); !s.ok()) return s;
+    if (!Accept(TokKind::kRParen)) {
+      while (true) {
+        Param param;
+        if (Accept(TokKind::kByte)) {
+          param.is_byte = true;
+        } else if (!Accept(TokKind::kInt)) {
+          return Fail("expected parameter type");
+        }
+        if (Peek().kind != TokKind::kIdent) return Fail("expected param name");
+        param.name = Next().text;
+        if (Accept(TokKind::kLBracket)) {
+          if (Status s = Expect(TokKind::kRBracket, "']'"); !s.ok()) return s;
+          param.is_array = true;
+        } else if (param.is_byte) {
+          return Fail("byte parameters must be arrays");
+        }
+        function.params.push_back(std::move(param));
+        if (Accept(TokKind::kRParen)) break;
+        if (Status s = Expect(TokKind::kComma, "','"); !s.ok()) return s;
+      }
+    }
+    if (function.params.size() > 4) {
+      return Fail("at most 4 parameters supported (register convention)");
+    }
+    auto block = ParseBlock();
+    if (!block.ok()) return block.status();
+    function.body = std::move(block).take();
+    program.functions.push_back(std::move(function));
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<Stmt>> ParseBlock() {
+    if (Status s = Expect(TokKind::kLBrace, "'{'"); !s.ok()) return s;
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::kBlock;
+    block->line = Peek().line;
+    while (!Accept(TokKind::kRBrace)) {
+      if (Peek().kind == TokKind::kEnd) return Fail("unterminated block");
+      auto stmt = ParseStmt();
+      if (!stmt.ok()) return stmt.status();
+      block->body.push_back(std::move(stmt).take());
+    }
+    return block;
+  }
+
+  Result<std::unique_ptr<Stmt>> ParseStmt() {
+    const int line = Peek().line;
+    if (Peek().kind == TokKind::kLBrace) return ParseBlock();
+    if (Accept(TokKind::kIf)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kIf;
+      stmt->line = line;
+      if (Status s = Expect(TokKind::kLParen, "'('"); !s.ok()) return s;
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->cond = std::move(cond).take();
+      if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
+      auto then_body = ParseStmt();
+      if (!then_body.ok()) return then_body.status();
+      stmt->then_body = std::move(then_body).take();
+      if (Accept(TokKind::kElse)) {
+        auto else_body = ParseStmt();
+        if (!else_body.ok()) return else_body.status();
+        stmt->else_body = std::move(else_body).take();
+      }
+      return stmt;
+    }
+    if (Accept(TokKind::kWhile)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kWhile;
+      stmt->line = line;
+      if (Status s = Expect(TokKind::kLParen, "'('"); !s.ok()) return s;
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->cond = std::move(cond).take();
+      if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
+      auto body = ParseStmt();
+      if (!body.ok()) return body.status();
+      stmt->then_body = std::move(body).take();
+      return stmt;
+    }
+    if (Accept(TokKind::kFor)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kFor;
+      stmt->line = line;
+      if (Status s = Expect(TokKind::kLParen, "'('"); !s.ok()) return s;
+      if (!Accept(TokKind::kSemi)) {
+        auto init = ParseSimpleStmt();
+        if (!init.ok()) return init.status();
+        stmt->init = std::move(init).take();
+        if (Status s = Expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+      }
+      if (!Accept(TokKind::kSemi)) {
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.status();
+        stmt->cond = std::move(cond).take();
+        if (Status s = Expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+      }
+      if (!Accept(TokKind::kRParen)) {
+        auto step = ParseSimpleStmt();
+        if (!step.ok()) return step.status();
+        stmt->step = std::move(step).take();
+        if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
+      }
+      auto body = ParseStmt();
+      if (!body.ok()) return body.status();
+      stmt->then_body = std::move(body).take();
+      return stmt;
+    }
+    if (Accept(TokKind::kReturn)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kReturn;
+      stmt->line = line;
+      if (!Accept(TokKind::kSemi)) {
+        auto value = ParseExpr();
+        if (!value.ok()) return value.status();
+        stmt->value = std::move(value).take();
+        if (Status s = Expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+      }
+      return stmt;
+    }
+    auto simple = ParseSimpleStmt();
+    if (!simple.ok()) return simple.status();
+    if (Status s = Expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+    return simple;
+  }
+
+  /// Declaration, assignment, or expression statement (no trailing ';').
+  Result<std::unique_ptr<Stmt>> ParseSimpleStmt() {
+    const int line = Peek().line;
+    if (Accept(TokKind::kInt)) {
+      if (Peek().kind != TokKind::kIdent) return Fail("expected name");
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kDecl;
+      stmt->line = line;
+      stmt->name = Next().text;
+      if (Accept(TokKind::kAssign)) {
+        auto value = ParseExpr();
+        if (!value.ok()) return value.status();
+        stmt->value = std::move(value).take();
+      }
+      return stmt;
+    }
+    // Assignment or call: need lookahead after the identifier.
+    if (Peek().kind == TokKind::kIdent) {
+      if (Peek(1).kind == TokKind::kAssign) {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kAssign;
+        stmt->line = line;
+        stmt->name = Next().text;
+        Next();  // '='
+        auto value = ParseExpr();
+        if (!value.ok()) return value.status();
+        stmt->value = std::move(value).take();
+        return stmt;
+      }
+      if (Peek(1).kind == TokKind::kLBracket) {
+        // Could be a[i] = ... — parse index then require '='.
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kAssign;
+        stmt->line = line;
+        stmt->name = Next().text;
+        Next();  // '['
+        auto index = ParseExpr();
+        if (!index.ok()) return index.status();
+        stmt->index = std::move(index).take();
+        if (Status s = Expect(TokKind::kRBracket, "']'"); !s.ok()) return s;
+        if (Status s = Expect(TokKind::kAssign, "'='"); !s.ok()) return s;
+        auto value = ParseExpr();
+        if (!value.ok()) return value.status();
+        stmt->value = std::move(value).take();
+        return stmt;
+      }
+    }
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->line = line;
+    stmt->value = std::move(expr).take();
+    return stmt;
+  }
+
+  // Precedence climbing: || < && < | < ^ < & < ==/!= < relational < shifts
+  // < additive < multiplicative < unary.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseBinary(0); }
+
+  static std::optional<std::pair<BinaryOp, int>> BinOpFor(TokKind kind) {
+    switch (kind) {
+      case TokKind::kOrOr:   return {{BinaryOp::kLogicalOr, 1}};
+      case TokKind::kAndAnd: return {{BinaryOp::kLogicalAnd, 2}};
+      case TokKind::kPipe:   return {{BinaryOp::kOr, 3}};
+      case TokKind::kCaret:  return {{BinaryOp::kXor, 4}};
+      case TokKind::kAmp:    return {{BinaryOp::kAnd, 5}};
+      case TokKind::kEqEq:   return {{BinaryOp::kEq, 6}};
+      case TokKind::kNe:     return {{BinaryOp::kNe, 6}};
+      case TokKind::kLt:     return {{BinaryOp::kLt, 7}};
+      case TokKind::kLe:     return {{BinaryOp::kLe, 7}};
+      case TokKind::kGt:     return {{BinaryOp::kGt, 7}};
+      case TokKind::kGe:     return {{BinaryOp::kGe, 7}};
+      case TokKind::kShl:    return {{BinaryOp::kShl, 8}};
+      case TokKind::kShr:    return {{BinaryOp::kShr, 8}};
+      case TokKind::kPlus:   return {{BinaryOp::kAdd, 9}};
+      case TokKind::kMinus:  return {{BinaryOp::kSub, 9}};
+      case TokKind::kStar:   return {{BinaryOp::kMul, 10}};
+      case TokKind::kSlash:  return {{BinaryOp::kDiv, 10}};
+      case TokKind::kPercent: return {{BinaryOp::kRem, 10}};
+      default: return std::nullopt;
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseBinary(int min_prec) {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    auto left = std::move(lhs).take();
+    while (true) {
+      const auto op = BinOpFor(Peek().kind);
+      if (!op || op->second < min_prec) return left;
+      const int line = Next().line;
+      auto rhs = ParseBinary(op->second + 1);
+      if (!rhs.ok()) return rhs.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bop = op->first;
+      node->a = std::move(left);
+      node->b = std::move(rhs).take();
+      node->line = line;
+      left = std::move(node);
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    const int line = Peek().line;
+    const auto make_unary = [&](UnaryOp op,
+                                std::unique_ptr<Expr> inner) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->uop = op;
+      node->a = std::move(inner);
+      node->line = line;
+      return node;
+    };
+    if (Accept(TokKind::kMinus)) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      return make_unary(UnaryOp::kNeg, std::move(inner).take());
+    }
+    if (Accept(TokKind::kBang)) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      return make_unary(UnaryOp::kNot, std::move(inner).take());
+    }
+    if (Accept(TokKind::kTilde)) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      return make_unary(UnaryOp::kBitNot, std::move(inner).take());
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const int line = Peek().line;
+    if (Peek().kind == TokKind::kNumber) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->value = static_cast<std::int32_t>(Next().number);
+      node->line = line;
+      return node;
+    }
+    if (Accept(TokKind::kLParen)) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
+      return inner;
+    }
+    if (Peek().kind == TokKind::kIdent) {
+      std::string name = Next().text;
+      if (Accept(TokKind::kLBracket)) {
+        auto index = ParseExpr();
+        if (!index.ok()) return index.status();
+        if (Status s = Expect(TokKind::kRBracket, "']'"); !s.ok()) return s;
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kIndex;
+        node->name = std::move(name);
+        node->a = std::move(index).take();
+        node->line = line;
+        return node;
+      }
+      if (Accept(TokKind::kLParen)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kCall;
+        node->name = std::move(name);
+        node->line = line;
+        if (!Accept(TokKind::kRParen)) {
+          while (true) {
+            auto arg = ParseExpr();
+            if (!arg.ok()) return arg.status();
+            node->args.push_back(std::move(arg).take());
+            if (Accept(TokKind::kRParen)) break;
+            if (Status s = Expect(TokKind::kComma, "','"); !s.ok()) return s;
+          }
+        }
+        return node;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kVar;
+      node->name = std::move(name);
+      node->line = line;
+      return node;
+    }
+    return Fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  Lexer lexer(source);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).take());
+  return parser.Run();
+}
+
+}  // namespace b2h::minicc

@@ -1,0 +1,14 @@
+// MiniC lexer + recursive-descent parser.
+#pragma once
+
+#include <string_view>
+
+#include "minicc/ast.hpp"
+#include "support/error.hpp"
+
+namespace b2h::minicc {
+
+/// Parse MiniC source into an AST.  Diagnostics carry line numbers.
+[[nodiscard]] Result<Program> Parse(std::string_view source);
+
+}  // namespace b2h::minicc

@@ -1,0 +1,30 @@
+// Two-pass textual MIPS assembler.
+//
+// Used by the MiniC code generator back end, by tests that need hand-crafted
+// binary shapes (e.g. manually unrolled loops for the rerolling pass), and by
+// the indirect-jump benchmarks that reproduce the paper's CDFG-recovery
+// failures.
+//
+// Supported syntax:
+//   .text / .data           section switch
+//   label:                  labels (text or data)
+//   .word v0, v1, ...       32-bit data (integers or label references)
+//   .space N                N zero bytes
+//   instruction operands    all ops in isa.hpp plus the pseudo-instructions
+//                           li, la, move, nop, b, bgt, blt, bge, ble, neg, not
+//   # comment               to end of line
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mips/binary.hpp"
+#include "support/error.hpp"
+
+namespace b2h::mips {
+
+/// Assemble `source` into a SoftBinary. Entry point is the `main` label if
+/// present, else the start of .text.
+[[nodiscard]] Result<SoftBinary> Assemble(std::string_view source);
+
+}  // namespace b2h::mips

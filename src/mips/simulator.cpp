@@ -1,0 +1,262 @@
+#include "mips/simulator.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace b2h::mips {
+
+std::uint64_t CycleModel::CyclesFor(Op op, bool taken) const noexcept {
+  std::uint64_t cycles = base;
+  if (IsLoad(op)) cycles += load_extra;
+  if (op == Op::kMult || op == Op::kMultu) cycles += mult_extra;
+  if (op == Op::kDiv || op == Op::kDivu) cycles += div_extra;
+  if ((IsBranch(op) && taken) || IsDirectJump(op) || IsIndirectJump(op)) {
+    cycles += taken_extra;
+  }
+  return cycles;
+}
+
+Simulator::Simulator(const SoftBinary& binary, CycleModel model)
+    : binary_(binary), model_(model) {
+  decoded_.resize(binary.text.size());
+  decode_ok_.resize(binary.text.size(), false);
+  for (std::size_t i = 0; i < binary.text.size(); ++i) {
+    if (auto instr = Decode(binary.text[i])) {
+      decoded_[i] = *instr;
+      decode_ok_[i] = true;
+    }
+  }
+  data_mem_.resize(kDataSegmentSize, 0);
+  std::memcpy(data_mem_.data(), binary.data.data(),
+              std::min<std::size_t>(binary.data.size(), data_mem_.size()));
+  stack_mem_.resize(kStackSize, 0);
+}
+
+const std::uint8_t* Simulator::MemPtr(std::uint32_t addr,
+                                      unsigned size) const {
+  return const_cast<Simulator*>(this)->MemPtr(addr, size);
+}
+
+std::uint8_t* Simulator::MemPtr(std::uint32_t addr, unsigned size) {
+  if (addr >= kDataBase && addr + size <= kDataBase + data_mem_.size()) {
+    return data_mem_.data() + (addr - kDataBase);
+  }
+  const std::uint32_t stack_base = kStackTop - kStackSize;
+  if (addr >= stack_base && addr + size <= kStackTop) {
+    return stack_mem_.data() + (addr - stack_base);
+  }
+  return nullptr;
+}
+
+std::uint32_t Simulator::PeekWord(std::uint32_t addr) const {
+  const std::uint8_t* p = MemPtr(addr, 4);
+  Check(p != nullptr, "PeekWord: address outside memory");
+  std::uint32_t value;
+  std::memcpy(&value, p, 4);
+  return value;
+}
+
+void Simulator::PokeWord(std::uint32_t addr, std::uint32_t value) {
+  std::uint8_t* p = MemPtr(addr, 4);
+  Check(p != nullptr, "PokeWord: address outside memory");
+  std::memcpy(p, &value, 4);
+}
+
+RunResult Simulator::Run(std::span<const std::int32_t> args,
+                         std::uint64_t max_instructions) {
+  RunResult result;
+  result.profile.instr_count.assign(binary_.text.size(), 0);
+  result.profile.cycle_count.assign(binary_.text.size(), 0);
+  result.profile.branch_taken.assign(binary_.text.size(), 0);
+  result.profile.branch_not_taken.assign(binary_.text.size(), 0);
+
+  std::array<std::int32_t, 32> regs{};
+  std::int32_t hi = 0;
+  std::int32_t lo = 0;
+  regs[kSp] = static_cast<std::int32_t>(kStackTop - 64);
+  regs[kRa] = static_cast<std::int32_t>(kHaltAddress);
+  for (std::size_t i = 0; i < args.size() && i < 4; ++i) {
+    regs[kA0 + i] = args[i];
+  }
+
+  std::uint32_t pc = binary_.entry;
+  const auto fault = [&](const std::string& message) {
+    result.reason = HaltReason::kFault;
+    std::ostringstream out;
+    out << "fault at pc=0x" << std::hex << pc << ": " << message;
+    result.fault_message = out.str();
+    result.profile.total_instructions = result.instructions;
+    result.profile.total_cycles = result.cycles;
+    return result;
+  };
+
+  while (result.instructions < max_instructions) {
+    if (pc == kHaltAddress) {
+      result.reason = HaltReason::kReturned;
+      result.return_value = regs[kV0];
+      result.profile.total_instructions = result.instructions;
+      result.profile.total_cycles = result.cycles;
+      return result;
+    }
+    if (!binary_.ContainsText(pc)) return fault("pc outside text segment");
+    const std::size_t index = (pc - kTextBase) / 4u;
+    if (!decode_ok_[index]) return fault("undecodable instruction");
+    const Instr& in = decoded_[index];
+
+    std::uint32_t next_pc = pc + 4;
+    bool taken = false;
+    const auto rs = static_cast<std::uint32_t>(regs[in.rs]);
+    const auto rt = static_cast<std::uint32_t>(regs[in.rt]);
+    const auto srs = regs[in.rs];
+    const auto srt = regs[in.rt];
+    std::int32_t write_value = 0;
+    std::uint8_t write_reg = 0;  // 0 = no write ($zero is never written)
+
+    switch (in.op) {
+      case Op::kSll:  write_reg = in.rd; write_value = static_cast<std::int32_t>(rt << in.shamt); break;
+      case Op::kSrl:  write_reg = in.rd; write_value = static_cast<std::int32_t>(rt >> in.shamt); break;
+      case Op::kSra:  write_reg = in.rd; write_value = srt >> in.shamt; break;
+      case Op::kSllv: write_reg = in.rd; write_value = static_cast<std::int32_t>(rt << (rs & 31u)); break;
+      case Op::kSrlv: write_reg = in.rd; write_value = static_cast<std::int32_t>(rt >> (rs & 31u)); break;
+      case Op::kSrav: write_reg = in.rd; write_value = srt >> (rs & 31u); break;
+      case Op::kAdd: case Op::kAddu:
+        write_reg = in.rd; write_value = static_cast<std::int32_t>(rs + rt); break;
+      case Op::kSub: case Op::kSubu:
+        write_reg = in.rd; write_value = static_cast<std::int32_t>(rs - rt); break;
+      case Op::kAnd:  write_reg = in.rd; write_value = static_cast<std::int32_t>(rs & rt); break;
+      case Op::kOr:   write_reg = in.rd; write_value = static_cast<std::int32_t>(rs | rt); break;
+      case Op::kXor:  write_reg = in.rd; write_value = static_cast<std::int32_t>(rs ^ rt); break;
+      case Op::kNor:  write_reg = in.rd; write_value = static_cast<std::int32_t>(~(rs | rt)); break;
+      case Op::kSlt:  write_reg = in.rd; write_value = srs < srt ? 1 : 0; break;
+      case Op::kSltu: write_reg = in.rd; write_value = rs < rt ? 1 : 0; break;
+      case Op::kMfhi: write_reg = in.rd; write_value = hi; break;
+      case Op::kMflo: write_reg = in.rd; write_value = lo; break;
+      case Op::kMthi: hi = srs; break;
+      case Op::kMtlo: lo = srs; break;
+      case Op::kMult: {
+        const std::int64_t product =
+            static_cast<std::int64_t>(srs) * static_cast<std::int64_t>(srt);
+        lo = static_cast<std::int32_t>(product & 0xFFFF'FFFF);
+        hi = static_cast<std::int32_t>(product >> 32);
+        break;
+      }
+      case Op::kMultu: {
+        const std::uint64_t product =
+            static_cast<std::uint64_t>(rs) * static_cast<std::uint64_t>(rt);
+        lo = static_cast<std::int32_t>(product & 0xFFFF'FFFF);
+        hi = static_cast<std::int32_t>(product >> 32);
+        break;
+      }
+      case Op::kDiv:
+        if (srt == 0) {
+          lo = 0; hi = srs;
+        } else if (srs == INT32_MIN && srt == -1) {
+          lo = INT32_MIN; hi = 0;
+        } else {
+          lo = srs / srt; hi = srs % srt;
+        }
+        break;
+      case Op::kDivu:
+        if (rt == 0) {
+          lo = 0; hi = srs;
+        } else {
+          lo = static_cast<std::int32_t>(rs / rt);
+          hi = static_cast<std::int32_t>(rs % rt);
+        }
+        break;
+      case Op::kAddi: case Op::kAddiu:
+        write_reg = in.rt;
+        write_value = static_cast<std::int32_t>(rs + static_cast<std::uint32_t>(in.imm));
+        break;
+      case Op::kSlti:  write_reg = in.rt; write_value = srs < in.imm ? 1 : 0; break;
+      case Op::kSltiu:
+        write_reg = in.rt;
+        write_value = rs < static_cast<std::uint32_t>(in.imm) ? 1 : 0;
+        break;
+      case Op::kAndi: write_reg = in.rt; write_value = static_cast<std::int32_t>(rs & static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kOri:  write_reg = in.rt; write_value = static_cast<std::int32_t>(rs | static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kXori: write_reg = in.rt; write_value = static_cast<std::int32_t>(rs ^ static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kLui:  write_reg = in.rt; write_value = static_cast<std::int32_t>(static_cast<std::uint32_t>(in.imm) << 16); break;
+      case Op::kLb: case Op::kLbu: case Op::kLh: case Op::kLhu: case Op::kLw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        const unsigned size = in.op == Op::kLw ? 4 : (in.op == Op::kLh || in.op == Op::kLhu) ? 2 : 1;
+        if ((addr & (size - 1)) != 0) return fault("unaligned load");
+        // Word loads from .text are allowed (jump tables / constant pools).
+        std::uint32_t raw = 0;
+        if (in.op == Op::kLw && binary_.ContainsText(addr)) {
+          raw = binary_.WordAt(addr);
+        } else {
+          const std::uint8_t* p = MemPtr(addr, size);
+          if (p == nullptr) return fault("load outside memory");
+          for (unsigned b = 0; b < size; ++b) raw |= static_cast<std::uint32_t>(p[b]) << (8 * b);
+        }
+        write_reg = in.rt;
+        switch (in.op) {
+          case Op::kLb:  write_value = SignExtend(raw, 8); break;
+          case Op::kLbu: write_value = static_cast<std::int32_t>(raw & 0xFFu); break;
+          case Op::kLh:  write_value = SignExtend(raw, 16); break;
+          case Op::kLhu: write_value = static_cast<std::int32_t>(raw & 0xFFFFu); break;
+          default:       write_value = static_cast<std::int32_t>(raw); break;
+        }
+        break;
+      }
+      case Op::kSb: case Op::kSh: case Op::kSw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        const unsigned size = in.op == Op::kSw ? 4 : in.op == Op::kSh ? 2 : 1;
+        if ((addr & (size - 1)) != 0) return fault("unaligned store");
+        std::uint8_t* p = MemPtr(addr, size);
+        if (p == nullptr) return fault("store outside memory");
+        for (unsigned b = 0; b < size; ++b) p[b] = static_cast<std::uint8_t>((rt >> (8 * b)) & 0xFFu);
+        break;
+      }
+      case Op::kBeq:  taken = srs == srt; break;
+      case Op::kBne:  taken = srs != srt; break;
+      case Op::kBlez: taken = srs <= 0; break;
+      case Op::kBgtz: taken = srs > 0; break;
+      case Op::kBltz: taken = srs < 0; break;
+      case Op::kBgez: taken = srs >= 0; break;
+      case Op::kJ:    next_pc = JumpTarget(pc, in); break;
+      case Op::kJal:
+        write_reg = kRa;
+        write_value = static_cast<std::int32_t>(pc + 4);
+        next_pc = JumpTarget(pc, in);
+        break;
+      case Op::kJr:   next_pc = rs; break;
+      case Op::kJalr:
+        write_reg = in.rd;
+        write_value = static_cast<std::int32_t>(pc + 4);
+        next_pc = rs;
+        break;
+      case Op::kInvalid:
+        return fault("invalid instruction");
+    }
+
+    if (IsBranch(in.op)) {
+      if (taken) {
+        next_pc = BranchTarget(pc, in);
+        ++result.profile.branch_taken[index];
+      } else {
+        ++result.profile.branch_not_taken[index];
+      }
+    }
+    if (write_reg != 0) regs[write_reg] = write_value;
+
+    const std::uint64_t cycles = model_.CyclesFor(in.op, taken);
+    ++result.profile.instr_count[index];
+    result.profile.cycle_count[index] += cycles;
+    ++result.instructions;
+    result.cycles += cycles;
+    pc = next_pc;
+  }
+  result.reason = HaltReason::kMaxInstructions;
+  result.fault_message = "instruction budget exhausted";
+  result.profile.total_instructions = result.instructions;
+  result.profile.total_cycles = result.cycles;
+  return result;
+}
+
+}  // namespace b2h::mips

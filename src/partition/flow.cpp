@@ -1,0 +1,80 @@
+#include "partition/flow.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace b2h::partition {
+
+Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
+                           const FlowOptions& options) {
+  FlowResult flow;
+
+  // 1. Profile the software binary on the platform CPU.
+  mips::Simulator simulator(binary, options.platform.cpu.cycle_model);
+  flow.software_run = simulator.Run({}, options.max_sim_instructions);
+  if (flow.software_run.reason != mips::HaltReason::kReturned) {
+    return Status::Error(ErrorKind::kMalformedBinary,
+                         "software run did not complete: " +
+                             flow.software_run.fault_message);
+  }
+
+  // 2. Decompile with profile annotations.
+  decomp::DecompileOptions decompile_options = options.decompile;
+  decompile_options.profile = &flow.software_run.profile;
+  auto program = decomp::Decompile(binary, decompile_options);
+  if (!program.ok()) return program.status();
+  flow.program = std::move(program).take();
+
+  // 3. Partition + synthesize.
+  auto partition =
+      PartitionProgram(flow.program, flow.software_run.profile,
+                       options.platform, options.partition);
+  if (!partition.ok()) return partition.status();
+  flow.partition = std::move(partition).take();
+
+  // 4. Estimate.
+  flow.estimate = EstimatePartition(flow.partition, options.platform);
+  return flow;
+}
+
+std::string FlowResult::Report() const {
+  std::ostringstream out;
+  out << std::fixed;
+  out << "=== binary-level partitioning report ===\n";
+  out << "software: " << software_run.instructions << " instrs, "
+      << software_run.cycles << " cycles, rv=" << software_run.return_value
+      << "\n";
+  const auto& stats = program.stats;
+  out << "decompile: " << stats.lifted_instrs << " -> " << stats.final_instrs
+      << " ops (stack ops removed " << stats.stack_ops_removed
+      << ", loops rerolled " << stats.loops_rerolled << ", muls recovered "
+      << stats.muls_recovered << ", narrowed " << stats.instrs_narrowed
+      << ")\n";
+  out << "partition: " << partition.hw.size() << " hw region(s), area "
+      << std::setprecision(0) << partition.area_used_gates << " / "
+      << partition.area_budget_gates << " gates, loop coverage "
+      << std::setprecision(1) << partition.loop_coverage * 100.0 << "%\n";
+  for (const auto& selected : partition.hw) {
+    const char* reason =
+        selected.selected_by == SelectedBy::kFrequency ? "freq"
+        : selected.selected_by == SelectedBy::kAlias   ? "alias"
+                                                       : "greedy";
+    out << "  [" << reason << "] " << selected.synthesized.region.name
+        << ": sw " << selected.sw_cycles << " cyc -> hw "
+        << selected.synthesized.hw_cycles << " cyc @ "
+        << std::setprecision(0) << selected.synthesized.clock_mhz << " MHz, "
+        << selected.synthesized.area.total_gates << " gates";
+    if (selected.synthesized.schedule.pipeline_ii > 0) {
+      out << ", II=" << selected.synthesized.schedule.pipeline_ii;
+    }
+    if (selected.arrays_resident) out << ", arrays resident";
+    out << "\n";
+  }
+  out << std::setprecision(2);
+  out << "estimate: speedup " << estimate.speedup << "x, kernel speedup "
+      << estimate.avg_kernel_speedup << "x, energy savings "
+      << std::setprecision(1) << estimate.energy_savings * 100.0 << "%\n";
+  return out.str();
+}
+
+}  // namespace b2h::partition

@@ -1,0 +1,38 @@
+// One-call end-to-end flow: software binary -> profile -> decompile ->
+// partition -> synthesize -> performance/energy report.
+//
+// This is the public API a platform vendor's tool would expose (paper §1:
+// the partitioner runs *after* the compiler, on the final binary, so any
+// source language and compiler can be used).
+#pragma once
+
+#include <string>
+
+#include "decomp/pipeline.hpp"
+#include "mips/binary.hpp"
+#include "partition/partitioner.hpp"
+
+namespace b2h::partition {
+
+struct FlowOptions {
+  Platform platform;
+  decomp::DecompileOptions decompile;  ///< profile field is filled by the flow
+  PartitionOptions partition;
+  std::uint64_t max_sim_instructions = 200'000'000;
+};
+
+struct FlowResult {
+  mips::RunResult software_run;   ///< profiling run of the original binary
+  decomp::DecompiledProgram program;
+  PartitionResult partition;
+  AppEstimate estimate;
+
+  [[nodiscard]] std::string Report() const;
+};
+
+/// Run the complete flow on a software binary.
+/// Fails when CDFG recovery fails (indirect jumps) or the binary faults.
+[[nodiscard]] Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
+                                         const FlowOptions& options = {});
+
+}  // namespace b2h::partition

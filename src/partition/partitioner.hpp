@@ -1,0 +1,69 @@
+// The paper's three-step hardware/software partitioner (§3).
+//
+//   "Our partitioning algorithm proceeds in three steps.  In the first
+//    step, we use profiling results to identify the most frequent few
+//    loops, which generally correspond to 90 percent of execution ...
+//    In the second step, we use alias information to find regions of code
+//    that access the same memory locations as the loops in the hardware
+//    partition.  If space allows, we include these regions ... so that the
+//    required memory locations can be moved to memory within the FPGA ...
+//    In the third step, we continue to add regions to the hardware
+//    partition based on profiling results and hardware suitability until
+//    the area constraint is violated."
+//
+// Deliberately simple and fast (the paper targets eventual use in *dynamic*
+// partitioning), in contrast to the cited global optimization approaches
+// (Henkel; Kalavade/Lee).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decomp/pipeline.hpp"
+#include "partition/estimate.hpp"
+#include "partition/platform.hpp"
+#include "synth/synth.hpp"
+
+namespace b2h::partition {
+
+struct PartitionOptions {
+  double coverage_target = 0.90;  ///< the 90-10 rule
+  synth::SynthOptions synth;
+  bool enable_alias_step = true;   ///< step 2
+  bool enable_greedy_step = true;  ///< step 3
+};
+
+enum class SelectedBy : std::uint8_t { kFrequency, kAlias, kGreedy };
+
+struct SelectedRegion {
+  synth::SynthesizedRegion synthesized;
+  SelectedBy selected_by = SelectedBy::kFrequency;
+  std::uint64_t sw_cycles = 0;
+  std::uint64_t invocations = 1;
+  std::uint64_t comm_words = 0;
+  std::uint64_t mem_accesses = 0;
+  bool arrays_resident = false;
+  std::vector<int> alias_regions;  ///< region ids the kernel touches
+};
+
+struct PartitionResult {
+  std::vector<SelectedRegion> hw;
+  std::vector<std::string> rejected;  ///< regions skipped and why
+  double area_used_gates = 0.0;
+  double area_budget_gates = 0.0;
+  std::uint64_t total_sw_cycles = 0;
+  double loop_coverage = 0.0;  ///< fraction of cycles in candidate loops
+};
+
+/// Run partitioning over a decompiled program with its profile.
+[[nodiscard]] Result<PartitionResult> PartitionProgram(
+    const decomp::DecompiledProgram& program,
+    const mips::ExecProfile& profile, const Platform& platform,
+    const PartitionOptions& options = {});
+
+/// Fold a partition into the application-level performance/energy numbers.
+[[nodiscard]] AppEstimate EstimatePartition(const PartitionResult& partition,
+                                            const Platform& platform);
+
+}  // namespace b2h::partition

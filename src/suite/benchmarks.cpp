@@ -1,0 +1,1246 @@
+#include "suite/suite.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace b2h::suite {
+namespace {
+
+using std::int32_t;
+using std::uint32_t;
+
+// ---------------------------------------------------------------------------
+// EEMBC-style benchmarks
+// ---------------------------------------------------------------------------
+
+const char* kAutcorSource = R"(
+int x[128];
+int r[16];
+
+int autcor() {
+  int lag;
+  int i;
+  for (lag = 0; lag < 16; lag = lag + 1) {
+    int acc = 0;
+    for (i = 0; i < 128 - lag; i = i + 1) {
+      acc = acc + x[i] * x[i + lag];
+    }
+    r[lag] = acc >> 4;
+  }
+  int sum = 0;
+  for (lag = 0; lag < 16; lag = lag + 1) {
+    sum = sum + (r[lag] & 65535);
+  }
+  return sum;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) {
+    x[i] = ((i * 37 + 11) % 256) - 128;
+  }
+  return autcor();
+}
+)";
+
+int32_t AutcorReference() {
+  int32_t x[128];
+  int32_t r[16];
+  for (int i = 0; i < 128; ++i) x[i] = ((i * 37 + 11) % 256) - 128;
+  for (int lag = 0; lag < 16; ++lag) {
+    int32_t acc = 0;
+    for (int i = 0; i < 128 - lag; ++i) acc += x[i] * x[i + lag];
+    r[lag] = acc >> 4;
+  }
+  int32_t sum = 0;
+  for (int lag = 0; lag < 16; ++lag) sum += r[lag] & 65535;
+  return sum;
+}
+
+const char* kConvenSource = R"(
+int bits[256];
+int outsym[256];
+
+int parity7(int v) {
+  int p = v;
+  p = p ^ (p >> 4);
+  p = p ^ (p >> 2);
+  p = p ^ (p >> 1);
+  return p & 1;
+}
+
+int conven() {
+  int state = 0;
+  int i;
+  int acc = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    state = ((state << 1) | bits[i]) & 127;
+    int g1 = parity7(state & 109);
+    int g2 = parity7(state & 79);
+    int sym = (g1 << 1) | g2;
+    outsym[i] = sym;
+    acc = acc + sym;
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  int seed = 7;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = (seed * 75 + 74) % 65537;
+    bits[i] = seed & 1;
+  }
+  return conven();
+}
+)";
+
+int32_t ConvenReference() {
+  int32_t bits[256];
+  int32_t seed = 7;
+  for (int i = 0; i < 256; ++i) {
+    seed = (seed * 75 + 74) % 65537;
+    bits[i] = seed & 1;
+  }
+  const auto parity7 = [](int32_t v) {
+    v ^= v >> 4;
+    v ^= v >> 2;
+    v ^= v >> 1;
+    return v & 1;
+  };
+  int32_t state = 0;
+  int32_t acc = 0;
+  for (int i = 0; i < 256; ++i) {
+    state = ((state << 1) | bits[i]) & 127;
+    const int32_t g1 = parity7(state & 109);
+    const int32_t g2 = parity7(state & 79);
+    acc += (g1 << 1) | g2;
+  }
+  return acc;
+}
+
+const char* kRgbcmySource = R"(
+byte rch[256];
+byte gch[256];
+byte bch[256];
+byte kch[256];
+
+int rgbcmy() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    int c = 255 - rch[i];
+    int m = 255 - gch[i];
+    int y = 255 - bch[i];
+    int k = c;
+    if (m < k) { k = m; }
+    if (y < k) { k = y; }
+    kch[i] = k;
+    acc = acc + ((c - k) + (m - k) + (y - k) + k);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    rch[i] = (i * 7) & 255;
+    gch[i] = (i * 13 + 5) & 255;
+    bch[i] = (i * 29 + 1) & 255;
+  }
+  return rgbcmy();
+}
+)";
+
+int32_t RgbcmyReference() {
+  uint32_t rch[256];
+  uint32_t gch[256];
+  uint32_t bch[256];
+  for (int i = 0; i < 256; ++i) {
+    rch[i] = (i * 7) & 255;
+    gch[i] = (i * 13 + 5) & 255;
+    bch[i] = (i * 29 + 1) & 255;
+  }
+  int32_t acc = 0;
+  for (int i = 0; i < 256; ++i) {
+    const int32_t c = 255 - static_cast<int32_t>(rch[i]);
+    const int32_t m = 255 - static_cast<int32_t>(gch[i]);
+    const int32_t y = 255 - static_cast<int32_t>(bch[i]);
+    int32_t k = c;
+    if (m < k) k = m;
+    if (y < k) k = y;
+    acc += (c - k) + (m - k) + (y - k) + k;
+  }
+  return acc;
+}
+
+const char* kIdctSource = R"(
+int blk[64];
+
+int idct_pass() {
+  int row;
+  for (row = 0; row < 8; row = row + 1) {
+    int b = row * 8;
+    int s0 = blk[b + 0] + blk[b + 4];
+    int s1 = blk[b + 0] - blk[b + 4];
+    int s2 = (blk[b + 2] * 181) >> 7;
+    int s3 = (blk[b + 6] * 75) >> 7;
+    int e0 = s0 + s2 + s3;
+    int e1 = s1 + s2 - s3;
+    int o0 = (blk[b + 1] * 251 + blk[b + 7] * 49) >> 8;
+    int o1 = (blk[b + 3] * 213 + blk[b + 5] * 142) >> 8;
+    blk[b + 0] = (e0 + o0) >> 1;
+    blk[b + 1] = (e1 + o1) >> 1;
+    blk[b + 2] = (e1 - o1) >> 1;
+    blk[b + 3] = (e0 - o0) >> 1;
+    blk[b + 4] = (s0 - s2) >> 1;
+    blk[b + 5] = (s1 - o0) >> 1;
+    blk[b + 6] = (s1 + o1) >> 1;
+    blk[b + 7] = (s0 - o1) >> 1;
+  }
+  int i;
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    acc = acc + (blk[i] & 4095);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    blk[i] = ((i * 97 + 13) % 512) - 256;
+  }
+  return idct_pass();
+}
+)";
+
+int32_t IdctReference() {
+  int32_t blk[64];
+  for (int i = 0; i < 64; ++i) blk[i] = ((i * 97 + 13) % 512) - 256;
+  for (int row = 0; row < 8; ++row) {
+    const int b = row * 8;
+    const int32_t s0 = blk[b + 0] + blk[b + 4];
+    const int32_t s1 = blk[b + 0] - blk[b + 4];
+    const int32_t s2 = (blk[b + 2] * 181) >> 7;
+    const int32_t s3 = (blk[b + 6] * 75) >> 7;
+    const int32_t e0 = s0 + s2 + s3;
+    const int32_t e1 = s1 + s2 - s3;
+    const int32_t o0 = (blk[b + 1] * 251 + blk[b + 7] * 49) >> 8;
+    const int32_t o1 = (blk[b + 3] * 213 + blk[b + 5] * 142) >> 8;
+    blk[b + 0] = (e0 + o0) >> 1;
+    blk[b + 1] = (e1 + o1) >> 1;
+    blk[b + 2] = (e1 - o1) >> 1;
+    blk[b + 3] = (e0 - o0) >> 1;
+    blk[b + 4] = (s0 - s2) >> 1;
+    blk[b + 5] = (s1 - o0) >> 1;
+    blk[b + 6] = (s1 + o1) >> 1;
+    blk[b + 7] = (s0 - o1) >> 1;
+  }
+  int32_t acc = 0;
+  for (int i = 0; i < 64; ++i) acc += blk[i] & 4095;
+  return acc;
+}
+
+const char* kBitmnpSource = R"(
+int words[128];
+
+int bitmnp() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 128; i = i + 1) {
+    int v = words[i];
+    int swapped = (((v >> 1) & 0x55555555) | ((v & 0x55555555) << 1));
+    int transitions = v ^ (v << 1);
+    int ones = transitions & 0x0F0F0F0F;
+    acc = acc + ((swapped ^ ones) & 0xFFFF);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) {
+    words[i] = i * 2654435761;
+  }
+  return bitmnp();
+}
+)";
+
+int32_t BitmnpReference() {
+  int32_t words[128];
+  for (int i = 0; i < 128; ++i) {
+    words[i] = static_cast<int32_t>(i * 2654435761u);
+  }
+  int32_t acc = 0;
+  for (int i = 0; i < 128; ++i) {
+    const int32_t v = words[i];
+    const int32_t swapped =
+        ((v >> 1) & 0x55555555) | ((v & 0x55555555) << 1);
+    const int32_t transitions =
+        v ^ static_cast<int32_t>(static_cast<uint32_t>(v) << 1);
+    const int32_t ones = transitions & 0x0F0F0F0F;
+    acc += (swapped ^ ones) & 0xFFFF;
+  }
+  return acc;
+}
+
+/// EEMBC-style state-machine benchmark using a `jr` jump table: executes on
+/// the processor but defeats static CDFG recovery (paper: "CDFG recovery
+/// ... failed for two EEMBC examples because of indirect jumps").
+const char* kSwitchAsm = R"(
+.text
+main:
+  li $s0, 0        # accumulator
+  li $s1, 0        # state index
+  li $s2, 24       # iterations
+loop:
+  andi $t0, $s1, 3
+  sll $t0, $t0, 2
+  la $t1, jtab
+  addu $t1, $t1, $t0
+  lw $t2, 0($t1)
+  jr $t2           # indirect dispatch -> CDFG recovery fails here
+case0:
+  addiu $s0, $s0, 3
+  b next
+case1:
+  sll $s0, $s0, 1
+  b next
+case2:
+  addiu $s0, $s0, -1
+  b next
+case3:
+  xori $s0, $s0, 21845
+next:
+  addiu $s1, $s1, 1
+  addiu $s2, $s2, -1
+  bgtz $s2, loop
+  andi $v0, $s0, 65535
+  jr $ra
+.data
+jtab:
+  .word case0, case1, case2, case3
+)";
+
+int32_t SwitchReference() {
+  int32_t acc = 0;
+  int32_t state = 0;
+  for (int iter = 0; iter < 24; ++iter) {
+    switch (state & 3) {
+      case 0: acc += 3; break;
+      case 1: acc <<= 1; break;
+      case 2: acc -= 1; break;
+      case 3: acc ^= 21845; break;
+    }
+    ++state;
+  }
+  return acc & 65535;
+}
+
+const char* kStateAsm = R"(
+.text
+main:
+  move $s3, $ra    # jalr below clobbers $ra
+  li $s0, 1        # value
+  li $s1, 40       # iterations
+  li $s2, 0        # state scratch
+sloop:
+  andi $t0, $s0, 1
+  sll $t0, $t0, 2
+  la $t1, stab
+  addu $t1, $t1, $t0
+  lw $t2, 0($t1)
+  jalr $t2         # indirect call -> CDFG recovery fails here
+  addiu $s1, $s1, -1
+  bgtz $s1, sloop
+  move $v0, $s0
+  move $ra, $s3
+  jr $ra
+even:
+  sra $s0, $s0, 1
+  jr $ra
+odd:
+  sll $t3, $s0, 1
+  addu $s0, $t3, $s0
+  addiu $s0, $s0, 1
+  jr $ra
+.data
+stab:
+  .word even, odd
+)";
+
+int32_t StateReference() {
+  int32_t value = 1;
+  for (int iter = 0; iter < 40; ++iter) {
+    if (value & 1) {
+      value = value * 3 + 1;  // odd
+    } else {
+      value >>= 1;  // even
+    }
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// PowerStone-style benchmarks
+// ---------------------------------------------------------------------------
+
+const char* kCrcSource = R"(
+byte msg[256];
+
+int crc16() {
+  int crc = 0xFFFF;
+  int i;
+  int bit;
+  for (i = 0; i < 256; i = i + 1) {
+    crc = crc ^ msg[i];
+    for (bit = 0; bit < 8; bit = bit + 1) {
+      int lsb = crc & 1;
+      crc = (crc >> 1) & 32767;
+      if (lsb != 0) {
+        crc = crc ^ 0xA001;
+      }
+    }
+  }
+  return crc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    msg[i] = (i * 31 + 7) & 255;
+  }
+  return crc16();
+}
+)";
+
+int32_t CrcReference() {
+  uint32_t msg[256];
+  for (int i = 0; i < 256; ++i) msg[i] = (i * 31 + 7) & 255;
+  int32_t crc = 0xFFFF;
+  for (int i = 0; i < 256; ++i) {
+    crc ^= static_cast<int32_t>(msg[i]);
+    for (int bit = 0; bit < 8; ++bit) {
+      const int32_t lsb = crc & 1;
+      crc = (crc >> 1) & 32767;
+      if (lsb != 0) crc ^= 0xA001;
+    }
+  }
+  return crc;
+}
+
+const char* kBcntSource = R"(
+int data[256];
+
+int bcnt() {
+  int i;
+  int total = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    int b = data[i];
+    b = (b & 0x55555555) + ((b >> 1) & 0x55555555);
+    b = (b & 0x33333333) + ((b >> 2) & 0x33333333);
+    b = (b & 0x0F0F0F0F) + ((b >> 4) & 0x0F0F0F0F);
+    b = (b & 0x00FF00FF) + ((b >> 8) & 0x00FF00FF);
+    b = (b & 0x0000FFFF) + ((b >> 16) & 0x0000FFFF);
+    total = total + b;
+  }
+  return total;
+}
+
+int main() {
+  int i;
+  int seed = 12345;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = seed;
+  }
+  return bcnt();
+}
+)";
+
+int32_t BcntReference() {
+  int32_t data[256];
+  int32_t seed = 12345;
+  for (int i = 0; i < 256; ++i) {
+    seed = static_cast<int32_t>(
+        static_cast<uint32_t>(seed) * 1103515245u + 12345u);
+    data[i] = seed;
+  }
+  int32_t total = 0;
+  for (int i = 0; i < 256; ++i) {
+    int32_t b = data[i];
+    b = (b & 0x55555555) + ((b >> 1) & 0x55555555);
+    b = (b & 0x33333333) + ((b >> 2) & 0x33333333);
+    b = (b & 0x0F0F0F0F) + ((b >> 4) & 0x0F0F0F0F);
+    b = (b & 0x00FF00FF) + ((b >> 8) & 0x00FF00FF);
+    b = (b & 0x0000FFFF) + ((b >> 16) & 0x0000FFFF);
+    total += b;
+  }
+  return total;
+}
+
+const char* kBlitSource = R"(
+int src[130];
+int dst[128];
+
+int blit() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 128; i = i + 1) {
+    int hi = (src[i] << 5) & 0x7FFFFFFF;
+    int lo = (src[i + 1] >> 27) & 31;
+    dst[i] = hi | lo;
+    acc = acc + (dst[i] & 255);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 130; i = i + 1) {
+    src[i] = (i * 40503 + 3) & 0x7FFFFFFF;
+  }
+  return blit();
+}
+)";
+
+int32_t BlitReference() {
+  int32_t src[130];
+  for (int i = 0; i < 130; ++i) src[i] = (i * 40503 + 3) & 0x7FFFFFFF;
+  int32_t acc = 0;
+  for (int i = 0; i < 128; ++i) {
+    const int32_t hi =
+        static_cast<int32_t>(static_cast<uint32_t>(src[i]) << 5) & 0x7FFFFFFF;
+    const int32_t lo = (src[i + 1] >> 27) & 31;
+    acc += (hi | lo) & 255;
+  }
+  return acc;
+}
+
+const char* kFirSource = R"(
+int samples[288];
+int coeffs[32];
+int output[256];
+
+int fir() {
+  int i;
+  int j;
+  for (i = 0; i < 256; i = i + 1) {
+    int acc = 0;
+    for (j = 0; j < 32; j = j + 1) {
+      acc = acc + samples[i + j] * coeffs[j];
+    }
+    output[i] = acc >> 8;
+  }
+  int sum = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    sum = sum + (output[i] & 65535);
+  }
+  return sum;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 288; i = i + 1) {
+    samples[i] = ((i * 89 + 21) % 1024) - 512;
+  }
+  for (i = 0; i < 32; i = i + 1) {
+    coeffs[i] = ((i * 3) % 64) - 32;
+  }
+  return fir();
+}
+)";
+
+int32_t FirReference() {
+  int32_t samples[288];
+  int32_t coeffs[32];
+  int32_t output[256];
+  for (int i = 0; i < 288; ++i) samples[i] = ((i * 89 + 21) % 1024) - 512;
+  for (int i = 0; i < 32; ++i) coeffs[i] = ((i * 3) % 64) - 32;
+  for (int i = 0; i < 256; ++i) {
+    int32_t acc = 0;
+    for (int j = 0; j < 32; ++j) acc += samples[i + j] * coeffs[j];
+    output[i] = acc >> 8;
+  }
+  int32_t sum = 0;
+  for (int i = 0; i < 256; ++i) sum += output[i] & 65535;
+  return sum;
+}
+
+const char* kEngineSource = R"(
+int rpmtab[33];
+int loadpts[128];
+
+int engine() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 128; i = i + 1) {
+    int rpm = loadpts[i];
+    int idx = (rpm >> 8) & 31;
+    int frac = rpm & 255;
+    int base = rpmtab[idx];
+    int next = rpmtab[idx + 1];
+    int val = base + (((next - base) * frac) >> 8);
+    if (val > 4000) { val = 4000; }
+    if (val < 100) { val = 100; }
+    acc = acc + val;
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 33; i = i + 1) {
+    rpmtab[i] = 100 + i * 120;
+  }
+  for (i = 0; i < 128; i = i + 1) {
+    loadpts[i] = (i * 517 + 99) & 8191;
+  }
+  return engine();
+}
+)";
+
+int32_t EngineReference() {
+  int32_t rpmtab[33];
+  int32_t loadpts[128];
+  for (int i = 0; i < 33; ++i) rpmtab[i] = 100 + i * 120;
+  for (int i = 0; i < 128; ++i) loadpts[i] = (i * 517 + 99) & 8191;
+  int32_t acc = 0;
+  for (int i = 0; i < 128; ++i) {
+    const int32_t rpm = loadpts[i];
+    const int32_t idx = (rpm >> 8) & 31;
+    const int32_t frac = rpm & 255;
+    const int32_t base = rpmtab[idx];
+    const int32_t next = rpmtab[idx + 1];
+    int32_t val = base + (((next - base) * frac) >> 8);
+    if (val > 4000) val = 4000;
+    if (val < 100) val = 100;
+    acc += val;
+  }
+  return acc;
+}
+
+const char* kG3faxSource = R"(
+int scanline[64];
+int runs[2112];
+
+int g3fax() {
+  int w;
+  int nruns = 0;
+  int current = 0;
+  int runlen = 0;
+  for (w = 0; w < 64; w = w + 1) {
+    int word = scanline[w];
+    int bit = 0;
+    for (bit = 0; bit < 32; bit = bit + 1) {
+      int b = (word >> (31 - bit)) & 1;
+      if (b == current) {
+        runlen = runlen + 1;
+      } else {
+        runs[nruns] = runlen;
+        nruns = nruns + 1;
+        current = b;
+        runlen = 1;
+      }
+    }
+  }
+  runs[nruns] = runlen;
+  nruns = nruns + 1;
+  int i;
+  int acc = 0;
+  for (i = 0; i < nruns; i = i + 1) {
+    acc = acc + runs[i] * (i & 7);
+  }
+  return acc + nruns;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    scanline[i] = (i * 2654435761) ^ (i << 13);
+  }
+  return g3fax();
+}
+)";
+
+int32_t G3faxReference() {
+  int32_t scanline[64];
+  for (int i = 0; i < 64; ++i) {
+    scanline[i] = static_cast<int32_t>(i * 2654435761u) ^
+                  static_cast<int32_t>(static_cast<uint32_t>(i) << 13);
+  }
+  int32_t runs[2112];
+  int32_t nruns = 0;
+  int32_t current = 0;
+  int32_t runlen = 0;
+  for (int w = 0; w < 64; ++w) {
+    const int32_t word = scanline[w];
+    for (int bit = 0; bit < 32; ++bit) {
+      const int32_t b = (word >> (31 - bit)) & 1;
+      if (b == current) {
+        ++runlen;
+      } else {
+        runs[nruns++] = runlen;
+        current = b;
+        runlen = 1;
+      }
+    }
+  }
+  runs[nruns++] = runlen;
+  int32_t acc = 0;
+  for (int i = 0; i < nruns; ++i) acc += runs[i] * (i & 7);
+  return acc + nruns;
+}
+
+// ---------------------------------------------------------------------------
+// MediaBench-style benchmarks
+// ---------------------------------------------------------------------------
+
+const char* kAdpcmEncSource = R"(
+int pcm[128];
+int code_out[128];
+int steps[16] = {7, 9, 11, 13, 16, 19, 23, 28, 34, 41, 50, 60, 73, 88, 107, 130};
+
+int adpcm_enc() {
+  int predicted = 0;
+  int index = 0;
+  int i;
+  int acc = 0;
+  for (i = 0; i < 128; i = i + 1) {
+    int step = steps[index];
+    int diff = pcm[i] - predicted;
+    int code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = 0 - diff;
+    }
+    if (diff >= step) {
+      code = code | 4;
+      diff = diff - step;
+    }
+    if (diff >= (step >> 1)) {
+      code = code | 2;
+      diff = diff - (step >> 1);
+    }
+    if (diff >= (step >> 2)) {
+      code = code | 1;
+    }
+    int delta = (step >> 3) + ((code & 1) * (step >> 2))
+              + (((code >> 1) & 1) * (step >> 1)) + (((code >> 2) & 1) * step);
+    if ((code & 8) != 0) {
+      predicted = predicted - delta;
+    } else {
+      predicted = predicted + delta;
+    }
+    if (predicted > 32767) { predicted = 32767; }
+    if (predicted < -32768) { predicted = -32768; }
+    index = index + ((code & 7) - 2);
+    if (index < 0) { index = 0; }
+    if (index > 15) { index = 15; }
+    code_out[i] = code;
+    acc = acc + code;
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) {
+    pcm[i] = ((i * 211 + 17) % 4096) - 2048;
+  }
+  return adpcm_enc();
+}
+)";
+
+int32_t AdpcmEncReference() {
+  static const int32_t steps[16] = {7, 9, 11, 13, 16, 19, 23, 28,
+                                    34, 41, 50, 60, 73, 88, 107, 130};
+  int32_t pcm[128];
+  for (int i = 0; i < 128; ++i) pcm[i] = ((i * 211 + 17) % 4096) - 2048;
+  int32_t predicted = 0;
+  int32_t index = 0;
+  int32_t acc = 0;
+  for (int i = 0; i < 128; ++i) {
+    const int32_t step = steps[index];
+    int32_t diff = pcm[i] - predicted;
+    int32_t code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    if (diff >= step) {
+      code |= 4;
+      diff -= step;
+    }
+    if (diff >= (step >> 1)) {
+      code |= 2;
+      diff -= step >> 1;
+    }
+    if (diff >= (step >> 2)) code |= 1;
+    const int32_t delta = (step >> 3) + ((code & 1) * (step >> 2)) +
+                          (((code >> 1) & 1) * (step >> 1)) +
+                          (((code >> 2) & 1) * step);
+    if ((code & 8) != 0) {
+      predicted -= delta;
+    } else {
+      predicted += delta;
+    }
+    if (predicted > 32767) predicted = 32767;
+    if (predicted < -32768) predicted = -32768;
+    index += (code & 7) - 2;
+    if (index < 0) index = 0;
+    if (index > 15) index = 15;
+    acc += code;
+  }
+  return acc;
+}
+
+const char* kAdpcmDecSource = R"(
+int codes[128];
+int pcm_out[128];
+int steps[16] = {7, 9, 11, 13, 16, 19, 23, 28, 34, 41, 50, 60, 73, 88, 107, 130};
+
+int adpcm_dec() {
+  int predicted = 0;
+  int index = 0;
+  int i;
+  int acc = 0;
+  for (i = 0; i < 128; i = i + 1) {
+    int code = codes[i] & 15;
+    int step = steps[index];
+    int delta = (step >> 3) + ((code & 1) * (step >> 2))
+              + (((code >> 1) & 1) * (step >> 1)) + (((code >> 2) & 1) * step);
+    if ((code & 8) != 0) {
+      predicted = predicted - delta;
+    } else {
+      predicted = predicted + delta;
+    }
+    if (predicted > 32767) { predicted = 32767; }
+    if (predicted < -32768) { predicted = -32768; }
+    index = index + ((code & 7) - 2);
+    if (index < 0) { index = 0; }
+    if (index > 15) { index = 15; }
+    pcm_out[i] = predicted;
+    acc = acc + (predicted & 1023);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) {
+    codes[i] = (i * 5 + 3) & 15;
+  }
+  return adpcm_dec();
+}
+)";
+
+int32_t AdpcmDecReference() {
+  static const int32_t steps[16] = {7, 9, 11, 13, 16, 19, 23, 28,
+                                    34, 41, 50, 60, 73, 88, 107, 130};
+  int32_t predicted = 0;
+  int32_t index = 0;
+  int32_t acc = 0;
+  for (int i = 0; i < 128; ++i) {
+    const int32_t code = (i * 5 + 3) & 15;
+    const int32_t step = steps[index];
+    const int32_t delta = (step >> 3) + ((code & 1) * (step >> 2)) +
+                          (((code >> 1) & 1) * (step >> 1)) +
+                          (((code >> 2) & 1) * step);
+    if ((code & 8) != 0) {
+      predicted -= delta;
+    } else {
+      predicted += delta;
+    }
+    if (predicted > 32767) predicted = 32767;
+    if (predicted < -32768) predicted = -32768;
+    index += (code & 7) - 2;
+    if (index < 0) index = 0;
+    if (index > 15) index = 15;
+    acc += predicted & 1023;
+  }
+  return acc;
+}
+
+const char* kG721Source = R"(
+int samples[192];
+
+int quan(int val) {
+  int mag = val;
+  if (mag < 0) { mag = 0 - mag; }
+  int exp = 0;
+  while (mag > 1) {
+    mag = mag >> 1;
+    exp = exp + 1;
+  }
+  return exp;
+}
+
+int g721() {
+  int i;
+  int acc = 0;
+  int prev = 0;
+  for (i = 0; i < 192; i = i + 1) {
+    int d = samples[i] - prev;
+    int exp = quan(d);
+    int mant = 0;
+    if (d < 0) {
+      mant = ((0 - d) >> 1) & 31;
+    } else {
+      mant = (d >> 1) & 31;
+    }
+    int word = (exp << 5) | mant;
+    acc = acc + (word & 255);
+    prev = samples[i] - (samples[i] >> 3);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 192; i = i + 1) {
+    samples[i] = ((i * 313 + 23) % 8192) - 4096;
+  }
+  return g721();
+}
+)";
+
+int32_t G721Reference() {
+  int32_t samples[192];
+  for (int i = 0; i < 192; ++i) samples[i] = ((i * 313 + 23) % 8192) - 4096;
+  const auto quan = [](int32_t val) {
+    int32_t mag = val < 0 ? -val : val;
+    int32_t exp = 0;
+    while (mag > 1) {
+      mag >>= 1;
+      ++exp;
+    }
+    return exp;
+  };
+  int32_t acc = 0;
+  int32_t prev = 0;
+  for (int i = 0; i < 192; ++i) {
+    const int32_t d = samples[i] - prev;
+    const int32_t exp = quan(d);
+    const int32_t mant = d < 0 ? ((-d) >> 1) & 31 : (d >> 1) & 31;
+    acc += ((exp << 5) | mant) & 255;
+    prev = samples[i] - (samples[i] >> 3);
+  }
+  return acc;
+}
+
+const char* kJpegDctSource = R"(
+int block[64];
+
+int jpeg_dct() {
+  int row;
+  for (row = 0; row < 8; row = row + 1) {
+    int b = row * 8;
+    int t0 = block[b + 0] + block[b + 7];
+    int t7 = block[b + 0] - block[b + 7];
+    int t1 = block[b + 1] + block[b + 6];
+    int t6 = block[b + 1] - block[b + 6];
+    int t2 = block[b + 2] + block[b + 5];
+    int t5 = block[b + 2] - block[b + 5];
+    int t3 = block[b + 3] + block[b + 4];
+    int t4 = block[b + 3] - block[b + 4];
+    int u0 = t0 + t3;
+    int u3 = t0 - t3;
+    int u1 = t1 + t2;
+    int u2 = t1 - t2;
+    block[b + 0] = u0 + u1;
+    block[b + 4] = u0 - u1;
+    block[b + 2] = (u2 * 181 + u3 * 181) >> 8;
+    block[b + 6] = (u3 * 181 - u2 * 181) >> 8;
+    block[b + 1] = (t4 * 98 + t7 * 251) >> 8;
+    block[b + 7] = (t7 * 98 - t4 * 251) >> 8;
+    block[b + 3] = (t5 * 213 + t6 * 142) >> 8;
+    block[b + 5] = (t6 * 213 - t5 * 142) >> 8;
+  }
+  int i;
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    acc = acc + (block[i] & 2047);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    block[i] = ((i * 71 + 9) % 256) - 128;
+  }
+  return jpeg_dct();
+}
+)";
+
+int32_t JpegDctReference() {
+  int32_t block[64];
+  for (int i = 0; i < 64; ++i) block[i] = ((i * 71 + 9) % 256) - 128;
+  for (int row = 0; row < 8; ++row) {
+    const int b = row * 8;
+    const int32_t t0 = block[b + 0] + block[b + 7];
+    const int32_t t7 = block[b + 0] - block[b + 7];
+    const int32_t t1 = block[b + 1] + block[b + 6];
+    const int32_t t6 = block[b + 1] - block[b + 6];
+    const int32_t t2 = block[b + 2] + block[b + 5];
+    const int32_t t5 = block[b + 2] - block[b + 5];
+    const int32_t t3 = block[b + 3] + block[b + 4];
+    const int32_t t4 = block[b + 3] - block[b + 4];
+    const int32_t u0 = t0 + t3;
+    const int32_t u3 = t0 - t3;
+    const int32_t u1 = t1 + t2;
+    const int32_t u2 = t1 - t2;
+    block[b + 0] = u0 + u1;
+    block[b + 4] = u0 - u1;
+    block[b + 2] = (u2 * 181 + u3 * 181) >> 8;
+    block[b + 6] = (u3 * 181 - u2 * 181) >> 8;
+    block[b + 1] = (t4 * 98 + t7 * 251) >> 8;
+    block[b + 7] = (t7 * 98 - t4 * 251) >> 8;
+    block[b + 3] = (t5 * 213 + t6 * 142) >> 8;
+    block[b + 5] = (t6 * 213 - t5 * 142) >> 8;
+  }
+  int32_t acc = 0;
+  for (int i = 0; i < 64; ++i) acc += block[i] & 2047;
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Local benchmarks
+// ---------------------------------------------------------------------------
+
+const char* kBrevSource = R"(
+int data[256];
+int out[256];
+
+int brev() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    int v = data[i];
+    v = ((v >> 1) & 0x55555555) | ((v & 0x55555555) << 1);
+    v = ((v >> 2) & 0x33333333) | ((v & 0x33333333) << 2);
+    v = ((v >> 4) & 0x0F0F0F0F) | ((v & 0x0F0F0F0F) << 4);
+    v = ((v >> 8) & 0x00FF00FF) | ((v & 0x00FF00FF) << 8);
+    v = ((v >> 16) & 0x0000FFFF) | (v << 16);
+    out[i] = v;
+    acc = acc + (v & 65535);
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  int seed = 99;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = seed * 69069 + 1;
+    data[i] = seed;
+  }
+  return brev();
+}
+)";
+
+int32_t BrevReference() {
+  int32_t data[256];
+  int32_t seed = 99;
+  for (int i = 0; i < 256; ++i) {
+    seed = static_cast<int32_t>(static_cast<uint32_t>(seed) * 69069u + 1u);
+    data[i] = seed;
+  }
+  int32_t acc = 0;
+  for (int i = 0; i < 256; ++i) {
+    int32_t v = data[i];
+    v = ((v >> 1) & 0x55555555) | ((v & 0x55555555) << 1);
+    v = ((v >> 2) & 0x33333333) | ((v & 0x33333333) << 2);
+    v = ((v >> 4) & 0x0F0F0F0F) | ((v & 0x0F0F0F0F) << 4);
+    v = ((v >> 8) & 0x00FF00FF) | ((v & 0x00FF00FF) << 8);
+    v = static_cast<int32_t>(((v >> 16) & 0x0000FFFF) |
+                             (static_cast<uint32_t>(v) << 16));
+    acc += v & 65535;
+  }
+  return acc;
+}
+
+const char* kMatmulSource = R"(
+int ma[144];
+int mb[144];
+int mc[144];
+
+int matmul() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 12; i = i + 1) {
+    for (j = 0; j < 12; j = j + 1) {
+      int acc = 0;
+      for (k = 0; k < 12; k = k + 1) {
+        acc = acc + ma[i * 12 + k] * mb[k * 12 + j];
+      }
+      mc[i * 12 + j] = acc;
+    }
+  }
+  int sum = 0;
+  for (i = 0; i < 144; i = i + 1) {
+    sum = sum + (mc[i] & 8191);
+  }
+  return sum;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 144; i = i + 1) {
+    ma[i] = (i * 17 + 3) % 97;
+    mb[i] = (i * 23 + 5) % 89;
+  }
+  return matmul();
+}
+)";
+
+int32_t MatmulReference() {
+  int32_t ma[144];
+  int32_t mb[144];
+  int32_t mc[144];
+  for (int i = 0; i < 144; ++i) {
+    ma[i] = (i * 17 + 3) % 97;
+    mb[i] = (i * 23 + 5) % 89;
+  }
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      int32_t acc = 0;
+      for (int k = 0; k < 12; ++k) acc += ma[i * 12 + k] * mb[k * 12 + j];
+      mc[i * 12 + j] = acc;
+    }
+  }
+  int32_t sum = 0;
+  for (int i = 0; i < 144; ++i) sum += mc[i] & 8191;
+  return sum;
+}
+
+const char* kChecksumSource = R"(
+byte buffer[512];
+
+int checksum() {
+  int a = 1;
+  int b = 0;
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    a = (a + buffer[i]) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    buffer[i] = (i * 101 + 41) & 255;
+  }
+  return checksum();
+}
+)";
+
+int32_t ChecksumReference() {
+  int32_t a = 1;
+  int32_t b = 0;
+  for (int i = 0; i < 512; ++i) {
+    const int32_t byte = (i * 101 + 41) & 255;
+    a = (a + byte) % 65521;
+    b = (b + a) % 65521;
+  }
+  return static_cast<int32_t>((static_cast<uint32_t>(b) << 16) |
+                              static_cast<uint32_t>(a));
+}
+
+std::vector<Benchmark> BuildSuite() {
+  std::vector<Benchmark> suite;
+  const auto add = [&](std::string name, std::string origin,
+                       std::string description, const char* source,
+                       std::function<int32_t()> reference) {
+    Benchmark bench;
+    bench.name = std::move(name);
+    bench.origin = std::move(origin);
+    bench.description = std::move(description);
+    bench.source = source;
+    bench.reference = std::move(reference);
+    suite.push_back(std::move(bench));
+  };
+  const auto add_asm = [&](std::string name, std::string origin,
+                           std::string description, const char* assembly,
+                           std::function<int32_t()> reference) {
+    Benchmark bench;
+    bench.name = std::move(name);
+    bench.origin = std::move(origin);
+    bench.description = std::move(description);
+    bench.assembly = assembly;
+    bench.expect_cdfg_failure = true;
+    bench.reference = std::move(reference);
+    suite.push_back(std::move(bench));
+  };
+
+  add("autcor00", "EEMBC", "fixed-point autocorrelation (telecom)",
+      kAutcorSource, AutcorReference);
+  add("conven00", "EEMBC", "convolutional encoder (telecom)",
+      kConvenSource, ConvenReference);
+  add("rgbcmy01", "EEMBC", "RGB to CMYK conversion (consumer)",
+      kRgbcmySource, RgbcmyReference);
+  add("idct01", "EEMBC", "row iDCT butterfly pass (consumer)",
+      kIdctSource, IdctReference);
+  add("bitmnp01", "EEMBC", "bit manipulation (automotive)",
+      kBitmnpSource, BitmnpReference);
+  add_asm("switch01", "EEMBC", "state dispatch via jr jump table",
+          kSwitchAsm, SwitchReference);
+  add_asm("state02", "EEMBC", "collatz-style dispatch via jalr table",
+          kStateAsm, StateReference);
+  add("crc", "PowerStone", "bitwise CRC-16 over a message buffer",
+      kCrcSource, CrcReference);
+  add("bcnt", "PowerStone", "population count with mask-add tree",
+      kBcntSource, BcntReference);
+  add("blit", "PowerStone", "shifted bitmap block transfer",
+      kBlitSource, BlitReference);
+  add("fir", "PowerStone", "32-tap integer FIR filter",
+      kFirSource, FirReference);
+  add("engine", "PowerStone", "engine map interpolation with clamping",
+      kEngineSource, EngineReference);
+  add("g3fax", "PowerStone", "group-3 fax run-length extraction",
+      kG3faxSource, G3faxReference);
+  add("adpcm_enc", "MediaBench", "IMA ADPCM encoder",
+      kAdpcmEncSource, AdpcmEncReference);
+  add("adpcm_dec", "MediaBench", "IMA ADPCM decoder",
+      kAdpcmDecSource, AdpcmDecReference);
+  add("g721_quan", "MediaBench", "G.721 logarithmic quantizer",
+      kG721Source, G721Reference);
+  add("jpeg_dct", "MediaBench", "row DCT butterfly pass",
+      kJpegDctSource, JpegDctReference);
+  add("brev", "local", "32-bit bit reversal (warp-processing showcase)",
+      kBrevSource, BrevReference);
+  add("matmul", "local", "12x12 integer matrix multiply",
+      kMatmulSource, MatmulReference);
+  add("checksum", "local", "Adler-style checksum with modulo",
+      kChecksumSource, ChecksumReference);
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& AllBenchmarks() {
+  static const std::vector<Benchmark> suite = BuildSuite();
+  return suite;
+}
+
+std::vector<const Benchmark*> WorkingBenchmarks() {
+  std::vector<const Benchmark*> out;
+  for (const Benchmark& bench : AllBenchmarks()) {
+    if (!bench.expect_cdfg_failure) out.push_back(&bench);
+  }
+  return out;
+}
+
+const Benchmark* FindBenchmark(const std::string& name) {
+  for (const Benchmark& bench : AllBenchmarks()) {
+    if (bench.name == name) return &bench;
+  }
+  return nullptr;
+}
+
+}  // namespace b2h::suite

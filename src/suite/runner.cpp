@@ -1,0 +1,18 @@
+#include "suite/runner.hpp"
+
+#include "mips/assembler.hpp"
+
+namespace b2h::suite {
+
+Result<mips::SoftBinary> BuildBinary(const Benchmark& bench, int opt_level) {
+  if (!bench.assembly.empty()) {
+    return mips::Assemble(bench.assembly);
+  }
+  minicc::CompileOptions options;
+  options.opt_level = opt_level;
+  auto compiled = minicc::Compile(bench.source, options);
+  if (!compiled.ok()) return compiled.status();
+  return std::move(compiled).take().binary;
+}
+
+}  // namespace b2h::suite

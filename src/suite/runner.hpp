@@ -1,0 +1,17 @@
+// Helpers to build benchmark binaries (compile MiniC at a given -O level,
+// or assemble the jump-table examples).
+#pragma once
+
+#include "minicc/codegen.hpp"
+#include "mips/binary.hpp"
+#include "suite/suite.hpp"
+#include "support/error.hpp"
+
+namespace b2h::suite {
+
+/// Build the benchmark's software binary at the given optimization level
+/// (assembly benchmarks ignore the level — they model pre-built binaries).
+[[nodiscard]] Result<mips::SoftBinary> BuildBinary(const Benchmark& bench,
+                                                   int opt_level = 1);
+
+}  // namespace b2h::suite

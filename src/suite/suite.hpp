@@ -1,0 +1,46 @@
+// The benchmark suite (paper §4):
+//
+//   "We applied our decompilation-based partitioning approach to twenty
+//    examples from EEMBC, PowerStone, MediaBench, and our own benchmark
+//    suite.  All examples were compiled using gcc with -O1 optimizations."
+//
+// The original suites are commercial/licensed; each benchmark here is a
+// self-contained MiniC kernel modeled on the published description of the
+// corresponding suite program (autocorrelation, convolutional encoder, CRC,
+// G3 fax run length, ADPCM, DCT, bit reversal, ...).  Two EEMBC-style
+// programs use `jr`-based jump tables and reproduce the paper's two CDFG
+// recovery failures.
+//
+// Every MiniC benchmark also carries a native C++ reference implementation
+// used as an independent oracle: compiler, MIPS simulator, decompiler, IR
+// interpreter, and RTL simulator must all reproduce its result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace b2h::suite {
+
+struct Benchmark {
+  std::string name;
+  std::string origin;       ///< "EEMBC", "PowerStone", "MediaBench", "local"
+  std::string description;
+  std::string source;       ///< MiniC source (empty for assembly benchmarks)
+  std::string assembly;     ///< raw MIPS assembly (jump-table examples)
+  bool expect_cdfg_failure = false;
+  /// Native oracle computing the expected return value.
+  std::function<std::int32_t()> reference;
+};
+
+/// All twenty benchmarks, in reporting order.
+[[nodiscard]] const std::vector<Benchmark>& AllBenchmarks();
+
+/// The benchmarks expected to decompile successfully (eighteen).
+[[nodiscard]] std::vector<const Benchmark*> WorkingBenchmarks();
+
+/// Lookup by name (nullptr if absent).
+[[nodiscard]] const Benchmark* FindBenchmark(const std::string& name);
+
+}  // namespace b2h::suite

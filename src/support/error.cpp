@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+namespace b2h {
+
+const char* ToString(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kNone: return "ok";
+    case ErrorKind::kIndirectJump: return "indirect-jump";
+    case ErrorKind::kMalformedBinary: return "malformed-binary";
+    case ErrorKind::kUnsupported: return "unsupported";
+    case ErrorKind::kResource: return "resource";
+    case ErrorKind::kParse: return "parse";
+  }
+  return "unknown";
+}
+
+}  // namespace b2h

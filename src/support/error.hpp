@@ -1,0 +1,100 @@
+// Error handling primitives shared across all b2h libraries.
+//
+// The decompiler must be able to *fail gracefully* on binaries it cannot
+// analyze (the paper reports two EEMBC benchmarks whose CDFG recovery fails
+// because of indirect jumps).  Analysis entry points therefore report
+// recoverable failures through Status/Result rather than exceptions;
+// exceptions are reserved for programming errors (violated preconditions).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace b2h {
+
+/// Thrown for violated invariants / programming errors, never for
+/// data-dependent analysis failures.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Category of a recoverable analysis failure.
+enum class ErrorKind {
+  kNone,
+  kIndirectJump,     ///< CDFG recovery hit an unresolvable indirect jump.
+  kMalformedBinary,  ///< Undecodable instruction / out-of-range target.
+  kUnsupported,      ///< Construct outside the synthesizable subset.
+  kResource,         ///< Area or resource constraint impossible to satisfy.
+  kParse,            ///< MiniC front-end diagnostics.
+};
+
+[[nodiscard]] const char* ToString(ErrorKind kind) noexcept;
+
+/// Success-or-error result for analysis pipelines.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorKind kind, std::string message)
+      : kind_(kind), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Error(ErrorKind kind, std::string message) {
+    return Status(kind, std::move(message));
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return kind_ == ErrorKind::kNone; }
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  explicit operator bool() const noexcept { return ok(); }
+
+ private:
+  ErrorKind kind_ = ErrorKind::kNone;
+  std::string message_;
+};
+
+/// Value-or-error. Minimal expected<> substitute (C++20 toolchain).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      throw InternalError("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    Require(ok(), "Result::value() on error result");
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    Require(ok(), "Result::value() on error result");
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    Require(ok(), "Result::take() on error result");
+    return std::move(*value_);
+  }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  static void Require(bool cond, const char* what) {
+    if (!cond) throw InternalError(what);
+  }
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+/// Precondition check used throughout: throws InternalError on failure.
+inline void Check(bool condition, const char* message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace b2h

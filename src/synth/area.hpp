@@ -1,0 +1,46 @@
+// Datapath binding and area estimation (the "Xilinx ISE netlist report").
+//
+// Functional units are shared across control steps: the allocator keeps
+// max-concurrent instances per FU class, the register file is sized by
+// left-edge allocation over value lifetimes, and sharing muxes are priced
+// by the number of operations mapped onto each instance.  The result is the
+// equivalent-gate figure the paper reports (average 26,261 gates across the
+// benchmark suite).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/schedule.hpp"
+
+namespace b2h::synth {
+
+struct FuInstance {
+  FuClass cls = FuClass::kNone;
+  unsigned width = 0;
+  unsigned ops_mapped = 0;   ///< operations sharing this instance
+  double gates = 0.0;
+};
+
+struct AreaReport {
+  std::vector<FuInstance> units;
+  unsigned registers = 0;       ///< datapath registers after left-edge
+  unsigned register_bits = 0;
+  unsigned fsm_states = 0;
+  unsigned mult_blocks = 0;     ///< MULT18x18 count
+  double fu_gates = 0.0;
+  double register_gates = 0.0;
+  double mux_gates = 0.0;
+  double fsm_gates = 0.0;
+  double total_gates = 0.0;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Bind the scheduled region and estimate area.
+[[nodiscard]] AreaReport EstimateArea(const HwRegion& region,
+                                      const RegionSchedule& schedule,
+                                      const ResourceLibrary& lib);
+
+}  // namespace b2h::synth

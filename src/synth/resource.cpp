@@ -1,0 +1,109 @@
+#include "synth/resource.hpp"
+
+#include <algorithm>
+
+namespace b2h::synth {
+
+const char* ToString(FuClass cls) noexcept {
+  switch (cls) {
+    case FuClass::kAddSub: return "add/sub";
+    case FuClass::kMul: return "mult";
+    case FuClass::kDiv: return "div";
+    case FuClass::kLogic: return "logic";
+    case FuClass::kShift: return "shift";
+    case FuClass::kCompare: return "cmp";
+    case FuClass::kMemPort: return "mem";
+    case FuClass::kNone: return "wire";
+  }
+  return "?";
+}
+
+FuClass ClassifyOp(const ir::Instr& instr) noexcept {
+  using ir::Opcode;
+  switch (instr.op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      return FuClass::kAddSub;
+    case Opcode::kMul:
+    case Opcode::kMulHiS:
+    case Opcode::kMulHiU:
+      return FuClass::kMul;
+    case Opcode::kDivS: case Opcode::kDivU:
+    case Opcode::kRemS: case Opcode::kRemU:
+      return FuClass::kDiv;
+    case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
+    case Opcode::kNor:
+      return FuClass::kLogic;
+    case Opcode::kShl: case Opcode::kShrL: case Opcode::kShrA:
+      // Constant shifts are wiring; variable shifts need a barrel shifter.
+      return instr.operands.size() == 2 && instr.operands[1].is_const()
+                 ? FuClass::kNone
+                 : FuClass::kShift;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return FuClass::kMemPort;
+    case Opcode::kSelect:
+      return FuClass::kLogic;
+    default:
+      if (ir::IsComparison(instr.op)) return FuClass::kCompare;
+      return FuClass::kNone;  // const/input/phi/ext/branches
+  }
+}
+
+double ResourceLibrary::FuLuts(FuClass cls, unsigned width) const {
+  const double w = std::max(1u, width);
+  switch (cls) {
+    case FuClass::kAddSub: return w;                // carry chain
+    case FuClass::kMul: return 0.0;                 // hard block
+    case FuClass::kDiv: return 5.0 * w;             // iterative divider
+    case FuClass::kLogic: return 0.5 * w;
+    case FuClass::kShift: return 2.5 * w;           // barrel shifter
+    case FuClass::kCompare: return 0.75 * w;
+    case FuClass::kMemPort: return 8.0;             // port control
+    case FuClass::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+double ResourceLibrary::FuGates(FuClass cls, unsigned width) const {
+  if (cls == FuClass::kMul) {
+    // 18x18 hard blocks; wider multiplies tile multiple blocks.
+    const unsigned blocks = width <= 18 ? 1 : 4;
+    return blocks * gates_per_mult18;
+  }
+  return FuLuts(cls, width) * gates_per_lut;
+}
+
+double ResourceLibrary::OpDelayNs(const ir::Instr& instr) const {
+  using ir::Opcode;
+  const unsigned width = std::max<unsigned>(1, instr.width);
+  switch (ClassifyOp(instr)) {
+    case FuClass::kAddSub: return add_base_ns + add_per_bit_ns * width;
+    case FuClass::kMul: return mul_ns;
+    case FuClass::kDiv: return 0.0;  // multi-cycle, registered
+    case FuClass::kLogic: return logic_ns;
+    case FuClass::kShift: return shift_var_ns;
+    case FuClass::kCompare: {
+      // Comparators see their operand width, not the 1-bit result.
+      unsigned w = 1;
+      for (const ir::Value& operand : instr.operands) {
+        if (operand.is_instr()) w = std::max<unsigned>(w, operand.def->width);
+      }
+      return cmp_base_ns + cmp_per_bit_ns * w;
+    }
+    case FuClass::kMemPort: return bram_access_ns;
+    case FuClass::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+unsigned ResourceLibrary::OpLatencyCycles(const ir::Instr& instr) const {
+  switch (ClassifyOp(instr)) {
+    case FuClass::kDiv: return div_latency_cycles;
+    case FuClass::kMemPort:
+      return instr.op == ir::Opcode::kLoad ? load_latency_cycles : 0;
+    default: return 0;
+  }
+}
+
+}  // namespace b2h::synth

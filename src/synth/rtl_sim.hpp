@@ -1,0 +1,61 @@
+// Executable RTL model of the synthesized FSM+datapath.
+//
+// The paper's flow hands RT-level VHDL to Xilinx ISE; ours additionally
+// emits an executable model so the synthesized design can be *run* against
+// the decompiled CDFG and the original binary (three-way co-simulation,
+// DESIGN.md §5).  The simulator executes ops strictly in (step, chain
+// position) order and refuses to read values the schedule has not produced
+// yet, so scheduler bugs surface as simulation failures rather than as
+// silently-correct software semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "synth/schedule.hpp"
+
+namespace b2h::synth {
+
+struct RtlOptions {
+  std::uint32_t data_base = 0x1000'0000u;
+  std::uint32_t stack_top = 0x7FFF'F000u;
+  std::uint32_t stack_size = 1u << 16;
+  std::uint32_t data_size = 1u << 20;
+  std::uint64_t max_cycles = 500'000'000;
+};
+
+struct RtlResult {
+  bool ok = false;
+  std::string error;
+  std::int32_t return_value = 0;       ///< function regions: kRet value
+  std::uint64_t fsm_cycles = 0;        ///< sequential FSM cycle count
+  std::map<const ir::Instr*, std::int32_t> live_out_values;
+};
+
+class RtlSimulator {
+ public:
+  RtlSimulator(const HwRegion& region, const RegionSchedule& schedule,
+               std::span<const std::uint8_t> initial_data,
+               RtlOptions options = {});
+
+  /// `live_in_values`: value for every live-in instruction (input ports);
+  /// `inputs` additionally provides kInput registers for function regions
+  /// (index = machine register number).
+  [[nodiscard]] RtlResult Run(
+      const std::map<const ir::Instr*, std::int32_t>& live_in_values = {},
+      const std::map<unsigned, std::int32_t>& inputs = {});
+
+  [[nodiscard]] std::uint32_t PeekWord(std::uint32_t addr) const;
+
+ private:
+  const HwRegion& region_;
+  const RegionSchedule& schedule_;
+  RtlOptions options_;
+  std::vector<std::uint8_t> data_mem_;
+  std::vector<std::uint8_t> stack_mem_;
+};
+
+}  // namespace b2h::synth

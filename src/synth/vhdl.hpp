@@ -1,0 +1,22 @@
+// RT-level VHDL emission (paper §3: "The output of the tool is register
+// transfer-level VHDL").
+//
+// One entity per hardware region: start/done handshake, one input port per
+// live-in value, one output port per live-out value, and a dual-port memory
+// interface to the FPGA-local BRAM.  The architecture is an FSMD: a state
+// per (block, control step) pair, datapath operations emitted as variable
+// assignments inside the clocked process so chained operators share a step
+// exactly as scheduled.
+#pragma once
+
+#include <string>
+
+#include "synth/schedule.hpp"
+
+namespace b2h::synth {
+
+/// Emit VHDL for a scheduled region.
+[[nodiscard]] std::string EmitVhdl(const HwRegion& region,
+                                   const RegionSchedule& schedule);
+
+}  // namespace b2h::synth

@@ -1,0 +1,206 @@
+// Alias / memory-region analysis and control-structure recovery tests.
+#include "decomp/alias.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomp/lifter.hpp"
+#include "decomp/passes.hpp"
+#include "decomp/structure.hpp"
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+#include "mips/assembler.hpp"
+
+namespace b2h::decomp {
+namespace {
+
+struct Lifted {
+  mips::SoftBinary binary;
+  ir::Module module;
+};
+
+Lifted LiftAsm(const std::string& source) {
+  auto binary = mips::Assemble(source);
+  EXPECT_TRUE(binary.ok()) << binary.status().message();
+  auto module = Lift(binary.value());
+  EXPECT_TRUE(module.ok()) << module.status().message();
+  return {std::move(binary).take(), std::move(module).take()};
+}
+
+TEST(Alias, SeparatesDistinctArrays) {
+  auto lifted = LiftAsm(R"(
+    main:
+      la $t0, arr_a
+      la $t1, arr_b
+      lw $t2, 0($t0)
+      sw $t2, 4($t1)
+      lw $v0, 8($t0)
+      jr $ra
+    .data
+    arr_a: .word 1, 2, 3, 4
+    arr_b: .word 0, 0, 0, 0
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  AliasAnalysis alias(main, &lifted.binary.symbols);
+
+  std::vector<const ir::Instr*> mems;
+  for (const auto& block : main.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == ir::Opcode::kLoad ||
+          instr->op == ir::Opcode::kStore) {
+        mems.push_back(instr);
+      }
+    }
+  }
+  ASSERT_EQ(mems.size(), 3u);
+  // load arr_a[0] and store arr_b[1] are in different regions.
+  EXPECT_NE(alias.RegionIdOf(mems[0]), alias.RegionIdOf(mems[1]));
+  EXPECT_FALSE(alias.MayAlias(mems[0], mems[1]));
+  // Both arr_a accesses resolve to the same symbol region.
+  EXPECT_EQ(alias.RegionIdOf(mems[0]), alias.RegionIdOf(mems[2]));
+  EXPECT_TRUE(alias.MayAlias(mems[0], mems[2]));
+  // Region carries the symbol name.
+  const int region = alias.RegionIdOf(mems[0]);
+  ASSERT_GE(region, 0);
+  EXPECT_EQ(alias.regions()[static_cast<std::size_t>(region)].name, "arr_a");
+}
+
+TEST(Alias, VariableIndexStaysInArrayRegion) {
+  auto lifted = LiftAsm(R"(
+    main:
+      la $t0, arr_a
+      sll $t1, $a0, 2
+      addu $t1, $t0, $t1
+      lw $v0, 0($t1)       # arr_a[a0]
+      la $t2, arr_b
+      lw $t3, 0($t2)       # arr_b[0]
+      addu $v0, $v0, $t3
+      jr $ra
+    .data
+    arr_a: .word 1, 2, 3, 4
+    arr_b: .word 9
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  AliasAnalysis alias(main, &lifted.binary.symbols);
+  std::vector<const ir::Instr*> loads;
+  for (const auto& block : main.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == ir::Opcode::kLoad) loads.push_back(instr);
+    }
+  }
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_FALSE(alias.MayAlias(loads[0], loads[1]));
+  const int region = alias.RegionIdOf(loads[0]);
+  ASSERT_GE(region, 0);
+  EXPECT_EQ(alias.regions()[static_cast<std::size_t>(region)].name, "arr_a");
+}
+
+TEST(Alias, StackAndGlobalsDisjoint) {
+  auto lifted = LiftAsm(R"(
+    main:
+      addiu $sp, $sp, -8
+      sw $a0, 0($sp)
+      la $t0, g
+      sw $a1, 0($t0)
+      lw $v0, 0($sp)
+      addiu $sp, $sp, 8
+      jr $ra
+    .data
+    g: .word 0
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  AliasAnalysis alias(main, &lifted.binary.symbols);
+  std::vector<const ir::Instr*> mems;
+  for (const auto& block : main.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == ir::Opcode::kLoad ||
+          instr->op == ir::Opcode::kStore) {
+        mems.push_back(instr);
+      }
+    }
+  }
+  ASSERT_EQ(mems.size(), 3u);
+  EXPECT_FALSE(alias.MayAlias(mems[0], mems[1]));  // stack vs global
+  EXPECT_TRUE(alias.MayAlias(mems[0], mems[2]));   // both stack
+}
+
+TEST(Alias, RegionsInLoop) {
+  auto lifted = LiftAsm(R"(
+    main:
+      la $s0, arr_a
+      la $s1, arr_b
+      li $t0, 0
+    loop:
+      sll $t1, $t0, 2
+      addu $t2, $s0, $t1
+      lw $t3, 0($t2)
+      addu $t2, $s1, $t1
+      sw $t3, 0($t2)
+      addiu $t0, $t0, 1
+      slti $t9, $t0, 4
+      bne $t9, $zero, loop
+      move $v0, $zero
+      jr $ra
+    .data
+    arr_a: .word 1, 2, 3, 4
+    arr_b: .word 0, 0, 0, 0
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  main.RecomputeCfg();
+  const ir::DominatorTree dom(main);
+  ir::LoopForest forest(main, dom);
+  ASSERT_EQ(forest.loops().size(), 1u);
+  AliasAnalysis alias(main, &lifted.binary.symbols);
+  const auto regions = alias.RegionsIn(*forest.loops().front());
+  EXPECT_EQ(regions.size(), 2u);
+}
+
+TEST(Structure, CountsIfAndIfElse) {
+  auto lifted = LiftAsm(R"(
+    main:
+      bgez $a0, skip
+      subu $a0, $zero, $a0
+    skip:
+      bgez $a1, else_arm
+      li $v0, 1
+      b merge
+    else_arm:
+      li $v0, 2
+    merge:
+      addu $v0, $v0, $a0
+      jr $ra
+  )");
+  const StructureInfo info = RecoverStructure(*lifted.module.main);
+  EXPECT_EQ(info.loops, 0u);
+  EXPECT_EQ(info.ifs + info.if_elses, 2u);
+  EXPECT_GE(info.if_elses, 1u);
+  EXPECT_EQ(info.unstructured_branches, 0u);
+  EXPECT_DOUBLE_EQ(info.StructuredFraction(), 1.0);
+}
+
+TEST(Structure, CountsLoops) {
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 0
+    outer:
+      li $t1, 0
+    inner:
+      addiu $t1, $t1, 1
+      slti $t9, $t1, 3
+      bne $t9, $zero, inner
+      addiu $t0, $t0, 1
+      slti $t9, $t0, 3
+      bne $t9, $zero, outer
+      move $v0, $zero
+      jr $ra
+  )");
+  const StructureInfo info = RecoverStructure(*lifted.module.main);
+  EXPECT_EQ(info.loops, 2u);
+  EXPECT_NE(info.pseudo.find("loop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace b2h::decomp

@@ -1,0 +1,85 @@
+// Unit tests for the bit-manipulation helpers.
+#include "support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace b2h {
+namespace {
+
+TEST(Bits, ExtractsFields) {
+  EXPECT_EQ(Bits(0xDEADBEEFu, 0, 4), 0xFu);
+  EXPECT_EQ(Bits(0xDEADBEEFu, 4, 4), 0xEu);
+  EXPECT_EQ(Bits(0xDEADBEEFu, 28, 4), 0xDu);
+  EXPECT_EQ(Bits(0xDEADBEEFu, 0, 32), 0xDEADBEEFu);
+  EXPECT_EQ(Bits(0xFFFFFFFFu, 16, 16), 0xFFFFu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(SignExtend(0xFF, 8), -1);
+  EXPECT_EQ(SignExtend(0x7F, 8), 127);
+  EXPECT_EQ(SignExtend(0x80, 8), -128);
+  EXPECT_EQ(SignExtend(0xFFFF, 16), -1);
+  EXPECT_EQ(SignExtend(0x8000, 16), -32768);
+  EXPECT_EQ(SignExtend(0x1, 1), -1);
+  EXPECT_EQ(SignExtend(0x0, 1), 0);
+  EXPECT_EQ(SignExtend(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(Bits, UnsignedWidth) {
+  EXPECT_EQ(UnsignedWidth(0), 1u);
+  EXPECT_EQ(UnsignedWidth(1), 1u);
+  EXPECT_EQ(UnsignedWidth(2), 2u);
+  EXPECT_EQ(UnsignedWidth(255), 8u);
+  EXPECT_EQ(UnsignedWidth(256), 9u);
+  EXPECT_EQ(UnsignedWidth(0xFFFFFFFFu), 32u);
+}
+
+TEST(Bits, SignedWidth) {
+  EXPECT_EQ(SignedWidth(0), 1u);   // bit pattern '0'
+  EXPECT_EQ(SignedWidth(-1), 1u);  // bit pattern '1'
+  EXPECT_EQ(SignedWidth(1), 2u);
+  EXPECT_EQ(SignedWidth(127), 8u);
+  EXPECT_EQ(SignedWidth(-128), 8u);
+  EXPECT_EQ(SignedWidth(128), 9u);
+  EXPECT_EQ(SignedWidth(-129), 9u);
+  EXPECT_EQ(SignedWidth(INT32_MIN), 32u);
+  EXPECT_EQ(SignedWidth(INT32_MAX), 32u);
+}
+
+TEST(Bits, PowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(0x80000000u));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+}
+
+TEST(Bits, Log2) {
+  EXPECT_EQ(Log2(1), 0u);
+  EXPECT_EQ(Log2(2), 1u);
+  EXPECT_EQ(Log2(1024), 10u);
+  EXPECT_EQ(Log2(0x80000000u), 31u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(32), 0xFFFFFFFFu);
+}
+
+class PowerOfTwoSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PowerOfTwoSweep, RoundTripsThroughLog2) {
+  const std::uint32_t value = 1u << GetParam();
+  EXPECT_TRUE(IsPowerOfTwo(value));
+  EXPECT_EQ(Log2(value), GetParam());
+  EXPECT_EQ(UnsignedWidth(value), GetParam() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitPositions, PowerOfTwoSweep,
+                         ::testing::Range(0u, 32u));
+
+}  // namespace
+}  // namespace b2h

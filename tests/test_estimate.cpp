@@ -1,0 +1,131 @@
+// Unit tests for the performance/energy estimator math (CombineEstimates)
+// — the analytic core behind every number in EXPERIMENTS.md.
+#include "partition/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace b2h::partition {
+namespace {
+
+KernelEstimate MakeKernel(std::uint64_t sw_cycles, std::uint64_t hw_cycles) {
+  KernelEstimate kernel;
+  kernel.name = "k";
+  kernel.sw_cycles = sw_cycles;
+  kernel.hw_cycles = hw_cycles;
+  kernel.invocations = 1;
+  kernel.hw_clock_mhz = 100.0;
+  kernel.area_gates = 20'000.0;
+  return kernel;
+}
+
+TEST(Estimate, NoKernelsMeansNoChange) {
+  const Platform platform;
+  const AppEstimate app = CombineEstimates(platform, 1'000'000, {});
+  EXPECT_DOUBLE_EQ(app.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(app.energy_savings, 0.0);
+  EXPECT_DOUBLE_EQ(app.sw_time, app.partitioned_time);
+  EXPECT_DOUBLE_EQ(app.sw_energy, app.partitioned_energy);
+}
+
+TEST(Estimate, AmdahlBoundsSpeedup) {
+  const Platform platform;  // 200 MHz CPU
+  // Kernel covers half the cycles and runs (essentially) free in hardware.
+  std::vector<KernelEstimate> kernels{MakeKernel(500'000, 1)};
+  const AppEstimate app =
+      CombineEstimates(platform, 1'000'000, std::move(kernels));
+  // Amdahl: at most 2x when half the work remains in software.
+  EXPECT_GT(app.speedup, 1.8);
+  EXPECT_LE(app.speedup, 2.0);
+}
+
+TEST(Estimate, TimesAreConsistent) {
+  const Platform platform;
+  std::vector<KernelEstimate> kernels{MakeKernel(400'000, 50'000)};
+  const AppEstimate app =
+      CombineEstimates(platform, 1'000'000, std::move(kernels));
+  const double cpu_hz = platform.cpu.clock_mhz * 1e6;
+  EXPECT_DOUBLE_EQ(app.sw_time, 1'000'000 / cpu_hz);
+  ASSERT_EQ(app.kernels.size(), 1u);
+  const KernelEstimate& kernel = app.kernels.front();
+  EXPECT_DOUBLE_EQ(kernel.sw_time, 400'000 / cpu_hz);
+  EXPECT_GT(kernel.hw_time, 50'000 / 100e6);  // includes comm setup
+  EXPECT_NEAR(app.partitioned_time,
+              (1'000'000 - 400'000) / cpu_hz + kernel.hw_time, 1e-12);
+  EXPECT_DOUBLE_EQ(kernel.kernel_speedup, kernel.sw_time / kernel.hw_time);
+}
+
+TEST(Estimate, ResidentArraysPayOneTimeDma) {
+  const Platform platform;
+  KernelEstimate resident = MakeKernel(400'000, 50'000);
+  resident.arrays_resident = true;
+  resident.comm_words = 1000;
+  resident.invocations = 100;
+  KernelEstimate remote = resident;
+  remote.arrays_resident = false;
+  remote.mem_accesses = 100'000;
+
+  const AppEstimate app_resident =
+      CombineEstimates(platform, 1'000'000, {resident});
+  const AppEstimate app_remote =
+      CombineEstimates(platform, 1'000'000, {remote});
+  // The one-time DMA (1000 cycles) beats 100k bus-penalized accesses.
+  EXPECT_LT(app_resident.kernels[0].hw_time, app_remote.kernels[0].hw_time);
+  EXPECT_GT(app_resident.speedup, app_remote.speedup);
+}
+
+TEST(Estimate, EnergyFollowsTimeAndPower) {
+  const Platform platform;
+  std::vector<KernelEstimate> kernels{MakeKernel(900'000, 10'000)};
+  const AppEstimate app =
+      CombineEstimates(platform, 1'000'000, std::move(kernels));
+  EXPECT_GT(app.energy_savings, 0.0);
+  EXPECT_LT(app.energy_savings, 1.0);
+  // Energy identity: E_sw = P_active * T_sw.
+  EXPECT_NEAR(app.sw_energy,
+              platform.cpu.active_watts() * app.sw_time, 1e-12);
+  // Partitioned energy must be positive and below the baseline here.
+  EXPECT_GT(app.partitioned_energy, 0.0);
+  EXPECT_LT(app.partitioned_energy, app.sw_energy);
+}
+
+TEST(Estimate, MovedCyclesNeverExceedTotal) {
+  const Platform platform;
+  // Kernel claims more cycles than the program has (possible when inlined
+  // copies share addresses); the estimator must clamp.
+  std::vector<KernelEstimate> kernels{MakeKernel(2'000'000, 1000)};
+  const AppEstimate app =
+      CombineEstimates(platform, 1'000'000, std::move(kernels));
+  EXPECT_GE(app.partitioned_time, 0.0);
+  EXPECT_GT(app.speedup, 0.0);
+}
+
+TEST(Estimate, KernelSpeedupAveragesAcrossKernels) {
+  const Platform platform;
+  std::vector<KernelEstimate> kernels{MakeKernel(100'000, 1'000),
+                                      MakeKernel(100'000, 50'000)};
+  const AppEstimate app =
+      CombineEstimates(platform, 1'000'000, std::move(kernels));
+  const double expected = (app.kernels[0].kernel_speedup +
+                           app.kernels[1].kernel_speedup) / 2.0;
+  EXPECT_NEAR(app.avg_kernel_speedup, expected, 1e-9);
+}
+
+TEST(Estimate, RegionCyclesBucketsByLeader) {
+  mips::ExecProfile profile;
+  profile.cycle_count = {10, 20, 30, 40, 50};  // pcs 0x400000..0x400010
+  const std::vector<std::uint32_t> all_leaders{
+      mips::kTextBase, mips::kTextBase + 8, mips::kTextBase + 16};
+  // Region = middle block [0x400008, 0x400010).
+  const std::uint64_t cycles = RegionSwCycles(
+      profile, all_leaders, {mips::kTextBase + 8});
+  EXPECT_EQ(cycles, 30u + 40u);
+  // Region = first block.
+  EXPECT_EQ(RegionSwCycles(profile, all_leaders, {mips::kTextBase}),
+            10u + 20u);
+  // Region = last block (single pc).
+  EXPECT_EQ(RegionSwCycles(profile, all_leaders, {mips::kTextBase + 16}),
+            50u);
+}
+
+}  // namespace
+}  // namespace b2h::partition

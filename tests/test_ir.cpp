@@ -1,0 +1,315 @@
+// IR core tests: construction, CFG maintenance, dominators, loops,
+// verifier diagnostics, printer, and the interpreter's edge semantics.
+#include "ir/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/dominators.hpp"
+#include "ir/interp.hpp"
+#include "ir/loops.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace b2h::ir {
+namespace {
+
+/// Build a diamond:  entry -> (left | right) -> merge(phi) -> ret.
+struct Diamond {
+  Function function{"diamond"};
+  Block* entry;
+  Block* left;
+  Block* right;
+  Block* merge;
+  Instr* input;
+  Instr* phi;
+
+  Diamond() {
+    entry = function.CreateBlock("entry", 0x100);
+    left = function.CreateBlock("left", 0x110);
+    right = function.CreateBlock("right", 0x120);
+    merge = function.CreateBlock("merge", 0x130);
+
+    input = function.Create(Opcode::kInput);
+    input->input_index = 4;
+    entry->Append(input);
+    Instr* cmp = function.Emit(entry, Opcode::kGtS,
+                               {Value::Of(input), Value::Const(0)});
+    Instr* br = function.Create(Opcode::kCondBr);
+    br->operands = {Value::Of(cmp)};
+    br->target0 = left;
+    br->target1 = right;
+    entry->Append(br);
+
+    Instr* doubled = function.Emit(left, Opcode::kAdd,
+                                   {Value::Of(input), Value::Of(input)});
+    Instr* br_left = function.Create(Opcode::kBr);
+    br_left->target0 = merge;
+    left->Append(br_left);
+
+    Instr* negated = function.Emit(right, Opcode::kSub,
+                                   {Value::Const(0), Value::Of(input)});
+    Instr* br_right = function.Create(Opcode::kBr);
+    br_right->target0 = merge;
+    right->Append(br_right);
+
+    function.RecomputeCfg();
+    phi = function.Create(Opcode::kPhi);
+    // Operand order must match merge->preds.
+    std::vector<Value> phi_operands;
+    for (Block* pred : merge->preds) {
+      phi_operands.push_back(pred == left ? Value::Of(doubled)
+                                          : Value::Of(negated));
+    }
+    phi->operands = phi_operands;
+    merge->PrependPhi(phi);
+    Instr* ret = function.Create(Opcode::kRet);
+    ret->operands = {Value::Of(phi)};
+    merge->Append(ret);
+    function.RecomputeCfg();
+  }
+};
+
+TEST(IrCore, DiamondIsWellFormed) {
+  Diamond d;
+  const Status status = Verify(d.function);
+  EXPECT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(d.merge->preds.size(), 2u);
+  EXPECT_EQ(d.entry->succs().size(), 2u);
+  EXPECT_EQ(d.function.NumInstrs(), 9u);
+}
+
+TEST(IrCore, PrinterShowsStructure) {
+  Diamond d;
+  const std::string text = Print(d.function);
+  EXPECT_NE(text.find("func diamond"), std::string::npos);
+  EXPECT_NE(text.find("phi"), std::string::npos);
+  EXPECT_NE(text.find("condbr"), std::string::npos);
+  EXPECT_NE(text.find("input r4"), std::string::npos);
+}
+
+TEST(IrCore, RemoveDeadInstrs) {
+  Diamond d;
+  // Add an unused computation chain.
+  Instr* dead1 = d.function.Emit(d.entry, Opcode::kAdd,
+                                 {Value::Of(d.input), Value::Const(7)});
+  d.function.Emit(d.entry, Opcode::kMul,
+                  {Value::Of(dead1), Value::Const(3)});
+  d.function.RecomputeCfg();
+  const std::size_t removed = d.function.RemoveDeadInstrs();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_TRUE(Verify(d.function).ok());
+}
+
+TEST(IrCore, ReplaceAllUsesFollowsChains) {
+  Diamond d;
+  // input -> const 9, and anything using the phi -> const 1 (chained maps).
+  std::unordered_map<const Instr*, Value> map;
+  map[d.input] = Value::Const(9);
+  d.function.ReplaceAllUses(map);
+  bool any_input_use = false;
+  for (const auto& block : d.function.blocks()) {
+    for (const Instr* instr : block->instrs) {
+      for (const Value& operand : instr->operands) {
+        if (operand.is_instr() && operand.def == d.input) {
+          any_input_use = true;
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(any_input_use);
+}
+
+TEST(IrCore, RemoveUnreachableBlocksFixesPhis) {
+  Diamond d;
+  // Make the branch unconditional to the left: right becomes unreachable.
+  Instr* term = d.entry->terminator();
+  term->op = Opcode::kBr;
+  term->operands.clear();
+  term->target0 = d.left;
+  term->target1 = nullptr;
+  term->width = 0;
+  d.function.RemoveUnreachableBlocks();
+  EXPECT_TRUE(Verify(d.function).ok());
+  EXPECT_EQ(d.function.blocks().size(), 3u);
+  EXPECT_EQ(d.phi->operands.size(), 1u);
+}
+
+TEST(Dominators, DiamondRelations) {
+  Diamond d;
+  const DominatorTree dom(d.function);
+  EXPECT_TRUE(dom.Dominates(d.entry, d.merge));
+  EXPECT_TRUE(dom.Dominates(d.entry, d.left));
+  EXPECT_FALSE(dom.Dominates(d.left, d.merge));
+  EXPECT_FALSE(dom.Dominates(d.merge, d.left));
+  EXPECT_TRUE(dom.Dominates(d.merge, d.merge));
+  EXPECT_TRUE(dom.StrictlyDominates(d.entry, d.merge));
+  EXPECT_FALSE(dom.StrictlyDominates(d.merge, d.merge));
+  EXPECT_EQ(dom.Idom(d.merge), d.entry);
+  EXPECT_EQ(dom.Idom(d.left), d.entry);
+  EXPECT_EQ(dom.Idom(d.entry), nullptr);
+}
+
+TEST(Dominators, FrontierOfDiamondArms) {
+  Diamond d;
+  const DominatorTree dom(d.function);
+  const auto& left_frontier = dom.Frontier(d.left);
+  ASSERT_EQ(left_frontier.size(), 1u);
+  EXPECT_EQ(left_frontier[0], d.merge);
+  EXPECT_TRUE(dom.Frontier(d.entry).empty());
+}
+
+/// Self-loop function: entry -> loop (self edge) -> exit.
+struct LoopFunction {
+  Function function{"looper"};
+  Block* entry;
+  Block* loop;
+  Block* exit;
+  Instr* phi = nullptr;
+
+  LoopFunction() {
+    entry = function.CreateBlock("entry", 0x200);
+    loop = function.CreateBlock("loop", 0x210);
+    exit = function.CreateBlock("exit", 0x220);
+
+    Instr* enter = function.Create(Opcode::kBr);
+    enter->target0 = loop;
+    entry->Append(enter);
+
+    phi = function.Create(Opcode::kPhi);
+    loop->PrependPhi(phi);
+    Instr* next = function.Emit(loop, Opcode::kAdd,
+                                {Value::Of(phi), Value::Const(1)});
+    Instr* cmp = function.Emit(loop, Opcode::kLtS,
+                               {Value::Of(next), Value::Const(10)});
+    Instr* br = function.Create(Opcode::kCondBr);
+    br->operands = {Value::Of(cmp)};
+    br->target0 = loop;
+    br->target1 = exit;
+    loop->Append(br);
+
+    Instr* ret = function.Create(Opcode::kRet);
+    ret->operands = {Value::Of(next)};
+    exit->Append(ret);
+
+    function.RecomputeCfg();
+    // Phi operands in preds order: [entry -> 0, loop -> next].
+    std::vector<Value> operands;
+    for (Block* pred : loop->preds) {
+      operands.push_back(pred == entry ? Value::Const(0) : Value::Of(next));
+    }
+    phi->operands = operands;
+    function.RecomputeCfg();
+  }
+};
+
+TEST(Loops, DiscoversSelfLoop) {
+  LoopFunction lf;
+  ASSERT_TRUE(Verify(lf.function).ok());
+  const DominatorTree dom(lf.function);
+  LoopForest forest(lf.function, dom);
+  ASSERT_EQ(forest.loops().size(), 1u);
+  const Loop* loop = forest.loops().front().get();
+  EXPECT_EQ(loop->header, lf.loop);
+  EXPECT_EQ(loop->blocks.size(), 1u);
+  EXPECT_TRUE(loop->IsInnermost());
+  EXPECT_EQ(loop->depth, 1);
+  ASSERT_EQ(loop->exit_blocks.size(), 1u);
+  EXPECT_EQ(loop->exit_blocks[0], lf.exit);
+  EXPECT_EQ(forest.LoopFor(lf.loop), loop);
+  EXPECT_EQ(forest.LoopFor(lf.entry), nullptr);
+}
+
+TEST(Loops, ProfileTripCount) {
+  LoopFunction lf;
+  lf.loop->exec_count = 10;
+  lf.loop->taken_count = 9;       // back edges
+  lf.loop->not_taken_count = 1;   // exit
+  const DominatorTree dom(lf.function);
+  LoopForest forest(lf.function, dom);
+  forest.AnnotateProfile();
+  const Loop* loop = forest.loops().front().get();
+  EXPECT_EQ(loop->header_count, 10u);
+  EXPECT_EQ(loop->entry_count, 1u);
+  EXPECT_DOUBLE_EQ(loop->AverageTripCount(), 10.0);
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Function function("broken");
+  function.CreateBlock("entry", 0);
+  const Status status = Verify(function);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesPhiArityMismatch) {
+  LoopFunction lf;
+  lf.phi->operands.pop_back();
+  EXPECT_FALSE(Verify(lf.function).ok());
+}
+
+TEST(Verifier, CatchesUseBeforeDef) {
+  Function function("order");
+  Block* entry = function.CreateBlock("entry", 0);
+  Instr* use = function.Create(Opcode::kAdd);
+  Instr* def = function.Create(Opcode::kConst);
+  def->imm = 1;
+  use->operands = {Value::Of(def), Value::Const(1)};
+  entry->Append(use);
+  entry->Append(def);
+  Instr* ret = function.Create(Opcode::kRet);
+  entry->Append(ret);
+  function.RecomputeCfg();
+  const Status status = Verify(function);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("use before def"), std::string::npos);
+}
+
+TEST(Verifier, CatchesStalePreds) {
+  Diamond d;
+  d.merge->preds.pop_back();
+  EXPECT_FALSE(Verify(d.function).ok());
+}
+
+TEST(Interp, ExecutesDiamond) {
+  Diamond d;
+  // The module's `main` may reference an externally-owned function when the
+  // program makes no calls (FindByEntry is never consulted).
+  Module module;
+  module.main = &d.function;
+  std::vector<std::uint8_t> no_data;
+  Interpreter positive(module, no_data);
+  EXPECT_EQ(positive.Run(std::vector<std::int32_t>{21}).return_value, 42);
+  Interpreter negative(module, no_data);
+  EXPECT_EQ(negative.Run(std::vector<std::int32_t>{-7}).return_value, 7);
+}
+
+TEST(Interp, LoopRunsToBound) {
+  LoopFunction lf;
+  Module module;
+  module.main = &lf.function;
+  std::vector<std::uint8_t> no_data;
+  Interpreter interp(module, no_data);
+  const auto result = interp.Run();
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.return_value, 10);
+}
+
+TEST(Interp, StepBudgetStopsRunaways) {
+  LoopFunction lf;
+  // Make the loop infinite: compare against an unreachable bound.
+  for (Instr* instr : lf.loop->instrs) {
+    if (instr->op == Opcode::kLtS) instr->operands[1] = Value::Const(1 << 30);
+  }
+  Module module;
+  module.main = &lf.function;
+  InterpOptions options;
+  options.max_steps = 1000;
+  std::vector<std::uint8_t> no_data;
+  Interpreter interp(module, no_data, options);
+  const auto result = interp.Run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace b2h::ir

@@ -1,0 +1,329 @@
+// MiniC compiler tests: language features across all optimization levels
+// (compile + execute on the MIPS simulator), AST-level optimizations, and
+// front-end diagnostics.
+#include "minicc/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minicc/parser.hpp"
+#include "mips/simulator.hpp"
+
+namespace b2h::minicc {
+namespace {
+
+std::int32_t CompileAndRun(const std::string& source, int opt_level) {
+  CompileOptions options;
+  options.opt_level = opt_level;
+  auto compiled = Compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().message();
+  if (!compiled.ok()) return INT32_MIN;
+  mips::Simulator sim(compiled.value().binary);
+  const auto run = sim.Run();
+  EXPECT_EQ(run.reason, mips::HaltReason::kReturned) << run.fault_message;
+  return run.return_value;
+}
+
+/// Each language feature is checked at every -O level.
+struct LangCase {
+  const char* name;
+  const char* source;
+  std::int32_t expected;
+};
+
+class LanguageFeatures
+    : public ::testing::TestWithParam<std::tuple<LangCase, int>> {};
+
+TEST_P(LanguageFeatures, CompilesAndRuns) {
+  const auto& [test_case, level] = GetParam();
+  EXPECT_EQ(CompileAndRun(test_case.source, level), test_case.expected)
+      << test_case.name << " at -O" << level;
+}
+
+constexpr LangCase kLangCases[] = {
+    {"return_const", "int main() { return 42; }", 42},
+    {"arith", "int main() { return (3 + 4 * 5 - 6) / 2; }", 8},
+    {"modulo", "int main() { return 17 % 5; }", 2},
+    {"negative_div", "int main() { int a = -17; return a / 5; }", -3},
+    {"negative_rem", "int main() { int a = -17; return a % 5; }", -2},
+    {"shifts", "int main() { int a = -64; return (a >> 3) + (1 << 10); }",
+     1016},
+    {"bitops",
+     "int main() { return (0xF0 & 0x3C) | (0x0F ^ 0x05); }", 0x3A},
+    {"comparisons",
+     "int main() { int a = 3; int b = 7;"
+     " return (a < b) + (a <= b) + (a > b) * 10 + (a >= b) * 10"
+     " + (a == 3) + (b != 3); }",
+     4},
+    {"unary", "int main() { int x = 5; return -x + !0 + !7 + ~0; }", -5},
+    {"logical_and_short",
+     "int g = 0;"
+     "int set() { g = 1; return 1; }"
+     "int main() { int r = 0 && set(); return r * 10 + g; }",
+     0},
+    {"logical_or_short",
+     "int g = 0;"
+     "int set() { g = 1; return 1; }"
+     "int main() { int r = 1 || set(); return r * 10 + g; }",
+     10},
+    {"logical_values",
+     "int main() { return (3 && 5) + (0 || 7) * 2 + (0 && 9) * 100; }", 3},
+    {"if_else",
+     "int main() { int x = 10; if (x > 5) { return 1; } else { return 2; } }",
+     1},
+    {"nested_if",
+     "int main() { int x = 4; int r = 0;"
+     " if (x > 0) { if (x > 10) { r = 1; } else { r = 2; } }"
+     " return r; }",
+     2},
+    {"while_loop",
+     "int main() { int i = 0; int s = 0;"
+     " while (i < 10) { s = s + i; i = i + 1; } return s; }",
+     45},
+    {"for_loop",
+     "int main() { int s = 0; int i;"
+     " for (i = 0; i < 16; i = i + 1) { s = s + i * i; } return s; }",
+     1240},
+    {"nested_loops",
+     "int main() { int s = 0; int i; int j;"
+     " for (i = 0; i < 8; i = i + 1) {"
+     "   for (j = 0; j < 8; j = j + 1) { s = s + 1; } }"
+     " return s; }",
+     64},
+    {"global_scalar",
+     "int counter = 5;"
+     "int main() { counter = counter + 10; return counter; }",
+     15},
+    {"global_array",
+     "int arr[8] = {1, 2, 3};"
+     "int main() { arr[5] = 50; return arr[0] + arr[2] + arr[5] + arr[7]; }",
+     54},
+    {"byte_array",
+     "byte buf[16];"
+     "int main() { buf[3] = 300; return buf[3]; }",  // 300 & 255 = 44
+     44},
+    {"function_call",
+     "int add3(int a, int b, int c) { return a + b + c; }"
+     "int main() { return add3(1, 2, 3) + add3(10, 20, 30); }",
+     66},
+    {"four_args",
+     "int f(int a, int b, int c, int d) { return a * 1000 + b * 100"
+     " + c * 10 + d; }"
+     "int main() { return f(1, 2, 3, 4); }",
+     1234},
+    {"array_param",
+     "int data[4] = {5, 6, 7, 8};"
+     "int sum(int a[], int n) { int s = 0; int i;"
+     " for (i = 0; i < n; i = i + 1) { s = s + a[i]; } return s; }"
+     "int main() { return sum(data, 4); }",
+     26},
+    {"byte_array_param",
+     "byte data[4] = {200, 100, 50, 25};"
+     "int first(byte a[]) { return a[0]; }"
+     "int main() { return first(data); }",
+     200},
+    {"nested_calls",
+     "int inc(int x) { return x + 1; }"
+     "int main() { return inc(inc(inc(0))); }",
+     3},
+    {"call_in_expression",
+     "int five() { return 5; }"
+     "int main() { return five() * five() + five(); }",
+     30},
+    {"early_return",
+     "int f(int x) { if (x < 0) { return -1; } return 1; }"
+     "int main() { return f(-5) + f(5) * 10; }",
+     9},
+    {"hex_literals", "int main() { return 0x10 + 0xFF; }", 271},
+    {"comments",
+     "// line comment\n"
+     "int main() { /* block */ return 5; // end\n }",
+     5},
+    {"mul_by_13", "int main() { int x = 9; return x * 13; }", 117},
+    {"mul_by_pow2", "int main() { int x = 9; return x * 16; }", 144},
+    {"mul_by_neg", "int main() { int x = 9; return x * -3; }", -27},
+    {"div_pow2_negative", "int main() { int x = -100; return x / 4; }", -25},
+    {"rem_pow2_negative", "int main() { int x = -100; return x % 8; }", -4},
+    {"deep_expression",
+     "int main() { int a = 1; return ((a + 2) * (a + 3) + (a + 4))"
+     " * ((a + 5) - (a + 1)); }",
+     68},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, LanguageFeatures,
+    ::testing::Combine(::testing::ValuesIn(kLangCases),
+                       ::testing::Range(0, 4)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_O" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MiniccParser, Diagnostics) {
+  EXPECT_FALSE(Parse("int main() { return }").ok());
+  EXPECT_FALSE(Parse("int main() { int; }").ok());
+  EXPECT_FALSE(Parse("int main() { x = ; }").ok());
+  EXPECT_FALSE(Parse("int f() { return 0; }").ok());  // missing main
+  EXPECT_FALSE(Parse("byte x; int main() { return 0; }").ok());
+  EXPECT_FALSE(
+      Parse("int f(int a, int b, int c, int d, int e) { return 0; }"
+            "int main() { return 0; }")
+          .ok());
+  const auto status = Parse("int main() { @ }").status();
+  EXPECT_EQ(status.kind(), ErrorKind::kParse);
+}
+
+TEST(MiniccParser, LineNumbersInErrors) {
+  const auto status = Parse("int main() {\n\n  return $;\n}").status();
+  EXPECT_NE(status.message().find(":3"), std::string::npos)
+      << status.message();
+}
+
+TEST(MiniccCodegen, OptLevelsShrinkCycles) {
+  const char* source =
+      "int a[32];"
+      "int main() { int i; int s = 0;"
+      " for (i = 0; i < 32; i = i + 1) { a[i] = i * 3; }"
+      " for (i = 0; i < 32; i = i + 1) { s = s + a[i]; }"
+      " return s; }";
+  std::uint64_t cycles[4];
+  for (int level = 0; level < 4; ++level) {
+    CompileOptions options;
+    options.opt_level = level;
+    auto compiled = Compile(source, options);
+    ASSERT_TRUE(compiled.ok());
+    mips::Simulator sim(compiled.value().binary);
+    const auto run = sim.Run();
+    ASSERT_EQ(run.return_value, 1488);
+    cycles[level] = run.cycles;
+  }
+  EXPECT_LT(cycles[1], cycles[0]);  // register allocation pays
+  EXPECT_LE(cycles[2], cycles[1]);
+  EXPECT_LT(cycles[3], cycles[2]);  // unrolling removes loop overhead
+}
+
+TEST(MiniccCodegen, UnrollingPreservesOddTripCounts) {
+  // Trip count 13 is not divisible by 4 or 2: the unroller must skip it.
+  const char* source =
+      "int main() { int i; int s = 0;"
+      " for (i = 0; i < 13; i = i + 1) { s = s + i; } return s; }";
+  EXPECT_EQ(CompileAndRun(source, 3), 78);
+}
+
+TEST(MiniccCodegen, UnrollingFallsBackToFactorTwo) {
+  // Trip count 6: not a multiple of 4, so the unroller drops to factor 2.
+  const char* source =
+      "int a[6];"
+      "int main() { int i; int s = 0;"
+      " for (i = 0; i < 6; i = i + 1) { a[i] = i * 5; }"
+      " for (i = 0; i < 6; i = i + 1) { s = s + a[i]; } return s; }";
+  CompileOptions o3;
+  o3.opt_level = 3;
+  auto unrolled = Compile(source, o3);
+  ASSERT_TRUE(unrolled.ok());
+  CompileOptions o2;
+  o2.opt_level = 2;
+  auto rolled = Compile(source, o2);
+  ASSERT_TRUE(rolled.ok());
+  // Factor-2 unrolling duplicated the bodies: more instructions than -O2.
+  EXPECT_GT(unrolled.value().binary.text.size(),
+            rolled.value().binary.text.size());
+  mips::Simulator sim(unrolled.value().binary);
+  EXPECT_EQ(sim.Run().return_value, 75);
+}
+
+TEST(MiniccCodegen, UnrollingSkipsLoopsWithInnerLoops) {
+  const char* source =
+      "int main() { int i; int j; int s = 0;"
+      " for (i = 0; i < 4; i = i + 1) {"
+      "   for (j = 0; j < 4; j = j + 1) { s = s + 1; } }"
+      " return s; }";
+  EXPECT_EQ(CompileAndRun(source, 3), 16);
+}
+
+TEST(MiniccCodegen, StackTrafficAtO0) {
+  const char* source =
+      "int main() { int a = 1; int b = 2; int c = 3; return a + b + c; }";
+  CompileOptions o0;
+  o0.opt_level = 0;
+  auto at_o0 = Compile(source, o0);
+  ASSERT_TRUE(at_o0.ok());
+  // -O0 spills every local: expect sw/lw traffic in the assembly text.
+  const std::string& asm_text = at_o0.value().assembly;
+  EXPECT_NE(asm_text.find("sw $t"), std::string::npos);
+  EXPECT_NE(asm_text.find("lw $t"), std::string::npos);
+
+  // On a loop, register allocation clearly wins dynamically (the static
+  // size can go either way because of the callee-saved prologue).
+  const char* loop_source =
+      "int main() { int i; int s = 0;"
+      " for (i = 0; i < 100; i = i + 1) { s = s + i; } return s; }";
+  std::uint64_t cycles[2];
+  for (int level = 0; level < 2; ++level) {
+    CompileOptions options;
+    options.opt_level = level;
+    auto compiled = Compile(loop_source, options);
+    ASSERT_TRUE(compiled.ok());
+    mips::Simulator sim(compiled.value().binary);
+    const auto run = sim.Run();
+    ASSERT_EQ(run.return_value, 4950);
+    cycles[level] = run.cycles;
+  }
+  // O0's per-access lw/sw costs at least ~40% extra over the loop.
+  EXPECT_LT(cycles[1] * 14, cycles[0] * 10);
+}
+
+TEST(MiniccCodegen, StrengthReductionAtO2) {
+  const char* source = "int main() { int x = 7; return x * 10; }";
+  CompileOptions o2;
+  o2.opt_level = 2;
+  auto compiled = Compile(source, o2);
+  ASSERT_TRUE(compiled.ok());
+  // x*10 = (x<<3)+(x<<1): no mult instruction.
+  EXPECT_EQ(compiled.value().assembly.find("mult"), std::string::npos);
+  mips::Simulator sim(compiled.value().binary);
+  EXPECT_EQ(sim.Run().return_value, 70);
+
+  CompileOptions o1;
+  o1.opt_level = 1;
+  auto baseline = Compile(source, o1);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_NE(baseline.value().assembly.find("mult"), std::string::npos);
+}
+
+TEST(MiniccCodegen, ConstantFoldingAtO1) {
+  const char* source = "int main() { return 2 * 3 + 4 * 5; }";
+  CompileOptions o1;
+  o1.opt_level = 1;
+  auto compiled = Compile(source, o1);
+  ASSERT_TRUE(compiled.ok());
+  // Whole expression folds to 26: single li.
+  EXPECT_EQ(compiled.value().assembly.find("mult"), std::string::npos);
+  EXPECT_NE(compiled.value().assembly.find("li $t0, 26"), std::string::npos);
+}
+
+TEST(MiniccCodegen, CallSpillsPreserveTemps) {
+  // f(1) + f(2) + f(3): intermediate sums live across calls.
+  const char* source =
+      "int f(int x) { return x * 2; }"
+      "int main() { return f(1) + f(2) + f(3); }";
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_EQ(CompileAndRun(source, level), 12) << "level " << level;
+  }
+}
+
+TEST(MiniccCodegen, RotatedLoopsAtO1) {
+  const char* source =
+      "int main() { int i; int s = 0;"
+      " for (i = 0; i < 4; i = i + 1) { s = s + 2; } return s; }";
+  CompileOptions options;
+  options.opt_level = 1;
+  auto compiled = Compile(source, options);
+  ASSERT_TRUE(compiled.ok());
+  // Rotated form: conditional branch backwards at the loop bottom.
+  EXPECT_NE(compiled.value().assembly.find("bne $t9, $zero, main_loop"),
+            std::string::npos)
+      << compiled.value().assembly;
+}
+
+}  // namespace
+}  // namespace b2h::minicc

@@ -1,0 +1,774 @@
+// Decompilation pass tests: each paper technique gets positive cases,
+// negative (must-not-fire) cases, and semantics-preservation checks through
+// the IR interpreter.
+#include "decomp/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomp/lifter.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "mips/assembler.hpp"
+#include "mips/simulator.hpp"
+
+namespace b2h::decomp {
+namespace {
+
+struct Lifted {
+  mips::SoftBinary binary;
+  ir::Module module;
+};
+
+Lifted LiftAsm(const std::string& source) {
+  auto binary = mips::Assemble(source);
+  EXPECT_TRUE(binary.ok()) << binary.status().message();
+  auto module = Lift(binary.value());
+  EXPECT_TRUE(module.ok()) << module.status().message();
+  return {std::move(binary).take(), std::move(module).take()};
+}
+
+std::int32_t InterpResultOf(const Lifted& lifted) {
+  ir::Interpreter interp(lifted.module, lifted.binary.data);
+  const auto result = interp.Run();
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.return_value;
+}
+
+std::size_t CountOps(const ir::Function& function, ir::Opcode op) {
+  std::size_t count = 0;
+  for (const auto& block : function.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == op) ++count;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Constant propagation / simplification
+// ---------------------------------------------------------------------------
+
+TEST(ConstProp, RemovesMoveIdioms) {
+  // `or rd, rs, $zero` and `addiu rd, rs, 0` are the move idioms the paper
+  // names: both must vanish, leaving a straight data flow.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 7
+      or $t1, $t0, $zero
+      addiu $t2, $t1, 0
+      move $v0, $t2
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kOr), 0u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kAdd), 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 7);
+}
+
+TEST(ConstProp, FoldsArithmetic) {
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 6
+      li $t1, 7
+      mult $t0, $t1
+      mflo $v0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kMul), 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 42);
+}
+
+TEST(ConstProp, FoldsConstantBranches) {
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 1
+      bgtz $t0, yes
+      li $v0, 111
+      jr $ra
+    yes:
+      li $v0, 222
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kCondBr), 0u);
+  EXPECT_EQ(main.blocks().size(), 2u);  // dead arm removed
+  EXPECT_EQ(InterpResultOf(lifted), 222);
+  EXPECT_TRUE(ir::Verify(main).ok());
+}
+
+TEST(ConstProp, BranchFoldFixesPhis) {
+  // The surviving arm feeds a phi in the merge block; folding the branch
+  // must drop exactly the dead operand.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 0
+      bgtz $t0, yes
+      li $t1, 5
+      b merge
+    yes:
+      li $t1, 9
+    merge:
+      move $v0, $t1
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  EXPECT_TRUE(ir::Verify(main).ok());
+  EXPECT_EQ(InterpResultOf(lifted), 5);
+}
+
+TEST(ConstProp, ReassociatesAddressChains) {
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 100
+      addiu $t0, $t0, 20
+      addiu $t0, $t0, 3
+      move $v0, $t0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  EXPECT_EQ(main.entry()->BodySize(), 1u);  // just the ret remains
+  EXPECT_EQ(InterpResultOf(lifted), 123);
+}
+
+// ---------------------------------------------------------------------------
+// Stack operation removal
+// ---------------------------------------------------------------------------
+
+TEST(StackRemoval, PromotesSpillSlots) {
+  auto lifted = LiftAsm(R"(
+    main:
+      addiu $sp, $sp, -16
+      li $t0, 11
+      sw $t0, 4($sp)
+      li $t1, 22
+      sw $t1, 8($sp)
+      lw $t2, 4($sp)
+      lw $t3, 8($sp)
+      addu $v0, $t2, $t3
+      addiu $sp, $sp, 16
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = RemoveStackOperations(main);
+  EXPECT_EQ(stats.slots_promoted, 2u);
+  EXPECT_EQ(stats.loads_removed, 2u);
+  EXPECT_EQ(stats.stores_removed, 2u);
+  EXPECT_FALSE(stats.aborted_unsafe);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kLoad), 0u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kStore), 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 33);
+}
+
+TEST(StackRemoval, PromotesAcrossControlFlow) {
+  auto lifted = LiftAsm(R"(
+    main:
+      addiu $sp, $sp, -8
+      sw $zero, 0($sp)
+      li $t0, 4
+    loop:
+      lw $t1, 0($sp)
+      addu $t1, $t1, $t0
+      sw $t1, 0($sp)
+      addiu $t0, $t0, -1
+      bgtz $t0, loop
+      lw $v0, 0($sp)
+      addiu $sp, $sp, 8
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = RemoveStackOperations(main);
+  EXPECT_GE(stats.slots_promoted, 1u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kLoad), 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 10);
+  EXPECT_TRUE(ir::Verify(main).ok());
+}
+
+TEST(StackRemoval, LeavesGlobalAccessesAlone) {
+  auto lifted = LiftAsm(R"(
+    main:
+      la $t0, g
+      li $t1, 9
+      sw $t1, 0($t0)
+      lw $v0, 0($t0)
+      jr $ra
+    .data
+    g: .word 0
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = RemoveStackOperations(main);
+  EXPECT_EQ(stats.slots_promoted, 0u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kStore), 1u);
+  EXPECT_EQ(InterpResultOf(lifted), 9);
+}
+
+TEST(StackRemoval, AbortsWhenAddressEscapes) {
+  // The stack address is multiplied — no longer sp+const affine; the pass
+  // must refuse to promote anything.
+  auto lifted = LiftAsm(R"(
+    main:
+      addiu $sp, $sp, -8
+      li $t0, 5
+      sw $t0, 0($sp)
+      sll $t1, $sp, 1     # escape: sp used in non-affine arithmetic
+      srl $t1, $t1, 1
+      lw $v0, 0($t1)
+      addiu $sp, $sp, 8
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = RemoveStackOperations(main);
+  EXPECT_TRUE(stats.aborted_unsafe);
+  EXPECT_EQ(stats.slots_promoted, 0u);
+}
+
+TEST(StackRemoval, NarrowSlotLoadsKeepExtension) {
+  auto lifted = LiftAsm(R"(
+    main:
+      addiu $sp, $sp, -8
+      li $t0, -2
+      sb $t0, 0($sp)
+      lbu $v0, 0($sp)
+      addiu $sp, $sp, 8
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  RemoveStackOperations(main);
+  SimplifyConstants(main);
+  EXPECT_EQ(InterpResultOf(lifted), 254);  // zero-extended byte
+}
+
+// ---------------------------------------------------------------------------
+// Strength promotion (shift/add chains -> multiplication)
+// ---------------------------------------------------------------------------
+
+TEST(StrengthPromotion, RecoversMulByTen) {
+  // x*10 = (x<<3) + (x<<1), the decomposition our -O2 emits.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 9
+      sll $t1, $t0, 3
+      sll $t2, $t0, 1
+      addu $v0, $t1, $t2
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = PromoteStrength(main);
+  EXPECT_EQ(stats.muls_recovered, 1u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kMul), 1u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kShl), 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 90);
+}
+
+TEST(StrengthPromotion, RecoversSubChains) {
+  // x*7 = (x<<3) - x.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 6
+      sll $t1, $t0, 3
+      subu $v0, $t1, $t0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = PromoteStrength(main);
+  EXPECT_EQ(stats.muls_recovered, 1u);
+  EXPECT_EQ(InterpResultOf(lifted), 42);
+}
+
+TEST(StrengthPromotion, RecoversNestedDag) {
+  // 25x = t + (t<<2) where t = x + (x<<2).
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 3
+      sll $t1, $t0, 2
+      addu $t1, $t1, $t0
+      sll $t2, $t1, 2
+      addu $v0, $t2, $t1
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = PromoteStrength(main);
+  EXPECT_GE(stats.muls_recovered, 1u);
+  EXPECT_EQ(InterpResultOf(lifted), 75);
+}
+
+TEST(StrengthPromotion, LeavesSingleShiftsAlone) {
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 5
+      sll $v0, $t0, 4
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = PromoteStrength(main);
+  EXPECT_EQ(stats.muls_recovered, 0u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kShl), 1u);
+}
+
+TEST(StrengthPromotion, LeavesSharedSubtreesAlone) {
+  // The shifted value has another use; collapsing would duplicate work.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 9
+      sll $t1, $t0, 3
+      sll $t2, $t0, 1
+      addu $t3, $t1, $t2
+      addu $v0, $t3, $t1    # t1 reused outside the chain
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  PromoteStrength(main);
+  // The inner chain must NOT have been collapsed (t1 is shared).
+  EXPECT_EQ(InterpResultOf(lifted), 90 + 72);
+}
+
+// ---------------------------------------------------------------------------
+// Strength reduction (for synthesis)
+// ---------------------------------------------------------------------------
+
+TEST(StrengthReduction, MulByPowerOfTwo) {
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t0, 5
+      li $t1, 16
+      mult $t0, $t1
+      mflo $v0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  // Re-introduce a non-constant operand so the mul survives folding.
+  // (Directly build: v0 = a0 * 16.)
+  auto lifted2 = LiftAsm(R"(
+    main:
+      li $t1, 16
+      mult $a0, $t1
+      mflo $v0
+      jr $ra
+  )");
+  ir::Function& main2 = *lifted2.module.main;
+  SimplifyConstants(main2);
+  const auto stats = ReduceStrength(main2);
+  EXPECT_EQ(stats.muls_to_shifts, 1u);
+  EXPECT_EQ(CountOps(main2, ir::Opcode::kMul), 0u);
+  ir::Interpreter interp(lifted2.module, lifted2.binary.data);
+  EXPECT_EQ(interp.Run(std::vector<std::int32_t>{5}).return_value, 80);
+}
+
+TEST(StrengthReduction, UnsignedDivAndRemByPowerOfTwo) {
+  auto lifted = LiftAsm(R"(
+    main:
+      andi $t0, $a0, 0xFFF
+      li $t1, 8
+      divu $t0, $t1
+      mflo $t2
+      mfhi $t3
+      sll $t2, $t2, 16
+      or $v0, $t2, $t3
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ReduceStrength(main);
+  EXPECT_EQ(stats.divs_to_shifts, 1u);
+  EXPECT_EQ(stats.rems_to_masks, 1u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kDivU), 0u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kRemU), 0u);
+  ir::Interpreter interp(lifted.module, lifted.binary.data);
+  EXPECT_EQ(interp.Run(std::vector<std::int32_t>{100}).return_value,
+            (12 << 16) | 4);
+}
+
+TEST(StrengthReduction, SignedDivStaysWithoutProof) {
+  // a0 may be negative: DivS by 8 must NOT become a bare shift.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $t1, 8
+      div $a0, $t1
+      mflo $v0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ReduceStrength(main);
+  EXPECT_EQ(stats.divs_to_shifts, 0u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kDivS), 1u);
+  ir::Interpreter interp(lifted.module, lifted.binary.data);
+  EXPECT_EQ(interp.Run(std::vector<std::int32_t>{-20}).return_value, -2);
+}
+
+// ---------------------------------------------------------------------------
+// Operator size reduction
+// ---------------------------------------------------------------------------
+
+TEST(SizeReduction, NarrowsMaskedValues) {
+  auto lifted = LiftAsm(R"(
+    main:
+      andi $t0, $a0, 0xFF
+      andi $t1, $a1, 0xFF
+      addu $v0, $t0, $t1
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ReduceOperatorSizes(main);
+  EXPECT_GT(stats.narrowed, 0u);
+  // The add of two 8-bit values needs only 9 bits.
+  for (const auto& block : main.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == ir::Opcode::kAdd) {
+        EXPECT_LE(instr->width, 9u);
+      }
+    }
+  }
+  ir::Interpreter interp(lifted.module, lifted.binary.data);
+  const auto result =
+      interp.Run(std::vector<std::int32_t>{0x1FF, 0x2FE});
+  // Inputs carry 9-bit values but consumers demand only 8 bits: the
+  // demanded-bits narrowing masks them (counted as width "violations"),
+  // yet the observable result is unchanged — that is the soundness
+  // property that matters.
+  EXPECT_EQ(result.return_value, 0xFF + 0xFE);
+}
+
+TEST(SizeReduction, DemandedBitsFromByteStore) {
+  // Only the low byte of the sum is stored: the adder narrows to 8 bits.
+  auto lifted = LiftAsm(R"(
+    main:
+      la $t2, out
+      addu $t0, $a0, $a1
+      sb $t0, 0($t2)
+      lbu $v0, 0($t2)
+      jr $ra
+    .data
+    out: .space 4
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  ReduceOperatorSizes(main);
+  for (const auto& block : main.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (instr->op == ir::Opcode::kAdd &&
+          !instr->operands[1].is_const()) {
+        EXPECT_LE(instr->width, 8u);
+      }
+    }
+  }
+  ir::Interpreter interp(lifted.module, lifted.binary.data);
+  EXPECT_EQ(interp.Run(std::vector<std::int32_t>{300, 300}).return_value,
+            (300 + 300) & 0xFF);
+}
+
+TEST(SizeReduction, ComparisonsAreOneBit) {
+  auto lifted = LiftAsm(R"(
+    main:
+      slt $v0, $a0, $a1
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  ReduceOperatorSizes(main);
+  for (const auto& block : main.blocks()) {
+    for (const ir::Instr* instr : block->instrs) {
+      if (ir::IsComparison(instr->op)) {
+        EXPECT_EQ(instr->width, 1u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop rerolling
+// ---------------------------------------------------------------------------
+
+/// Hand-written unrolled loop (factor 4): sums array elements.
+/// Sections are textually isomorphic with address offsets 0,4,8,12.
+constexpr const char* kUnrolledSum = R"(
+  main:
+    la $s2, arr
+    li $s0, 0        # i
+    li $s1, 0        # sum
+  loop:
+    sll $t0, $s0, 2
+    addu $t0, $s2, $t0
+    lw $t1, 0($t0)
+    addu $s1, $s1, $t1
+    sll $t0, $s0, 2
+    addu $t0, $s2, $t0
+    lw $t1, 4($t0)
+    addu $s1, $s1, $t1
+    sll $t0, $s0, 2
+    addu $t0, $s2, $t0
+    lw $t1, 8($t0)
+    addu $s1, $s1, $t1
+    sll $t0, $s0, 2
+    addu $t0, $s2, $t0
+    lw $t1, 12($t0)
+    addu $s1, $s1, $t1
+    addiu $s0, $s0, 4
+    slti $t9, $s0, 16
+    bne $t9, $zero, loop
+    move $v0, $s1
+    jr $ra
+  .data
+  arr:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+)";
+
+TEST(LoopReroll, RerollsHandUnrolledLoop) {
+  auto lifted = LiftAsm(kUnrolledSum);
+  ir::Function& main = *lifted.module.main;
+  const auto stats = RerollLoops(main);
+  EXPECT_EQ(stats.loops_rerolled, 1u);
+  EXPECT_EQ(stats.unroll_factor, 4u);
+  EXPECT_TRUE(ir::Verify(main).ok());
+  // Only one load remains in the loop body.
+  EXPECT_EQ(CountOps(main, ir::Opcode::kLoad), 1u);
+  EXPECT_EQ(InterpResultOf(lifted), 136);
+}
+
+TEST(LoopReroll, RejectsNonUniformBodies) {
+  // Same shape but one section multiplies instead of adding: not unrolled.
+  auto lifted = LiftAsm(R"(
+    main:
+      la $s2, arr
+      li $s0, 0
+      li $s1, 0
+    loop:
+      sll $t0, $s0, 2
+      addu $t0, $s2, $t0
+      lw $t1, 0($t0)
+      addu $s1, $s1, $t1
+      sll $t0, $s0, 2
+      addu $t0, $s2, $t0
+      lw $t1, 4($t0)
+      subu $s1, $s1, $t1    # different opcode: not an unrolled copy
+      addiu $s0, $s0, 2
+      slti $t9, $s0, 8
+      bne $t9, $zero, loop
+      move $v0, $s1
+      jr $ra
+    .data
+    arr: .word 10, 1, 10, 2, 10, 3, 10, 4
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = RerollLoops(main);
+  EXPECT_EQ(stats.loops_rerolled, 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 30);
+}
+
+TEST(LoopReroll, RejectsConstantProgressionsUnrelatedToInduction) {
+  // Sections add 1,2 to the accumulator: the constants form an arithmetic
+  // progression but do NOT derive from the induction variable.  Rerolling
+  // would change semantics; the affine check must reject it.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $s0, 0
+      li $s1, 0
+    loop:
+      addiu $s1, $s1, 1
+      addiu $s1, $s1, 2
+      addiu $s0, $s0, 2
+      slti $t9, $s0, 8
+      bne $t9, $zero, loop
+      move $v0, $s1
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = RerollLoops(main);
+  EXPECT_EQ(stats.loops_rerolled, 0u);
+  EXPECT_EQ(InterpResultOf(lifted), 12);
+}
+
+TEST(LoopReroll, AccumulatorChainsAcrossSections) {
+  // Loop-carried accumulator without memory: sum += i; sum += i+1; i += 2.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $s0, 0
+      li $s1, 0
+    loop:
+      addiu $t0, $s0, 0
+      addu $s1, $s1, $t0
+      addiu $t0, $s0, 1
+      addu $s1, $s1, $t0
+      addiu $s0, $s0, 2
+      slti $t9, $s0, 10
+      bne $t9, $zero, loop
+      move $v0, $s1
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  const auto stats = RerollLoops(main);
+  EXPECT_EQ(stats.loops_rerolled, 1u);
+  EXPECT_EQ(stats.unroll_factor, 2u);
+  EXPECT_EQ(InterpResultOf(lifted), 45);
+}
+
+// ---------------------------------------------------------------------------
+// If-conversion
+// ---------------------------------------------------------------------------
+
+TEST(IfConvert, DiamondBecomesSelect) {
+  // v0 = (a0 > 0) ? a0*2 : -a0
+  auto lifted = LiftAsm(R"(
+    main:
+      bgtz $a0, pos
+      subu $t0, $zero, $a0
+      b merge
+    pos:
+      sll $t0, $a0, 1
+    merge:
+      move $v0, $t0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ConvertIfs(main);
+  EXPECT_EQ(stats.diamonds_converted, 1u);
+  EXPECT_EQ(stats.selects_created, 1u);
+  EXPECT_EQ(CountOps(main, ir::Opcode::kCondBr), 0u);
+  EXPECT_GE(CountOps(main, ir::Opcode::kSelect), 1u);
+  EXPECT_TRUE(ir::Verify(main).ok());
+  ir::Interpreter pos_case(lifted.module, lifted.binary.data);
+  EXPECT_EQ(pos_case.Run(std::vector<std::int32_t>{21}).return_value, 42);
+  ir::Interpreter neg_case(lifted.module, lifted.binary.data);
+  EXPECT_EQ(neg_case.Run(std::vector<std::int32_t>{-7}).return_value, 7);
+}
+
+TEST(IfConvert, TriangleClampBecomesSelect) {
+  // if (a0 > 100) a0 = 100; return a0;  — the ADPCM clamping idiom.
+  auto lifted = LiftAsm(R"(
+    main:
+      move $t0, $a0
+      slti $t1, $t0, 101
+      bne $t1, $zero, done
+      li $t0, 100
+    done:
+      move $v0, $t0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ConvertIfs(main);
+  EXPECT_EQ(stats.diamonds_converted, 1u);
+  EXPECT_EQ(main.blocks().size(), 1u);  // fully linearized
+  ir::Interpreter small(lifted.module, lifted.binary.data);
+  EXPECT_EQ(small.Run(std::vector<std::int32_t>{55}).return_value, 55);
+  ir::Interpreter big(lifted.module, lifted.binary.data);
+  EXPECT_EQ(big.Run(std::vector<std::int32_t>{5000}).return_value, 100);
+}
+
+TEST(IfConvert, RefusesArmsWithStores) {
+  // A store must not be speculated.
+  auto lifted = LiftAsm(R"(
+    main:
+      bgtz $a0, wr
+      b done
+    wr:
+      la $t0, g
+      sw $a0, 0($t0)
+    done:
+      la $t1, g
+      lw $v0, 0($t1)
+      jr $ra
+    .data
+    g: .word 7
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ConvertIfs(main);
+  EXPECT_EQ(stats.diamonds_converted, 0u);
+  ir::Interpreter skip_case(lifted.module, lifted.binary.data);
+  EXPECT_EQ(skip_case.Run(std::vector<std::int32_t>{-1}).return_value, 7);
+}
+
+TEST(IfConvert, LinearizesLoopBodyForPipelining) {
+  // abs-accumulate loop: the if inside the body blocks pipelining until
+  // if-conversion collapses the loop to a single block.
+  auto lifted = LiftAsm(R"(
+    main:
+      li $s0, 0
+      li $s1, -8
+    loop:
+      move $t0, $s1
+      bgez $t0, acc
+      subu $t0, $zero, $t0
+    acc:
+      addu $s0, $s0, $t0
+      addiu $s1, $s1, 1
+      slti $t9, $s1, 8
+      bne $t9, $zero, loop
+      move $v0, $s0
+      jr $ra
+  )");
+  ir::Function& main = *lifted.module.main;
+  SimplifyConstants(main);
+  const auto stats = ConvertIfs(main);
+  EXPECT_GE(stats.diamonds_converted, 1u);
+  // The loop is now a single-block self loop.
+  bool self_loop = false;
+  for (const auto& block : main.blocks()) {
+    for (const ir::Block* succ : block->succs()) {
+      if (succ == block.get()) self_loop = true;
+    }
+  }
+  EXPECT_TRUE(self_loop);
+  EXPECT_EQ(InterpResultOf(lifted), 8 * 9 / 2 + 28);  // |−8..−1| + 0..7
+}
+
+// ---------------------------------------------------------------------------
+// Inlining
+// ---------------------------------------------------------------------------
+
+TEST(Inline, InlinesSmallLeafFunction) {
+  auto binary = mips::Assemble(R"(
+    main:
+      addiu $sp, $sp, -8
+      sw $ra, 0($sp)
+      li $a0, -9
+      jal abs
+      move $s5, $v0      # callee-saved: survives the second call
+      li $a0, 4
+      jal abs
+      addu $v0, $s5, $v0
+      lw $ra, 0($sp)
+      addiu $sp, $sp, 8
+      jr $ra
+    abs:
+      bgez $a0, pos
+      subu $v0, $zero, $a0
+      jr $ra
+    pos:
+      move $v0, $a0
+      jr $ra
+  )");
+  ASSERT_TRUE(binary.ok());
+  auto lifted = Lift(binary.value());
+  ASSERT_TRUE(lifted.ok());
+  ir::Module module = std::move(lifted).take();
+  for (auto& function : module.functions) {
+    SimplifyConstants(*function);
+    RemoveStackOperations(*function);
+    SimplifyConstants(*function);
+  }
+  const auto stats = InlineSmallFunctions(module);
+  EXPECT_EQ(stats.calls_inlined, 2u);
+  EXPECT_EQ(CountOps(*module.main, ir::Opcode::kCall), 0u);
+  EXPECT_TRUE(ir::Verify(*module.main).ok());
+  ir::Interpreter interp(module, binary.value().data);
+  const auto result = interp.Run();
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.return_value, 13);
+}
+
+}  // namespace
+}  // namespace b2h::decomp
