@@ -5,15 +5,18 @@
 // serializing through the memory port, strength promotion frees the
 // synthesis tool to choose the multiplier implementation, loop rerolling
 // recovers compact loop bodies, and size reduction shrinks every operator.
-// Here each pass is disabled in turn and the suite-average hardware time
-// and area are re-measured: the delta is that pass's contribution.
+// Each variant is a pipeline spec ("default,-reroll-loops", ...) handed to
+// Toolchain::WithPipeline — the PassManager disable strings replace the old
+// boolean ablation flags — and the suite-average hardware time and area are
+// re-measured: the delta is that pass's contribution.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "partition/flow.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
 
 using namespace b2h;
 
@@ -21,7 +24,7 @@ namespace {
 
 struct Variant {
   const char* name;
-  void (*apply)(decomp::DecompileOptions&);
+  const char* pipeline;  ///< PassManager spec string
 };
 
 struct Totals {
@@ -31,24 +34,22 @@ struct Totals {
   int count = 0;
 };
 
-Totals Measure(const Variant& variant) {
+Totals Measure(const std::vector<NamedBinary>& binaries,
+               const Variant& variant) {
   Totals totals;
-  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
-    // -O3 binaries stress rerolling; -O0 would stress stack removal most,
-    // but O3 exercises every pass at once.
-    auto binary = suite::BuildBinary(*bench, 3);
-    if (!binary.ok()) continue;
-    partition::FlowOptions options;
-    variant.apply(options.decompile);
-    auto flow = partition::RunFlow(binary.value(), options);
-    if (!flow.ok()) continue;
+  Toolchain toolchain;
+  toolchain.WithPipeline(variant.pipeline);
+  const BatchResult batch =
+      toolchain.RunMany(binaries, {"mips200-xc2v1000"});
+  for (const auto& run : batch.runs) {
+    if (!run.ok()) continue;
     double hw_time = 0.0;
-    for (const auto& kernel : flow.value().estimate.kernels) {
+    for (const auto& kernel : run.value().estimate.kernels) {
       hw_time += kernel.hw_time;
     }
     totals.hw_time += hw_time;
-    totals.area += flow.value().estimate.area_gates;
-    totals.speedup += flow.value().estimate.speedup;
+    totals.area += run.value().estimate.area_gates;
+    totals.speedup += run.value().estimate.speedup;
     ++totals.count;
   }
   return totals;
@@ -59,31 +60,34 @@ Totals Measure(const Variant& variant) {
 int main() {
   printf("=== E4: decompilation optimization ablation (suite at -O3) ===\n\n");
   const std::vector<Variant> variants = {
-      {"all passes (baseline)", [](decomp::DecompileOptions&) {}},
-      {"no constant propagation",
-       [](decomp::DecompileOptions& o) { o.simplify_constants = false; }},
-      {"no stack-op removal",
-       [](decomp::DecompileOptions& o) { o.remove_stack_ops = false; }},
-      {"no loop rerolling",
-       [](decomp::DecompileOptions& o) { o.reroll_loops = false; }},
-      {"no strength promotion",
-       [](decomp::DecompileOptions& o) { o.promote_strength = false; }},
-      {"no strength reduction",
-       [](decomp::DecompileOptions& o) { o.reduce_strength = false; }},
-      {"no size reduction",
-       [](decomp::DecompileOptions& o) { o.reduce_operator_sizes = false; }},
-      {"no inlining",
-       [](decomp::DecompileOptions& o) { o.inline_small_functions = false; }},
-      {"no if-conversion",
-       [](decomp::DecompileOptions& o) { o.convert_ifs = false; }},
+      {"all passes (baseline)", "default"},
+      {"no constant propagation", "default,-simplify-constants"},
+      {"no stack-op removal", "default,-remove-stack-ops"},
+      {"no loop rerolling", "default,-reroll-loops"},
+      {"no strength promotion", "default,-promote-strength"},
+      {"no strength reduction", "default,-reduce-strength"},
+      {"no size reduction", "default,-reduce-operator-sizes"},
+      {"no inlining", "default,-inline-small-functions"},
+      {"no if-conversion", "default,-convert-ifs"},
   };
+
+  // -O3 binaries stress rerolling; -O0 would stress stack removal most,
+  // but O3 exercises every pass at once.  Built once, reused per variant.
+  std::vector<NamedBinary> binaries;
+  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+    auto binary = suite::BuildBinary(*bench, 3);
+    if (!binary.ok()) continue;
+    binaries.push_back(
+        {bench->name,
+         std::make_shared<const mips::SoftBinary>(std::move(binary).take())});
+  }
 
   printf("%-26s %10s %12s %12s %9s\n", "variant", "ok", "hw time(ms)",
          "avg gates", "speedup");
   Totals baseline;
   bool first = true;
   for (const Variant& variant : variants) {
-    const Totals totals = Measure(variant);
+    const Totals totals = Measure(binaries, variant);
     if (first) {
       baseline = totals;
       first = false;

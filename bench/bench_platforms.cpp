@@ -5,14 +5,19 @@
 //    microprocessor, the application speedup was 12.6 and the energy
 //    savings were 84%."  (paper §4)
 //
-// The same suite is partitioned against 40/200/400 MHz CPUs; hardware time
+// The same suite is partitioned against the three registered platforms
+// (mips40 / mips200-xc2v1000 / mips400) in ONE Toolchain::RunMany batch:
+// each benchmark binary is profiled and decompiled once, and the cached
+// CDFG is re-partitioned per platform on the thread pool.  Hardware time
 // is CPU-frequency independent, so slower processors see larger speedups —
 // the trend must fall out of the model, not be pasted in.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "partition/flow.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
 
 using namespace b2h;
 
@@ -20,28 +25,41 @@ int main() {
   printf("=== E2: platform sweep (suite averages at each CPU clock) ===\n\n");
   printf("%10s %12s %12s %14s\n", "cpu (MHz)", "speedup", "energy %",
          "paper (s/e%)");
+  const std::vector<std::string> platforms = {"mips40", "mips200-xc2v1000",
+                                              "mips400"};
   const double clocks[] = {40.0, 200.0, 400.0};
   const char* paper[] = {"12.6 / 84%", "5.4 / 69%", "3.8 / 49%"};
 
-  for (int i = 0; i < 3; ++i) {
+  std::vector<NamedBinary> binaries;
+  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+    auto binary = suite::BuildBinary(*bench, 1);
+    if (!binary.ok()) continue;
+    binaries.push_back(
+        {bench->name,
+         std::make_shared<const mips::SoftBinary>(std::move(binary).take())});
+  }
+
+  // One batch: |suite| binaries x 3 platforms, one decompilation each.
+  Toolchain toolchain;
+  const BatchResult batch = toolchain.RunMany(binaries, platforms);
+
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
     double sum_speedup = 0.0;
     double sum_energy = 0.0;
     int count = 0;
-    for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
-      auto binary = suite::BuildBinary(*bench, 1);
-      if (!binary.ok()) continue;
-      partition::FlowOptions options;
-      options.platform = partition::Platform::WithCpuMhz(clocks[i]);
-      auto flow = partition::RunFlow(binary.value(), options);
-      if (!flow.ok()) continue;
-      sum_speedup += flow.value().estimate.speedup;
-      sum_energy += flow.value().estimate.energy_savings;
+    for (std::size_t b = 0; b < binaries.size(); ++b) {
+      const auto& run = batch.At(b, p);
+      if (!run.ok()) continue;
+      sum_speedup += run.value().estimate.speedup;
+      sum_energy += run.value().estimate.energy_savings;
       ++count;
     }
-    printf("%10.0f %12.1f %12.0f %14s\n", clocks[i], sum_speedup / count,
-           sum_energy / count * 100.0, paper[i]);
+    printf("%10.0f %12.1f %12.0f %14s\n", clocks[p], sum_speedup / count,
+           sum_energy / count * 100.0, paper[p]);
   }
-  printf("\nShape check: speedup and savings must both fall as the CPU "
+  printf("\n(%zu binaries, %zu runs, %zu decompilations — one per binary)\n",
+         binaries.size(), batch.runs.size(), batch.decompilations_run);
+  printf("Shape check: speedup and savings must both fall as the CPU "
          "clock rises.\n");
   return 0;
 }

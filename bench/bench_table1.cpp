@@ -7,14 +7,16 @@
 //    ... The only unsuccessful situations occurred during CDFG recovery,
 //    which failed for two EEMBC examples because of indirect jumps."
 //
-// This harness compiles every benchmark at -O1 (as the paper does), runs
-// the full flow on the 200 MHz platform, and prints one row per benchmark
-// plus the averages to compare against the paper.
+// This harness compiles every benchmark at -O1 (as the paper does), batches
+// them through Toolchain::RunMany on the 200 MHz platform, and prints one
+// row per benchmark plus the averages to compare against the paper.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "partition/flow.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
 
 using namespace b2h;
 
@@ -24,13 +26,8 @@ int main() {
   printf("%-11s %-11s %9s %9s %8s %8s %8s %10s\n", "benchmark", "suite",
          "sw(ms)", "hw(ms)", "speedup", "kernel", "energy%", "gates");
 
-  double sum_speedup = 0.0;
-  double sum_kernel = 0.0;
-  double sum_energy = 0.0;
-  double sum_area = 0.0;
-  int successes = 0;
-  int failures = 0;
-
+  std::vector<NamedBinary> binaries;
+  std::vector<const suite::Benchmark*> built;
   for (const auto& bench : suite::AllBenchmarks()) {
     auto binary = suite::BuildBinary(bench, 1);
     if (!binary.ok()) {
@@ -38,15 +35,32 @@ int main() {
              bench.origin.c_str(), binary.status().message().c_str());
       continue;
     }
-    partition::FlowOptions options;  // 200 MHz default platform
-    auto flow = partition::RunFlow(binary.value(), options);
-    if (!flow.ok()) {
+    binaries.push_back(
+        {bench.name,
+         std::make_shared<const mips::SoftBinary>(std::move(binary).take())});
+    built.push_back(&bench);
+  }
+
+  Toolchain toolchain;
+  const BatchResult batch = toolchain.RunMany(binaries, {"mips200-xc2v1000"});
+
+  double sum_speedup = 0.0;
+  double sum_kernel = 0.0;
+  double sum_energy = 0.0;
+  double sum_area = 0.0;
+  int successes = 0;
+  int failures = 0;
+
+  for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+    const auto& run = batch.runs[i];
+    const suite::Benchmark& bench = *built[i];
+    if (!run.ok()) {
       printf("%-11s %-11s CDFG recovery failed (%s)\n", bench.name.c_str(),
-             bench.origin.c_str(), ToString(flow.status().kind()));
+             bench.origin.c_str(), ToString(run.status().kind()));
       ++failures;
       continue;
     }
-    const auto& est = flow.value().estimate;
+    const auto& est = run.value().estimate;
     printf("%-11s %-11s %9.3f %9.3f %8.1f %8.1f %8.0f %10.0f\n",
            bench.name.c_str(), bench.origin.c_str(), est.sw_time * 1e3,
            est.partitioned_time * 1e3, est.speedup, est.avg_kernel_speedup,

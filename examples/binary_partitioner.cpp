@@ -7,17 +7,20 @@
 //
 //   ./build/examples/binary_partitioner path/to/program.s
 //   ./build/examples/binary_partitioner crc
+//   ./build/examples/binary_partitioner crc --platform mips400
 //   ./build/examples/binary_partitioner crc --cpu-mhz 400 --fpga-kgates 50
+//   ./build/examples/binary_partitioner crc --pipeline default,-reroll-loops
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "mips/assembler.hpp"
-#include "partition/flow.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
 
 using namespace b2h;
 
@@ -49,43 +52,72 @@ std::string SafeFileName(std::string name) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    printf("usage: %s <program.s | benchmark-name> [--cpu-mhz N] "
-           "[--fpga-kgates N]\n", argv[0]);
+    printf("usage: %s <program.s | benchmark-name> [--platform NAME] "
+           "[--cpu-mhz N] [--fpga-kgates N] [--pipeline SPEC]\n", argv[0]);
+    printf("registered platforms:");
+    for (const auto& name : PlatformRegistry::Global().Names()) {
+      printf(" %s", name.c_str());
+    }
+    printf("\n");
     return 1;
   }
-  partition::FlowOptions options;
+
+  Toolchain toolchain;
+  partition::Platform platform =
+      *PlatformRegistry::Global().Find("mips200-xc2v1000");
+  std::string platform_label = "mips200-xc2v1000";
   const std::string input = argv[1];
+  // Pass 1: pick the base platform, so --cpu-mhz/--fpga-kgates compose on
+  // top of it regardless of flag order.
   for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--cpu-mhz") == 0) {
-      options.platform.cpu.clock_mhz = std::atof(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--fpga-kgates") == 0) {
-      options.platform.fpga.capacity_gates = std::atof(argv[i + 1]) * 1000.0;
-      options.platform.fpga.usable_fraction = 1.0;
+    if (std::strcmp(argv[i], "--platform") == 0) {
+      auto found = PlatformRegistry::Global().Find(argv[i + 1]);
+      if (!found.has_value()) {
+        printf("unknown platform '%s'\n", argv[i + 1]);
+        return 1;
+      }
+      platform = *found;
+      platform_label = argv[i + 1];
     }
   }
+  // Pass 2: overrides.
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--cpu-mhz") == 0) {
+      platform.cpu.clock_mhz = std::atof(argv[i + 1]);
+      platform_label += "+custom";
+    } else if (std::strcmp(argv[i], "--fpga-kgates") == 0) {
+      platform.fpga.capacity_gates = std::atof(argv[i + 1]) * 1000.0;
+      platform.fpga.usable_fraction = 1.0;
+      platform_label += "+custom";
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      toolchain.WithPipeline(argv[i + 1]);
+    }
+  }
+  toolchain.WithPlatform(platform, platform_label);
 
-  auto binary = LoadInput(input);
-  if (!binary.ok()) {
-    printf("error: %s\n", binary.status().message().c_str());
+  auto loaded = LoadInput(input);
+  if (!loaded.ok()) {
+    printf("error: %s\n", loaded.status().message().c_str());
     return 1;
   }
-  printf("loaded %zu instructions, %zu data bytes\n",
-         binary.value().text.size(), binary.value().data.size());
+  auto binary =
+      std::make_shared<const mips::SoftBinary>(std::move(loaded).take());
+  printf("loaded %zu instructions, %zu data bytes\n", binary->text.size(),
+         binary->data.size());
 
-  auto flow = partition::RunFlow(binary.value(), options);
-  if (!flow.ok()) {
+  auto run = toolchain.Run(binary, input);
+  if (!run.ok()) {
     // The paper's failure mode: indirect jumps defeat CDFG recovery; the
     // program simply stays all-software.
-    printf("partitioning failed (%s): %s\n",
-           ToString(flow.status().kind()),
-           flow.status().message().c_str());
+    printf("partitioning failed (%s): %s\n", ToString(run.status().kind()),
+           run.status().message().c_str());
     printf("the application remains software-only.\n");
     return 2;
   }
 
-  printf("\n%s\n", flow.value().Report().c_str());
+  printf("\n%s\n", run.value().Report().c_str());
 
-  for (const auto& kernel : flow.value().partition.hw) {
+  for (const auto& kernel : run.value().partition.hw) {
     const std::string path =
         "hw_" + SafeFileName(kernel.synthesized.region.name) + ".vhd";
     std::ofstream out(path);
@@ -95,9 +127,9 @@ int main(int argc, char** argv) {
            kernel.arrays_resident ? "arrays resident in BRAM"
                                   : "arrays in main memory");
   }
-  if (!flow.value().partition.rejected.empty()) {
+  if (!run.value().partition.rejected.empty()) {
     printf("\nregions not moved to hardware:\n");
-    for (const auto& reason : flow.value().partition.rejected) {
+    for (const auto& reason : run.value().partition.rejected) {
       printf("  %s\n", reason.c_str());
     }
   }

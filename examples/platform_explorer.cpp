@@ -2,16 +2,21 @@
 // to more easily evaluate different types of platforms with different clock
 // speeds and FPGA sizes").
 //
-// Sweeps CPU clock and FPGA capacity for one benchmark and prints the
-// speedup/energy matrix a platform architect would look at.
+// Registers one named platform per (CPU clock, FPGA capacity) point in the
+// PlatformRegistry, then sweeps them all over one benchmark binary in a
+// single Toolchain::RunMany batch — the binary is profiled and decompiled
+// once for the whole matrix — and prints the speedup/energy matrix a
+// platform architect would look at.
 //
 // Build & run:  ./build/examples/platform_explorer [benchmark]
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "partition/flow.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
 
 using namespace b2h;
 
@@ -26,11 +31,13 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
-  auto binary = suite::BuildBinary(*bench, 1);
-  if (!binary.ok()) {
-    printf("build error: %s\n", binary.status().message().c_str());
+  auto built = suite::BuildBinary(*bench, 1);
+  if (!built.ok()) {
+    printf("build error: %s\n", built.status().message().c_str());
     return 1;
   }
+  auto binary =
+      std::make_shared<const mips::SoftBinary>(std::move(built).take());
 
   printf("platform exploration for '%s' (%s)\n\n", bench->name.c_str(),
          bench->description.c_str());
@@ -38,30 +45,49 @@ int main(int argc, char** argv) {
   const double cpu_clocks[] = {40, 100, 200, 400};
   const double fpga_kgates[] = {15, 50, 300};
 
+  // Register the whole design-space grid as named platforms.
+  std::vector<std::string> platform_names;
+  for (double mhz : cpu_clocks) {
+    for (double kg : fpga_kgates) {
+      partition::Platform platform = partition::Platform::WithCpuMhz(mhz);
+      platform.fpga.capacity_gates = kg * 1000.0;
+      platform.fpga.usable_fraction = 1.0;
+      std::string platform_name = "mips" + std::to_string((int)mhz) + "-" +
+                                  std::to_string((int)kg) + "kg";
+      PlatformRegistry::Global().Register(platform_name, platform);
+      platform_names.push_back(std::move(platform_name));
+    }
+  }
+
+  // One batch over the full matrix; one decompilation total.
+  Toolchain toolchain;
+  const BatchResult batch = toolchain.RunMany(
+      {{bench->name, binary}}, platform_names);
+
   printf("%-10s", "cpu\\fpga");
   for (double kg : fpga_kgates) printf("   %6.0fk gates   ", kg);
   printf("\n");
+  std::size_t index = 0;
   for (double mhz : cpu_clocks) {
     printf("%6.0fMHz ", mhz);
-    for (double kg : fpga_kgates) {
-      partition::FlowOptions options;
-      options.platform = partition::Platform::WithCpuMhz(mhz);
-      options.platform.fpga.capacity_gates = kg * 1000.0;
-      options.platform.fpga.usable_fraction = 1.0;
-      auto flow = partition::RunFlow(binary.value(), options);
-      if (!flow.ok()) {
+    for (std::size_t k = 0; k < std::size(fpga_kgates); ++k) {
+      const auto& run = batch.runs[index++];
+      if (!run.ok()) {
         printf("   %-15s", "flow failed");
         continue;
       }
       char cell[32];
       snprintf(cell, sizeof cell, "%5.1fx / %3.0f%%",
-               flow.value().estimate.speedup,
-               flow.value().estimate.energy_savings * 100.0);
+               run.value().estimate.speedup,
+               run.value().estimate.energy_savings * 100.0);
       printf("   %-15s", cell);
     }
     printf("\n");
   }
   printf("\n(each cell: application speedup / energy savings vs "
-         "software-only on the same CPU)\n");
+         "software-only on the same CPU;\n %zu platform points, "
+         "%zu decompilation%s)\n",
+         batch.runs.size(), batch.decompilations_run,
+         batch.decompilations_run == 1 ? "" : "s");
   return 0;
 }

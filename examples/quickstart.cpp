@@ -1,15 +1,16 @@
 // Quickstart: the complete flow on a small program, end to end.
 //
 //   MiniC source -> MIPS binary (the "any compiler" stand-in)
-//   -> profile on the simulated MIPS
-//   -> decompile the *binary* into an annotated CDFG
-//   -> partition hot loops to the FPGA, synthesize, estimate
+//   -> b2h::Toolchain: profile on the simulated MIPS, decompile the
+//      *binary* into an annotated CDFG (PassManager pipeline), partition
+//      hot loops to the FPGA, synthesize, estimate
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <memory>
 
 #include "minicc/codegen.hpp"
-#include "partition/flow.hpp"
+#include "toolchain/toolchain.hpp"
 
 using namespace b2h;
 
@@ -57,21 +58,24 @@ int main() {
     printf("compile error: %s\n", compiled.status().message().c_str());
     return 1;
   }
-  printf("compiled: %zu MIPS instructions\n",
-         compiled.value().binary.text.size());
+  auto binary = std::make_shared<const mips::SoftBinary>(
+      std::move(compiled).take().binary);
+  printf("compiled: %zu MIPS instructions\n", binary->text.size());
 
-  // 2. Run the whole binary-level partitioning flow.
-  partition::FlowOptions options;  // MIPS@200MHz + Virtex-II defaults
-  auto flow = partition::RunFlow(compiled.value().binary, options);
-  if (!flow.ok()) {
-    printf("flow error: %s\n", flow.status().message().c_str());
+  // 2. Run the whole binary-level partitioning flow on the default
+  //    platform ("mips200-xc2v1000": MIPS@200MHz + Virtex-II).
+  Toolchain toolchain;
+  toolchain.WithPipeline("default");  // the paper's full pass pipeline
+  auto run = toolchain.Run(binary, "threshold");
+  if (!run.ok()) {
+    printf("flow error: %s\n", run.status().message().c_str());
     return 1;
   }
-  printf("\n%s\n", flow.value().Report().c_str());
+  printf("\n%s\n", run.value().Report().c_str());
 
   // 3. Peek at the generated VHDL for the first hardware region.
-  if (!flow.value().partition.hw.empty()) {
-    const auto& kernel = flow.value().partition.hw.front();
+  if (!run.value().partition.hw.empty()) {
+    const auto& kernel = run.value().partition.hw.front();
     printf("--- VHDL for %s (first 25 lines) ---\n",
            kernel.synthesized.region.name.c_str());
     const std::string& vhdl = kernel.synthesized.vhdl;

@@ -9,8 +9,9 @@
 // Build & run:  ./build/examples/whole_app_synthesis [out.vhd]
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
-#include "decomp/pipeline.hpp"
+#include "decomp/pass_manager.hpp"
 #include "mips/simulator.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
@@ -33,13 +34,19 @@ int main(int argc, char** argv) {
   printf("software: rv=%d, %llu cycles\n", run.return_value,
          static_cast<unsigned long long>(run.cycles));
 
-  decomp::DecompileOptions decompile_options;
-  decompile_options.profile = &run.profile;
-  auto program = decomp::Decompile(binary.value(), decompile_options);
+  // Decompile through the default registered pipeline (pass manager API).
+  auto pipeline = decomp::PassManager::Preset("default");
+  auto program = pipeline.value().Run(
+      std::make_shared<const mips::SoftBinary>(binary.value()), &run.profile);
   if (!program.ok()) {
     printf("decompile error: %s\n", program.status().message().c_str());
     return 1;
   }
+  printf("pipeline:");
+  for (const auto& pass_run : program.value().pass_runs) {
+    printf(" %s", pass_run.pass.c_str());
+  }
+  printf("\n");
 
   // The whole of main as one hardware region (helpers were inlined).
   const ir::Function* main_fn = program.value().module.main;

@@ -1,0 +1,364 @@
+#include "decomp/pass_manager.hpp"
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+
+#include "decomp/lifter.hpp"
+#include "decomp/passes.hpp"
+#include "ir/verifier.hpp"
+
+namespace b2h::decomp {
+
+namespace {
+
+/// Adapter turning a stats-producing callable into a registered Pass.
+class LambdaPass final : public Pass {
+ public:
+  using Body = std::function<void(ir::Module&, PassRunStats&, DecompileStats&)>;
+
+  LambdaPass(std::string name, std::string description, Body body)
+      : Pass(std::move(name), std::move(description)), body_(std::move(body)) {}
+
+  void Run(ir::Module& module, PassRunStats& run,
+           DecompileStats& stats) const override {
+    body_(module, run, stats);
+  }
+
+ private:
+  Body body_;
+};
+
+void RegisterBuiltins(PassRegistry& registry) {
+  auto add = [&registry](const char* name, const char* description,
+                         LambdaPass::Body body) {
+    registry.Register(
+        std::make_unique<LambdaPass>(name, description, std::move(body)));
+  };
+
+  add("reroll-loops", "roll compiler-unrolled loop bodies back up",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const RerollStats reroll = RerollLoops(*function);
+          run.counters["loops_rerolled"] += reroll.loops_rerolled;
+          run.counters["ops_removed"] += reroll.ops_removed;
+          stats.loops_rerolled += reroll.loops_rerolled;
+          stats.reroll_ops_removed += reroll.ops_removed;
+        }
+      });
+
+  add("simplify-constants",
+      "constant folding / copy propagation / move-idiom removal to fixpoint",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const std::size_t simplified = SimplifyConstants(*function);
+          run.counters["simplified"] += simplified;
+          stats.constants_simplified += simplified;
+        }
+      });
+
+  add("remove-stack-ops", "promote stack slots to SSA values",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const StackRemovalStats stack = RemoveStackOperations(*function);
+          run.counters["slots_promoted"] += stack.slots_promoted;
+          run.counters["loads_removed"] += stack.loads_removed;
+          run.counters["stores_removed"] += stack.stores_removed;
+          stats.stack_slots_promoted += stack.slots_promoted;
+          stats.stack_ops_removed +=
+              stack.loads_removed + stack.stores_removed;
+        }
+      });
+
+  add("inline-small-functions",
+      "inline small leaf callees so helper-calling loops stay synthesizable",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        const InlineStats inlined = InlineSmallFunctions(module);
+        run.counters["calls_inlined"] += inlined.calls_inlined;
+        stats.calls_inlined += inlined.calls_inlined;
+      });
+
+  add("convert-ifs", "turn short branch diamonds/triangles into selects",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const IfConversionStats ifs = ConvertIfs(*function);
+          run.counters["diamonds_converted"] += ifs.diamonds_converted;
+          run.counters["selects_created"] += ifs.selects_created;
+          stats.ifs_converted += ifs.diamonds_converted;
+        }
+      });
+
+  add("promote-strength",
+      "collapse shift/add chains back into multiplications",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const StrengthPromotionStats promoted = PromoteStrength(*function);
+          run.counters["muls_recovered"] += promoted.muls_recovered;
+          run.counters["ops_collapsed"] += promoted.ops_collapsed;
+          stats.muls_recovered += promoted.muls_recovered;
+        }
+      });
+
+  add("reduce-strength",
+      "mul/div/rem by powers of two become shifts/masks for synthesis",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const StrengthReductionStats reduced = ReduceStrength(*function);
+          run.counters["muls_to_shifts"] += reduced.muls_to_shifts;
+          run.counters["divs_to_shifts"] += reduced.divs_to_shifts;
+          run.counters["rems_to_masks"] += reduced.rems_to_masks;
+          stats.strength_reduced += reduced.muls_to_shifts +
+                                    reduced.divs_to_shifts +
+                                    reduced.rems_to_masks;
+        }
+      });
+
+  add("reduce-operator-sizes",
+      "annotate every instruction with its significant result width",
+      [](ir::Module& module, PassRunStats& run, DecompileStats& stats) {
+        for (const auto& function : module.functions) {
+          const SizeReductionStats sizes = ReduceOperatorSizes(*function);
+          run.counters["narrowed"] += sizes.narrowed;
+          run.counters["bits_saved"] += sizes.total_bits_saved;
+          stats.instrs_narrowed += sizes.narrowed;
+          stats.bits_saved += sizes.total_bits_saved;
+        }
+      });
+}
+
+/// The paper pipeline.  The interleaved "simplify-constants" cleanups are
+/// where the old hardwired code conditionally re-ran constant propagation;
+/// the pass runs to fixpoint, so running it unconditionally is equivalent.
+const std::vector<std::string>& DefaultNames() {
+  static const std::vector<std::string> names = {
+      "reroll-loops",
+      "simplify-constants",
+      "remove-stack-ops",
+      "simplify-constants",
+      "inline-small-functions",
+      "simplify-constants",
+      "convert-ifs",
+      "simplify-constants",
+      "promote-strength",
+      "reduce-strength",
+      "reduce-operator-sizes",
+  };
+  return names;
+}
+
+/// Instruction-set overhead removal only (paper §2, first family).
+const std::vector<std::string>& IsOverheadOnlyNames() {
+  static const std::vector<std::string> names = {
+      "simplify-constants", "remove-stack-ops",      "simplify-constants",
+      "reduce-strength",    "reduce-operator-sizes",
+  };
+  return names;
+}
+
+/// Everything except the undo-compiler-optimization family (reroll,
+/// strength promotion, inlining — paper §2, second family).
+const std::vector<std::string>& NoUndoNames() {
+  static const std::vector<std::string> names = {
+      "simplify-constants", "remove-stack-ops", "simplify-constants",
+      "convert-ifs",        "simplify-constants", "reduce-strength",
+      "reduce-operator-sizes",
+  };
+  return names;
+}
+
+}  // namespace
+
+namespace {
+
+// Guards the registry's pass list: runtime registration is advertised and
+// Toolchain batches read the registry from worker threads.  Passes are
+// never removed, so a Pass* stays valid once returned.
+std::mutex& PassRegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+PassRegistry& PassRegistry::Global() {
+  static PassRegistry* registry = [] {
+    auto* r = new PassRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PassRegistry::Register(std::unique_ptr<Pass> pass) {
+  Check(pass != nullptr, "PassRegistry::Register: null pass");
+  const std::lock_guard<std::mutex> lock(PassRegistryMutex());
+  for (const auto& existing : passes_) {
+    if (existing->name() == pass->name()) {
+      throw InternalError("duplicate pass name: " + pass->name());
+    }
+  }
+  passes_.push_back(std::move(pass));
+}
+
+const Pass* PassRegistry::Find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(PassRegistryMutex());
+  for (const auto& pass : passes_) {
+    if (pass->name() == name) return pass.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PassRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(PassRegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.push_back(pass->name());
+  return names;
+}
+
+Result<PassManager> PassManager::Preset(std::string_view preset) {
+  if (preset == "default") return FromNames(DefaultNames());
+  if (preset == "is-overhead-only") return FromNames(IsOverheadOnlyNames());
+  if (preset == "no-undo") return FromNames(NoUndoNames());
+  if (preset == "none") return PassManager();
+  return Status::Error(ErrorKind::kUnsupported,
+                       "unknown pipeline preset: " + std::string(preset));
+}
+
+Result<PassManager> PassManager::FromNames(
+    const std::vector<std::string>& names) {
+  PassManager manager;
+  for (const std::string& name : names) {
+    if (Status status = manager.Append(name); !status.ok()) return status;
+  }
+  return manager;
+}
+
+Result<PassManager> PassManager::FromSpec(std::string_view spec) {
+  PassManager manager;
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    std::string_view token = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    // Trim surrounding spaces.
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) {
+      first = false;
+      continue;
+    }
+    if (token.front() == '-') {
+      const std::string_view name = token.substr(1);
+      // A typo'd disable would otherwise silently run the full pipeline —
+      // fatal for ablation results.
+      if (PassRegistry::Global().Find(name) == nullptr) {
+        return Status::Error(ErrorKind::kUnsupported,
+                             "unknown pass in disable: " + std::string(name));
+      }
+      manager.Disable(name);
+    } else if (first && PassRegistry::Global().Find(token) == nullptr) {
+      auto preset = Preset(token);
+      if (!preset.ok()) return preset.status();
+      manager = std::move(preset).take();
+    } else {
+      if (Status status = manager.Append(token); !status.ok()) return status;
+    }
+    first = false;
+  }
+  return manager;
+}
+
+PassManager PassManager::FromOptions(const DecompileOptions& options) {
+  PassManager manager;
+  auto append = [&manager](bool enabled, const char* name) {
+    if (!enabled) return;
+    const Status status = manager.Append(name);
+    Check(status.ok(), "built-in pass missing from registry");
+  };
+  append(options.reroll_loops, "reroll-loops");
+  append(options.simplify_constants, "simplify-constants");
+  append(options.remove_stack_ops, "remove-stack-ops");
+  append(options.remove_stack_ops && options.simplify_constants,
+         "simplify-constants");
+  append(options.inline_small_functions, "inline-small-functions");
+  append(options.inline_small_functions && options.simplify_constants,
+         "simplify-constants");
+  append(options.convert_ifs, "convert-ifs");
+  append(options.convert_ifs && options.simplify_constants,
+         "simplify-constants");
+  append(options.promote_strength, "promote-strength");
+  append(options.reduce_strength, "reduce-strength");
+  append(options.reduce_operator_sizes, "reduce-operator-sizes");
+  manager.SetVerify(options.verify);
+  return manager;
+}
+
+Status PassManager::Append(std::string_view name) {
+  const Pass* pass = PassRegistry::Global().Find(name);
+  if (pass == nullptr) {
+    return Status::Error(ErrorKind::kUnsupported,
+                         "unknown pass: " + std::string(name));
+  }
+  pipeline_.push_back(pass);
+  return Status::Ok();
+}
+
+PassManager& PassManager::Disable(std::string_view name) {
+  std::erase_if(pipeline_,
+                [name](const Pass* pass) { return pass->name() == name; });
+  return *this;
+}
+
+void PassManager::RunOnModule(ir::Module& module, DecompileStats& stats,
+                              std::vector<PassRunStats>& pass_runs) const {
+  using Clock = std::chrono::steady_clock;
+  for (const Pass* pass : pipeline_) {
+    PassRunStats run;
+    run.pass = pass->name();
+    const auto start = Clock::now();
+    pass->Run(module, run, stats);
+    run.millis =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    pass_runs.push_back(std::move(run));
+  }
+}
+
+Result<DecompiledProgram> PassManager::Run(
+    std::shared_ptr<const mips::SoftBinary> binary,
+    const mips::ExecProfile* profile) const {
+  Check(binary != nullptr, "PassManager::Run: null binary");
+  LiftOptions lift_options;
+  lift_options.profile = profile;
+  auto lifted = Lift(*binary, lift_options);
+  if (!lifted.ok()) return lifted.status();
+
+  DecompiledProgram program;
+  program.module = std::move(lifted).take();
+  program.binary = std::move(binary);
+
+  for (const auto& function : program.module.functions) {
+    program.stats.lifted_instrs += function->NumInstrs();
+  }
+
+  RunOnModule(program.module, program.stats, program.pass_runs);
+
+  // Final cleanup: dead-instruction elimination + CFG recompute, always.
+  for (const auto& function : program.module.functions) {
+    function->RemoveDeadInstrs();
+    function->RecomputeCfg();
+    program.stats.final_instrs += function->NumInstrs();
+  }
+
+  if (verify_) {
+    if (Status status = ir::Verify(program.module); !status.ok()) {
+      return status;
+    }
+  }
+  return program;
+}
+
+}  // namespace b2h::decomp

@@ -1,89 +1,19 @@
 #include "decomp/pipeline.hpp"
 
-#include "decomp/lifter.hpp"
-#include "ir/verifier.hpp"
+#include "decomp/pass_manager.hpp"
 
 namespace b2h::decomp {
 
+Result<DecompiledProgram> Decompile(
+    std::shared_ptr<const mips::SoftBinary> binary,
+    const DecompileOptions& options) {
+  return PassManager::FromOptions(options).Run(std::move(binary),
+                                               options.profile);
+}
+
 Result<DecompiledProgram> Decompile(const mips::SoftBinary& binary,
                                     const DecompileOptions& options) {
-  LiftOptions lift_options;
-  lift_options.profile = options.profile;
-  auto lifted = Lift(binary, lift_options);
-  if (!lifted.ok()) return lifted.status();
-
-  DecompiledProgram program;
-  program.module = std::move(lifted).take();
-  program.binary = &binary;
-  DecompileStats& stats = program.stats;
-
-  for (const auto& function : program.module.functions) {
-    stats.lifted_instrs += function->NumInstrs();
-  }
-
-  for (const auto& function : program.module.functions) {
-    if (options.reroll_loops) {
-      const RerollStats reroll = RerollLoops(*function);
-      stats.loops_rerolled += reroll.loops_rerolled;
-      stats.reroll_ops_removed += reroll.ops_removed;
-    }
-    if (options.simplify_constants) {
-      stats.constants_simplified += SimplifyConstants(*function);
-    }
-    if (options.remove_stack_ops) {
-      const StackRemovalStats stack = RemoveStackOperations(*function);
-      stats.stack_slots_promoted += stack.slots_promoted;
-      stats.stack_ops_removed += stack.loads_removed + stack.stores_removed;
-      if (options.simplify_constants) {
-        stats.constants_simplified += SimplifyConstants(*function);
-      }
-    }
-  }
-
-  if (options.inline_small_functions) {
-    const InlineStats inlined = InlineSmallFunctions(program.module);
-    stats.calls_inlined += inlined.calls_inlined;
-    if (inlined.calls_inlined > 0 && options.simplify_constants) {
-      for (const auto& function : program.module.functions) {
-        stats.constants_simplified += SimplifyConstants(*function);
-      }
-    }
-  }
-
-  for (const auto& function : program.module.functions) {
-    if (options.convert_ifs) {
-      const IfConversionStats ifs = ConvertIfs(*function);
-      stats.ifs_converted += ifs.diamonds_converted;
-      if (ifs.diamonds_converted > 0 && options.simplify_constants) {
-        stats.constants_simplified += SimplifyConstants(*function);
-      }
-    }
-    if (options.promote_strength) {
-      const StrengthPromotionStats promoted = PromoteStrength(*function);
-      stats.muls_recovered += promoted.muls_recovered;
-    }
-    if (options.reduce_strength) {
-      const StrengthReductionStats reduced = ReduceStrength(*function);
-      stats.strength_reduced += reduced.muls_to_shifts +
-                                reduced.divs_to_shifts +
-                                reduced.rems_to_masks;
-    }
-    if (options.reduce_operator_sizes) {
-      const SizeReductionStats sizes = ReduceOperatorSizes(*function);
-      stats.instrs_narrowed += sizes.narrowed;
-      stats.bits_saved += sizes.total_bits_saved;
-    }
-    function->RemoveDeadInstrs();
-    function->RecomputeCfg();
-    stats.final_instrs += function->NumInstrs();
-  }
-
-  if (options.verify) {
-    if (Status status = ir::Verify(program.module); !status.ok()) {
-      return status;
-    }
-  }
-  return program;
+  return Decompile(std::make_shared<const mips::SoftBinary>(binary), options);
 }
 
 }  // namespace b2h::decomp

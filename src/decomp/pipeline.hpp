@@ -17,7 +17,10 @@
 // each one's contribution to synthesis quality).
 #pragma once
 
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "decomp/alias.hpp"
 #include "decomp/passes.hpp"
@@ -59,11 +62,28 @@ struct DecompileStats {
   std::size_t final_instrs = 0;
 };
 
-/// A decompiled program with its analyses.
+/// Wall time and named counters for one executed pass instance
+/// (collected by the PassManager, see pass_manager.hpp).
+struct PassRunStats {
+  std::string pass;
+  double millis = 0.0;
+  std::map<std::string, std::size_t> counters;
+
+  [[nodiscard]] std::size_t Counter(const std::string& key) const {
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0u : it->second;
+  }
+};
+
+/// A decompiled program with its analyses.  Shares ownership of the binary
+/// it was decompiled from, so the program can outlive the caller's handle
+/// (the old non-owning pointer dangled whenever the binary was a stack
+/// object that went out of scope before the program).
 struct DecompiledProgram {
   ir::Module module;
   DecompileStats stats;
-  const mips::SoftBinary* binary = nullptr;  ///< non-owning
+  std::vector<PassRunStats> pass_runs;  ///< per-pass timing + counters
+  std::shared_ptr<const mips::SoftBinary> binary;
 
   /// Per-function recovered control structure (reporting).
   [[nodiscard]] StructureInfo StructureOf(const ir::Function& f) const {
@@ -73,6 +93,16 @@ struct DecompiledProgram {
 
 /// Run the full decompilation pipeline.  Fails (kIndirectJump /
 /// kMalformedBinary) exactly when CDFG recovery is impossible.
+///
+/// Compatibility shim over the PassManager (pass_manager.hpp): the boolean
+/// options select the same pipeline the old hardwired code ran.  The
+/// returned program shares ownership of `binary`.
+[[nodiscard]] Result<DecompiledProgram> Decompile(
+    std::shared_ptr<const mips::SoftBinary> binary,
+    const DecompileOptions& options = {});
+
+/// Reference overload: copies `binary` into shared ownership (the old
+/// non-owning capture is gone — see DecompiledProgram::binary).
 [[nodiscard]] Result<DecompiledProgram> Decompile(
     const mips::SoftBinary& binary, const DecompileOptions& options = {});
 

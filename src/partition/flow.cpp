@@ -5,12 +5,13 @@
 
 namespace b2h::partition {
 
-Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
+Result<FlowResult> RunFlow(std::shared_ptr<const mips::SoftBinary> binary,
                            const FlowOptions& options) {
+  Check(binary != nullptr, "RunFlow: null binary");
   FlowResult flow;
 
   // 1. Profile the software binary on the platform CPU.
-  mips::Simulator simulator(binary, options.platform.cpu.cycle_model);
+  mips::Simulator simulator(*binary, options.platform.cpu.cycle_model);
   flow.software_run = simulator.Run({}, options.max_sim_instructions);
   if (flow.software_run.reason != mips::HaltReason::kReturned) {
     return Status::Error(ErrorKind::kMalformedBinary,
@@ -21,13 +22,14 @@ Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
   // 2. Decompile with profile annotations.
   decomp::DecompileOptions decompile_options = options.decompile;
   decompile_options.profile = &flow.software_run.profile;
-  auto program = decomp::Decompile(binary, decompile_options);
+  auto program = decomp::Decompile(std::move(binary), decompile_options);
   if (!program.ok()) return program.status();
-  flow.program = std::move(program).take();
+  flow.program = std::make_shared<const decomp::DecompiledProgram>(
+      std::move(program).take());
 
   // 3. Partition + synthesize.
   auto partition =
-      PartitionProgram(flow.program, flow.software_run.profile,
+      PartitionProgram(*flow.program, flow.software_run.profile,
                        options.platform, options.partition);
   if (!partition.ok()) return partition.status();
   flow.partition = std::move(partition).take();
@@ -37,10 +39,17 @@ Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
   return flow;
 }
 
-std::string FlowResult::Report() const {
+Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
+                           const FlowOptions& options) {
+  return RunFlow(std::make_shared<const mips::SoftBinary>(binary), options);
+}
+
+std::string FlowReportBody(const mips::RunResult& software_run,
+                           const decomp::DecompiledProgram& program,
+                           const PartitionResult& partition,
+                           const AppEstimate& estimate) {
   std::ostringstream out;
   out << std::fixed;
-  out << "=== binary-level partitioning report ===\n";
   out << "software: " << software_run.instructions << " instrs, "
       << software_run.cycles << " cycles, rv=" << software_run.return_value
       << "\n";
@@ -75,6 +84,12 @@ std::string FlowResult::Report() const {
       << estimate.avg_kernel_speedup << "x, energy savings "
       << std::setprecision(1) << estimate.energy_savings * 100.0 << "%\n";
   return out.str();
+}
+
+std::string FlowResult::Report() const {
+  std::string out = "=== binary-level partitioning report ===\n";
+  out += FlowReportBody(software_run, *program, partition, estimate);
+  return out;
 }
 
 }  // namespace b2h::partition

@@ -1,11 +1,16 @@
 // One-call end-to-end flow: software binary -> profile -> decompile ->
 // partition -> synthesize -> performance/energy report.
 //
-// This is the public API a platform vendor's tool would expose (paper §1:
-// the partitioner runs *after* the compiler, on the final binary, so any
-// source language and compiler can be used).
+// Compatibility layer.  The scalable entry point is the `b2h::Toolchain`
+// facade (toolchain/toolchain.hpp), which adds a platform registry,
+// builder-style configuration, and a batch API that caches decompilations
+// across platform sweeps.  `RunFlow` remains the one-shot single-binary,
+// single-platform call (paper §1: the partitioner runs *after* the
+// compiler, on the final binary, so any source language and compiler can
+// be used).
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "decomp/pipeline.hpp"
@@ -23,16 +28,30 @@ struct FlowOptions {
 
 struct FlowResult {
   mips::RunResult software_run;   ///< profiling run of the original binary
-  decomp::DecompiledProgram program;
+  /// Owning: the program (and through it the binary) stays valid however
+  /// long the result lives — the old by-value program held a raw pointer
+  /// into the caller's binary.
+  std::shared_ptr<const decomp::DecompiledProgram> program;
   PartitionResult partition;
   AppEstimate estimate;
 
   [[nodiscard]] std::string Report() const;
 };
 
-/// Run the complete flow on a software binary.
+/// The body of the human-readable report, shared with Toolchain reports.
+[[nodiscard]] std::string FlowReportBody(
+    const mips::RunResult& software_run,
+    const decomp::DecompiledProgram& program, const PartitionResult& partition,
+    const AppEstimate& estimate);
+
+/// Run the complete flow on a software binary.  The binary is copied into
+/// shared ownership; prefer the shared_ptr overload to avoid the copy.
 /// Fails when CDFG recovery fails (indirect jumps) or the binary faults.
 [[nodiscard]] Result<FlowResult> RunFlow(const mips::SoftBinary& binary,
                                          const FlowOptions& options = {});
+
+[[nodiscard]] Result<FlowResult> RunFlow(
+    std::shared_ptr<const mips::SoftBinary> binary,
+    const FlowOptions& options = {});
 
 }  // namespace b2h::partition

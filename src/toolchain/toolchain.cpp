@@ -1,0 +1,370 @@
+#include "toolchain/toolchain.hpp"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "mips/simulator.hpp"
+#include "partition/partitioner.hpp"
+
+namespace b2h {
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// Run fn(0..n-1) on up to `threads` workers (0 = hardware concurrency).
+/// Index order is unspecified but every index runs exactly once, so filling
+/// per-index slots is deterministic regardless of the thread count.
+void ParallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t workers = threads == 0 ? std::thread::hardware_concurrency()
+                                     : threads;
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+bool SameCycleModel(const mips::CycleModel& a, const mips::CycleModel& b) {
+  return a.base == b.base && a.load_extra == b.load_extra &&
+         a.mult_extra == b.mult_extra && a.div_extra == b.div_extra &&
+         a.taken_extra == b.taken_extra;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- PlatformRegistry
+
+PlatformRegistry& PlatformRegistry::Global() {
+  static PlatformRegistry* registry = [] {
+    auto* r = new PlatformRegistry();
+    r->Register("mips200-xc2v1000", partition::Platform::WithCpuMhz(200.0));
+    r->Register("mips40", partition::Platform::WithCpuMhz(40.0));
+    r->Register("mips400", partition::Platform::WithCpuMhz(400.0));
+    return r;
+  }();
+  return *registry;
+}
+
+void PlatformRegistry::Register(std::string name,
+                                partition::Platform platform) {
+  Check(!name.empty(), "PlatformRegistry::Register: empty name");
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.platform = std::move(platform);
+      return;
+    }
+  }
+  entries_.push_back({std::move(name), std::move(platform)});
+}
+
+std::optional<partition::Platform> PlatformRegistry::Find(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.platform;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> PlatformRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+// ---------------------------------------------------------- ToolchainRun
+
+std::string ToolchainRun::Report() const {
+  std::ostringstream out;
+  out << "=== " << binary_name << " on " << platform_name << " ===\n";
+  out << partition::FlowReportBody(*software_run, *program, partition,
+                                   estimate);
+  if (!program->pass_runs.empty()) {
+    out << "passes:";
+    for (const auto& run : program->pass_runs) {
+      char millis[32];
+      std::snprintf(millis, sizeof millis, "%.3f", run.millis);
+      out << " " << run.pass << "=" << millis << "ms";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// -------------------------------------------------------------- Toolchain
+
+Toolchain& Toolchain::WithPipeline(std::string spec) {
+  pipeline_spec_ = std::move(spec);
+  return *this;
+}
+
+Toolchain& Toolchain::WithPartitionOptions(
+    partition::PartitionOptions options) {
+  partition_options_ = std::move(options);
+  return *this;
+}
+
+Toolchain& Toolchain::WithMaxSimInstructions(std::uint64_t max_instructions) {
+  max_sim_instructions_ = max_instructions;
+  return *this;
+}
+
+Toolchain& Toolchain::WithThreads(unsigned threads) {
+  threads_ = threads;
+  return *this;
+}
+
+Toolchain& Toolchain::WithVerifyIr(bool verify) {
+  verify_ir_ = verify;
+  return *this;
+}
+
+Toolchain& Toolchain::WithPlatform(std::string registered_name) {
+  default_platform_name_ = std::move(registered_name);
+  custom_platform_.reset();
+  return *this;
+}
+
+Toolchain& Toolchain::WithPlatform(partition::Platform platform,
+                                   std::string label) {
+  custom_platform_ = std::move(platform);
+  default_platform_name_ = std::move(label);
+  return *this;
+}
+
+Result<ToolchainRun> Toolchain::PartitionPrepared(
+    std::string binary_name, std::string platform_name,
+    std::shared_ptr<const mips::SoftBinary> binary,
+    std::shared_ptr<const mips::RunResult> software_run,
+    std::shared_ptr<const decomp::DecompiledProgram> program,
+    const partition::Platform& platform) const {
+  ToolchainRun run;
+  run.binary_name = std::move(binary_name);
+  run.platform_name = std::move(platform_name);
+  run.binary = std::move(binary);
+  run.software_run = std::move(software_run);
+  run.program = std::move(program);
+  auto partitioned =
+      partition::PartitionProgram(*run.program, run.software_run->profile,
+                                  platform, partition_options_);
+  if (!partitioned.ok()) return partitioned.status();
+  run.partition = std::move(partitioned).take();
+  run.estimate = partition::EstimatePartition(run.partition, platform);
+  return run;
+}
+
+Result<ToolchainRun> Toolchain::RunOnPlatform(
+    std::shared_ptr<const mips::SoftBinary> binary, std::string binary_name,
+    const partition::Platform& platform, std::string platform_name) const {
+  Check(binary != nullptr, "Toolchain: null binary");
+
+  // 1. Profile.
+  mips::Simulator simulator(*binary, platform.cpu.cycle_model);
+  auto software_run = std::make_shared<mips::RunResult>(
+      simulator.Run({}, max_sim_instructions_));
+  if (software_run->reason != mips::HaltReason::kReturned) {
+    return Status::Error(
+        ErrorKind::kMalformedBinary,
+        "software run did not complete: " + software_run->fault_message);
+  }
+
+  // 2. Decompile through the configured pipeline.
+  auto manager = decomp::PassManager::FromSpec(pipeline_spec_);
+  if (!manager.ok()) return manager.status();
+  auto program = manager.value().SetVerify(verify_ir_).Run(
+      binary, &software_run->profile);
+  if (!program.ok()) return program.status();
+
+  // 3+4. Partition + estimate.
+  return PartitionPrepared(
+      std::move(binary_name), std::move(platform_name), std::move(binary),
+      std::move(software_run),
+      std::make_shared<const decomp::DecompiledProgram>(
+          std::move(program).take()),
+      platform);
+}
+
+Result<ToolchainRun> Toolchain::Run(
+    std::shared_ptr<const mips::SoftBinary> binary,
+    std::string binary_name) const {
+  if (custom_platform_.has_value()) {
+    return RunOnPlatform(std::move(binary), std::move(binary_name),
+                         *custom_platform_, default_platform_name_);
+  }
+  return RunOn(default_platform_name_, std::move(binary),
+               std::move(binary_name));
+}
+
+Result<ToolchainRun> Toolchain::RunOn(
+    std::string_view platform_name,
+    std::shared_ptr<const mips::SoftBinary> binary,
+    std::string binary_name) const {
+  const auto platform = PlatformRegistry::Global().Find(platform_name);
+  if (!platform.has_value()) {
+    return Status::Error(ErrorKind::kUnsupported,
+                         "unknown platform: " + std::string(platform_name));
+  }
+  return RunOnPlatform(std::move(binary), std::move(binary_name), *platform,
+                       std::string(platform_name));
+}
+
+BatchResult Toolchain::RunMany(
+    const std::vector<NamedBinary>& binaries,
+    const std::vector<std::string>& platform_names) const {
+  const std::size_t num_binaries = binaries.size();
+  const std::size_t num_platforms = platform_names.size();
+  const std::size_t num_runs = num_binaries * num_platforms;
+
+  BatchResult batch;
+  batch.num_platforms = num_platforms;
+  if (num_runs == 0) return batch;
+
+  // Resolve platform names up front (registry lookups off the hot path).
+  std::vector<std::optional<partition::Platform>> platforms;
+  platforms.reserve(num_platforms);
+  for (const std::string& name : platform_names) {
+    platforms.push_back(PlatformRegistry::Global().Find(name));
+  }
+
+  // Stage A — per (binary, cycle model), in parallel: one profiling
+  // simulation and ONE decompilation, shared by every platform whose CPU
+  // cycle model matches.  Clock frequency and FPGA capacity don't affect
+  // cycle counts, so all registered platforms fall into a single group;
+  // custom platforms with a different cycle model get their own profile
+  // rather than silently inheriting another platform's cycle counts.
+  std::vector<mips::CycleModel> model_groups;
+  std::vector<std::size_t> platform_group(num_platforms, 0);
+  for (std::size_t p = 0; p < num_platforms; ++p) {
+    if (!platforms[p].has_value()) continue;
+    const mips::CycleModel& model = platforms[p]->cpu.cycle_model;
+    std::size_t group = model_groups.size();
+    for (std::size_t g = 0; g < model_groups.size(); ++g) {
+      if (SameCycleModel(model_groups[g], model)) {
+        group = g;
+        break;
+      }
+    }
+    if (group == model_groups.size()) model_groups.push_back(model);
+    platform_group[p] = group;
+  }
+  if (model_groups.empty()) model_groups.push_back(mips::CycleModel{});
+  const std::size_t num_groups = model_groups.size();
+
+  struct Prepared {
+    Status status;
+    std::shared_ptr<const mips::RunResult> software_run;
+    std::shared_ptr<const decomp::DecompiledProgram> program;
+  };
+  // prepared[b * num_groups + g]: binary b profiled under model group g.
+  std::vector<Prepared> prepared(num_binaries * num_groups);
+  std::atomic<std::size_t> simulations{0};
+  std::atomic<std::size_t> decompilations{0};
+
+  auto manager = decomp::PassManager::FromSpec(pipeline_spec_);
+  if (!manager.ok()) {
+    for (std::size_t i = 0; i < num_runs; ++i) {
+      batch.runs.push_back(manager.status());
+    }
+    return batch;
+  }
+  const decomp::PassManager pipeline =
+      std::move(manager).take().SetVerify(verify_ir_);
+
+  ParallelFor(num_binaries * num_groups, threads_, [&](std::size_t index) {
+    const std::size_t b = index / num_groups;
+    const std::size_t g = index % num_groups;
+    Prepared& slot = prepared[index];
+    try {
+      if (binaries[b].binary == nullptr) {
+        slot.status = Status::Error(ErrorKind::kMalformedBinary,
+                                    "null binary: " + binaries[b].name);
+        return;
+      }
+      mips::Simulator simulator(*binaries[b].binary, model_groups[g]);
+      auto run = std::make_shared<mips::RunResult>(
+          simulator.Run({}, max_sim_instructions_));
+      simulations.fetch_add(1);
+      if (run->reason != mips::HaltReason::kReturned) {
+        slot.status = Status::Error(
+            ErrorKind::kMalformedBinary,
+            "software run did not complete: " + run->fault_message);
+        return;
+      }
+      auto program = pipeline.Run(binaries[b].binary, &run->profile);
+      decompilations.fetch_add(1);
+      if (!program.ok()) {
+        slot.status = program.status();
+        return;
+      }
+      slot.software_run = std::move(run);
+      slot.program = std::make_shared<const decomp::DecompiledProgram>(
+          std::move(program).take());
+    } catch (const std::exception& e) {
+      slot.status = Status::Error(ErrorKind::kUnsupported,
+                                  std::string("internal error: ") + e.what());
+    }
+  });
+
+  // Stage B — per (binary, platform) pair, in parallel: partition,
+  // synthesize, estimate against the shared decompilation.
+  std::vector<std::optional<Result<ToolchainRun>>> slots(num_runs);
+  ParallelFor(num_runs, threads_, [&](std::size_t index) {
+    const std::size_t b = index / num_platforms;
+    const std::size_t p = index % num_platforms;
+    try {
+      if (!platforms[p].has_value()) {
+        slots[index] = Status::Error(ErrorKind::kUnsupported,
+                                     "unknown platform: " + platform_names[p]);
+        return;
+      }
+      const Prepared& base = prepared[b * num_groups + platform_group[p]];
+      if (!base.status.ok()) {
+        slots[index] = base.status;
+        return;
+      }
+      // base.program is shared across the sweep — the point of the batch.
+      slots[index] = PartitionPrepared(binaries[b].name, platform_names[p],
+                                       binaries[b].binary, base.software_run,
+                                       base.program, *platforms[p]);
+    } catch (const std::exception& e) {
+      slots[index] = Status::Error(
+          ErrorKind::kUnsupported,
+          std::string("internal error: ") + e.what());
+    }
+  });
+
+  batch.runs.reserve(num_runs);
+  for (std::size_t index = 0; index < num_runs; ++index) {
+    Check(slots[index].has_value(), "RunMany: missing result slot");
+    batch.runs.push_back(std::move(*slots[index]));
+  }
+  batch.simulations_run = simulations.load();
+  batch.decompilations_run = decompilations.load();
+  return batch;
+}
+
+}  // namespace b2h

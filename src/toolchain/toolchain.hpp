@@ -1,0 +1,160 @@
+// b2h::Toolchain — the scalable front door to the whole flow.
+//
+//   binary -> profile -> decompile (PassManager pipeline) -> partition ->
+//   synthesize -> estimate
+//
+// Three things the one-shot `partition::RunFlow` cannot do:
+//
+//   * a named platform registry ("mips200-xc2v1000", "mips40", "mips400",
+//     plus custom registrations) so sweeps are spelled as name lists;
+//   * builder-style configuration (pipeline spec, partition options,
+//     simulation budget, thread count) shared across every run;
+//   * a batch API, RunMany(binaries, platforms), that profiles and
+//     decompiles each binary exactly ONCE and reuses the result across the
+//     platform sweep, fanning the per-platform partition/synthesis work out
+//     on a thread pool.  Results are deterministic: parallel == serial.
+//
+// Caching rationale: the decompiled, profile-annotated CDFG depends only on
+// the binary and the CPU cycle model — not on clocks or FPGA capacity — so
+// one decompilation serves every platform whose cycle model matches.
+// RunMany groups the requested platforms by cycle model and profiles /
+// decompiles once per (binary, model group); the paper's three registered
+// platforms share the default model, so that is one decompilation per
+// binary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "decomp/pass_manager.hpp"
+#include "partition/flow.hpp"
+#include "partition/platform.hpp"
+
+namespace b2h {
+
+/// Process-wide platform registry.  Built-ins (the paper's three
+/// evaluation points) are registered on first access:
+///   "mips200-xc2v1000" — 200 MHz MIPS + Virtex-II XC2V1000 (the default)
+///   "mips40"           — same FPGA, 40 MHz CPU
+///   "mips400"          — same FPGA, 400 MHz CPU
+class PlatformRegistry {
+ public:
+  static PlatformRegistry& Global();
+
+  /// Register or replace a named platform.
+  void Register(std::string name, partition::Platform platform);
+
+  [[nodiscard]] std::optional<partition::Platform> Find(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    partition::Platform platform;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// One (binary, platform) flow outcome.  The profiling run and decompiled
+/// program are shared: every platform in a RunMany sweep points at the same
+/// objects for a given binary (asserted by the tests).
+struct ToolchainRun {
+  std::string binary_name;
+  std::string platform_name;
+  std::shared_ptr<const mips::SoftBinary> binary;
+  std::shared_ptr<const mips::RunResult> software_run;
+  std::shared_ptr<const decomp::DecompiledProgram> program;
+  partition::PartitionResult partition;
+  partition::AppEstimate estimate;
+
+  [[nodiscard]] std::string Report() const;
+};
+
+/// A named binary handed to the batch API.
+struct NamedBinary {
+  std::string name;
+  std::shared_ptr<const mips::SoftBinary> binary;
+};
+
+/// Batch outcome: one result per (binary, platform) pair in row-major
+/// order (binary index major), plus work counters the caching tests key on.
+struct BatchResult {
+  std::vector<Result<ToolchainRun>> runs;
+  std::size_t num_platforms = 0;       ///< row stride of `runs`
+  std::size_t simulations_run = 0;     ///< profiling runs executed
+  std::size_t decompilations_run = 0;  ///< decompiler invocations
+
+  [[nodiscard]] const Result<ToolchainRun>& At(
+      std::size_t binary_index, std::size_t platform_index) const {
+    return runs.at(binary_index * num_platforms + platform_index);
+  }
+};
+
+/// Builder-configured facade over the complete flow.
+class Toolchain {
+ public:
+  Toolchain() = default;
+
+  // ------------------------------------------------- builder configuration
+  /// Decompilation pipeline spec (see PassManager::FromSpec).  Invalid
+  /// specs surface as an error from Run/RunMany, not here.
+  Toolchain& WithPipeline(std::string spec);
+  Toolchain& WithPartitionOptions(partition::PartitionOptions options);
+  Toolchain& WithMaxSimInstructions(std::uint64_t max_instructions);
+  /// Worker threads for RunMany (0 = hardware concurrency, 1 = serial).
+  Toolchain& WithThreads(unsigned threads);
+  Toolchain& WithVerifyIr(bool verify);
+  /// Default platform for the platform-less Run overload.
+  Toolchain& WithPlatform(std::string registered_name);
+  Toolchain& WithPlatform(partition::Platform platform,
+                          std::string label = "custom");
+
+  // --------------------------------------------------------------- running
+  /// Single binary on the configured default platform.
+  [[nodiscard]] Result<ToolchainRun> Run(
+      std::shared_ptr<const mips::SoftBinary> binary,
+      std::string binary_name = "binary") const;
+
+  /// Single binary on a named registered platform.
+  [[nodiscard]] Result<ToolchainRun> RunOn(
+      std::string_view platform_name,
+      std::shared_ptr<const mips::SoftBinary> binary,
+      std::string binary_name = "binary") const;
+
+  /// Batch: every binary against every platform name.  Decompiles each
+  /// binary once; per-platform partitioning fans out on the thread pool.
+  /// Per-run failures (CDFG recovery, faults, unknown platform names) are
+  /// reported in the corresponding slot without aborting the batch.
+  [[nodiscard]] BatchResult RunMany(
+      const std::vector<NamedBinary>& binaries,
+      const std::vector<std::string>& platform_names) const;
+
+ private:
+  [[nodiscard]] Result<ToolchainRun> RunOnPlatform(
+      std::shared_ptr<const mips::SoftBinary> binary, std::string binary_name,
+      const partition::Platform& platform, std::string platform_name) const;
+
+  /// Shared tail of every flow: partition + estimate a prepared
+  /// (profiled, decompiled) binary against one platform.
+  [[nodiscard]] Result<ToolchainRun> PartitionPrepared(
+      std::string binary_name, std::string platform_name,
+      std::shared_ptr<const mips::SoftBinary> binary,
+      std::shared_ptr<const mips::RunResult> software_run,
+      std::shared_ptr<const decomp::DecompiledProgram> program,
+      const partition::Platform& platform) const;
+
+  std::string pipeline_spec_ = "default";
+  partition::PartitionOptions partition_options_;
+  std::uint64_t max_sim_instructions_ = 200'000'000;
+  unsigned threads_ = 0;
+  bool verify_ir_ = true;
+  std::string default_platform_name_ = "mips200-xc2v1000";
+  std::optional<partition::Platform> custom_platform_;
+};
+
+}  // namespace b2h

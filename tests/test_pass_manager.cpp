@@ -1,0 +1,225 @@
+// PassManager tests: registration completeness, preset/name-list parity
+// with the legacy DecompileOptions booleans, spec parsing, and per-pass
+// stats round-trip against the aggregate DecompileStats.
+#include "decomp/pass_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "ir/printer.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+namespace b2h::decomp {
+namespace {
+
+std::shared_ptr<const mips::SoftBinary> BuildBench(const std::string& name,
+                                                   int opt_level = 1) {
+  const suite::Benchmark* bench = suite::FindBenchmark(name);
+  EXPECT_NE(bench, nullptr) << name;
+  auto binary = suite::BuildBinary(*bench, opt_level);
+  EXPECT_TRUE(binary.ok()) << binary.status().message();
+  return std::make_shared<const mips::SoftBinary>(std::move(binary).take());
+}
+
+bool SameStats(const DecompileStats& a, const DecompileStats& b) {
+  return a.constants_simplified == b.constants_simplified &&
+         a.stack_slots_promoted == b.stack_slots_promoted &&
+         a.stack_ops_removed == b.stack_ops_removed &&
+         a.loops_rerolled == b.loops_rerolled &&
+         a.reroll_ops_removed == b.reroll_ops_removed &&
+         a.muls_recovered == b.muls_recovered &&
+         a.strength_reduced == b.strength_reduced &&
+         a.instrs_narrowed == b.instrs_narrowed &&
+         a.bits_saved == b.bits_saved && a.calls_inlined == b.calls_inlined &&
+         a.ifs_converted == b.ifs_converted &&
+         a.lifted_instrs == b.lifted_instrs &&
+         a.final_instrs == b.final_instrs;
+}
+
+std::string PrintedIr(const DecompiledProgram& program) {
+  std::string out;
+  for (const auto& function : program.module.functions) {
+    out += ir::Print(*function);
+  }
+  return out;
+}
+
+TEST(PassRegistry, ContainsEveryPaperPass) {
+  const std::vector<std::string> expected = {
+      "reroll-loops",       "simplify-constants",    "remove-stack-ops",
+      "inline-small-functions", "convert-ifs",       "promote-strength",
+      "reduce-strength",    "reduce-operator-sizes",
+  };
+  for (const std::string& name : expected) {
+    EXPECT_NE(PassRegistry::Global().Find(name), nullptr) << name;
+  }
+  // Every built-in is documented.
+  for (const std::string& name : PassRegistry::Global().Names()) {
+    const Pass* pass = PassRegistry::Global().Find(name);
+    ASSERT_NE(pass, nullptr);
+    EXPECT_FALSE(pass->description().empty()) << name;
+  }
+}
+
+TEST(PassRegistry, RejectsDuplicatesAndUnknownLookups) {
+  EXPECT_EQ(PassRegistry::Global().Find("no-such-pass"), nullptr);
+  class Dummy : public Pass {
+   public:
+    Dummy() : Pass("reroll-loops", "duplicate") {}
+    void Run(ir::Module&, PassRunStats&, DecompileStats&) const override {}
+  };
+  EXPECT_THROW(PassRegistry::Global().Register(std::make_unique<Dummy>()),
+               InternalError);
+}
+
+TEST(PassManager, PresetNamesResolve) {
+  for (const char* preset :
+       {"default", "is-overhead-only", "no-undo", "none"}) {
+    auto manager = PassManager::Preset(preset);
+    EXPECT_TRUE(manager.ok()) << preset;
+  }
+  EXPECT_FALSE(PassManager::Preset("bogus").ok());
+}
+
+TEST(PassManager, SpecParsing) {
+  auto removed = PassManager::FromSpec("default,-simplify-constants");
+  ASSERT_TRUE(removed.ok());
+  for (const Pass* pass : removed.value().pipeline()) {
+    EXPECT_NE(pass->name(), "simplify-constants");
+  }
+
+  auto explicit_list =
+      PassManager::FromSpec("simplify-constants, reduce-operator-sizes");
+  ASSERT_TRUE(explicit_list.ok());
+  ASSERT_EQ(explicit_list.value().pipeline().size(), 2u);
+  EXPECT_EQ(explicit_list.value().pipeline()[0]->name(), "simplify-constants");
+  EXPECT_EQ(explicit_list.value().pipeline()[1]->name(),
+            "reduce-operator-sizes");
+
+  EXPECT_FALSE(PassManager::FromSpec("default,no-such-pass").ok());
+  EXPECT_FALSE(PassManager::FromSpec("no-such-preset").ok());
+  // A typo'd disable must not silently run the full pipeline.
+  EXPECT_FALSE(PassManager::FromSpec("default,-no-such-pass").ok());
+}
+
+TEST(PassManager, DefaultPresetMatchesLegacyDefaults) {
+  const auto binary = BuildBench("fir");
+  auto legacy = Decompile(binary, DecompileOptions{});
+  ASSERT_TRUE(legacy.ok());
+
+  auto preset = PassManager::Preset("default");
+  ASSERT_TRUE(preset.ok());
+  auto managed = preset.value().Run(binary);
+  ASSERT_TRUE(managed.ok());
+
+  EXPECT_TRUE(SameStats(legacy.value().stats, managed.value().stats));
+  EXPECT_EQ(PrintedIr(legacy.value()), PrintedIr(managed.value()));
+}
+
+// Each legacy boolean off == the matching per-pass disable string.
+TEST(PassManager, BooleanOptionsMatchDisableSpecs) {
+  struct Case {
+    bool DecompileOptions::* flag;
+    const char* spec;
+  };
+  const std::vector<Case> cases = {
+      {&DecompileOptions::reroll_loops, "default,-reroll-loops"},
+      {&DecompileOptions::simplify_constants, "default,-simplify-constants"},
+      {&DecompileOptions::remove_stack_ops, "default,-remove-stack-ops"},
+      {&DecompileOptions::inline_small_functions,
+       "default,-inline-small-functions"},
+      {&DecompileOptions::convert_ifs, "default,-convert-ifs"},
+      {&DecompileOptions::promote_strength, "default,-promote-strength"},
+      {&DecompileOptions::reduce_strength, "default,-reduce-strength"},
+      {&DecompileOptions::reduce_operator_sizes,
+       "default,-reduce-operator-sizes"},
+  };
+  // -O3 exercises rerolling and inlining; crc32 has helper calls.
+  for (const char* bench : {"fir", "crc"}) {
+    const auto binary = BuildBench(bench, 3);
+    for (const Case& c : cases) {
+      DecompileOptions options;
+      options.*(c.flag) = false;
+      auto legacy = Decompile(binary, options);
+      ASSERT_TRUE(legacy.ok()) << c.spec;
+
+      auto manager = PassManager::FromSpec(c.spec);
+      ASSERT_TRUE(manager.ok()) << c.spec;
+      auto managed = manager.value().Run(binary);
+      ASSERT_TRUE(managed.ok()) << c.spec;
+
+      EXPECT_TRUE(SameStats(legacy.value().stats, managed.value().stats))
+          << bench << " with " << c.spec;
+      EXPECT_EQ(PrintedIr(legacy.value()), PrintedIr(managed.value()))
+          << bench << " with " << c.spec;
+    }
+  }
+}
+
+TEST(PassManager, PerPassStatsRoundTrip) {
+  const auto binary = BuildBench("fir", 3);
+  auto preset = PassManager::Preset("default");
+  ASSERT_TRUE(preset.ok());
+  auto program = preset.value().Run(binary);
+  ASSERT_TRUE(program.ok());
+  const auto& runs = program.value().pass_runs;
+  ASSERT_EQ(runs.size(), preset.value().pipeline().size());
+
+  // Per-pass counters must re-aggregate to the legacy totals.
+  const DecompileStats& stats = program.value().stats;
+  std::size_t simplified = 0, rerolled = 0, stack_ops = 0, narrowed = 0,
+              muls = 0, inlined = 0, ifs = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].pass, preset.value().pipeline()[i]->name());
+    EXPECT_GE(runs[i].millis, 0.0);
+    simplified += runs[i].Counter("simplified");
+    rerolled += runs[i].Counter("loops_rerolled");
+    stack_ops +=
+        runs[i].Counter("loads_removed") + runs[i].Counter("stores_removed");
+    narrowed += runs[i].Counter("narrowed");
+    muls += runs[i].Counter("muls_recovered");
+    inlined += runs[i].Counter("calls_inlined");
+    ifs += runs[i].Counter("diamonds_converted");
+  }
+  EXPECT_EQ(simplified, stats.constants_simplified);
+  EXPECT_EQ(rerolled, stats.loops_rerolled);
+  EXPECT_EQ(stack_ops, stats.stack_ops_removed);
+  EXPECT_EQ(narrowed, stats.instrs_narrowed);
+  EXPECT_EQ(muls, stats.muls_recovered);
+  EXPECT_EQ(inlined, stats.calls_inlined);
+  EXPECT_EQ(ifs, stats.ifs_converted);
+  // fir at -O3 actually exercises the interesting passes.
+  EXPECT_GT(stats.constants_simplified, 0u);
+  EXPECT_GT(stats.loops_rerolled, 0u);
+}
+
+TEST(PassManager, DecompiledProgramOwnsItsBinary) {
+  // The old non-owning pointer dangled here: the Result (and with it the
+  // caller's only handle on the binary) dies before the program is used.
+  DecompiledProgram program = [] {
+    auto binary = BuildBench("brev");
+    auto decompiled = Decompile(*binary, {});  // reference overload: copies
+    EXPECT_TRUE(decompiled.ok());
+    return std::move(decompiled).take();
+  }();
+  ASSERT_NE(program.binary, nullptr);
+  EXPECT_GT(program.binary->text.size(), 0u);
+  EXPECT_FALSE(program.binary->symbols.empty());
+}
+
+TEST(PassManager, EmptyPipelineStillLiftsAndCleans) {
+  const auto binary = BuildBench("brev");
+  auto none = PassManager::Preset("none");
+  ASSERT_TRUE(none.ok());
+  auto program = none.value().Run(binary);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program.value().pass_runs.empty());
+  EXPECT_GT(program.value().stats.lifted_instrs, 0u);
+  EXPECT_GT(program.value().stats.final_instrs, 0u);
+}
+
+}  // namespace
+}  // namespace b2h::decomp

@@ -74,7 +74,6 @@ Prepared Prepare(const std::string& name, int opt_level = 1) {
   auto program = decomp::Decompile(prepared.binary, options);
   EXPECT_TRUE(program.ok()) << program.status().message();
   prepared.program = std::move(program).take();
-  prepared.program.binary = &prepared.binary;
   return prepared;
 }
 
