@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/alias.cpp" "CMakeFiles/b2h.dir/src/decomp/alias.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/alias.cpp.o.d"
+  "/root/repo/src/decomp/constprop.cpp" "CMakeFiles/b2h.dir/src/decomp/constprop.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/constprop.cpp.o.d"
+  "/root/repo/src/decomp/if_convert.cpp" "CMakeFiles/b2h.dir/src/decomp/if_convert.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/if_convert.cpp.o.d"
+  "/root/repo/src/decomp/inline.cpp" "CMakeFiles/b2h.dir/src/decomp/inline.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/inline.cpp.o.d"
+  "/root/repo/src/decomp/lifter.cpp" "CMakeFiles/b2h.dir/src/decomp/lifter.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/lifter.cpp.o.d"
+  "/root/repo/src/decomp/loop_reroll.cpp" "CMakeFiles/b2h.dir/src/decomp/loop_reroll.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/loop_reroll.cpp.o.d"
+  "/root/repo/src/decomp/pass_manager.cpp" "CMakeFiles/b2h.dir/src/decomp/pass_manager.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/pass_manager.cpp.o.d"
+  "/root/repo/src/decomp/pipeline.cpp" "CMakeFiles/b2h.dir/src/decomp/pipeline.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/pipeline.cpp.o.d"
+  "/root/repo/src/decomp/size_reduction.cpp" "CMakeFiles/b2h.dir/src/decomp/size_reduction.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/size_reduction.cpp.o.d"
+  "/root/repo/src/decomp/stack_removal.cpp" "CMakeFiles/b2h.dir/src/decomp/stack_removal.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/stack_removal.cpp.o.d"
+  "/root/repo/src/decomp/strength.cpp" "CMakeFiles/b2h.dir/src/decomp/strength.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/strength.cpp.o.d"
+  "/root/repo/src/decomp/structure.cpp" "CMakeFiles/b2h.dir/src/decomp/structure.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/decomp/structure.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "CMakeFiles/b2h.dir/src/ir/dominators.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/ir/dominators.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "CMakeFiles/b2h.dir/src/ir/interp.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/ir/interp.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "CMakeFiles/b2h.dir/src/ir/ir.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/ir/ir.cpp.o.d"
+  "/root/repo/src/ir/loops.cpp" "CMakeFiles/b2h.dir/src/ir/loops.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/ir/loops.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "CMakeFiles/b2h.dir/src/ir/printer.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "CMakeFiles/b2h.dir/src/ir/verifier.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/ir/verifier.cpp.o.d"
+  "/root/repo/src/minicc/codegen.cpp" "CMakeFiles/b2h.dir/src/minicc/codegen.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/minicc/codegen.cpp.o.d"
+  "/root/repo/src/minicc/parser.cpp" "CMakeFiles/b2h.dir/src/minicc/parser.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/minicc/parser.cpp.o.d"
+  "/root/repo/src/mips/assembler.cpp" "CMakeFiles/b2h.dir/src/mips/assembler.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/mips/assembler.cpp.o.d"
+  "/root/repo/src/mips/isa.cpp" "CMakeFiles/b2h.dir/src/mips/isa.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/mips/isa.cpp.o.d"
+  "/root/repo/src/mips/simulator.cpp" "CMakeFiles/b2h.dir/src/mips/simulator.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/mips/simulator.cpp.o.d"
+  "/root/repo/src/partition/estimate.cpp" "CMakeFiles/b2h.dir/src/partition/estimate.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/partition/estimate.cpp.o.d"
+  "/root/repo/src/partition/flow.cpp" "CMakeFiles/b2h.dir/src/partition/flow.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/partition/flow.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "CMakeFiles/b2h.dir/src/partition/partitioner.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/partition/partitioner.cpp.o.d"
+  "/root/repo/src/suite/benchmarks.cpp" "CMakeFiles/b2h.dir/src/suite/benchmarks.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/suite/benchmarks.cpp.o.d"
+  "/root/repo/src/suite/runner.cpp" "CMakeFiles/b2h.dir/src/suite/runner.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/suite/runner.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "CMakeFiles/b2h.dir/src/support/error.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/support/error.cpp.o.d"
+  "/root/repo/src/synth/area.cpp" "CMakeFiles/b2h.dir/src/synth/area.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/area.cpp.o.d"
+  "/root/repo/src/synth/hw_region.cpp" "CMakeFiles/b2h.dir/src/synth/hw_region.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/hw_region.cpp.o.d"
+  "/root/repo/src/synth/resource.cpp" "CMakeFiles/b2h.dir/src/synth/resource.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/resource.cpp.o.d"
+  "/root/repo/src/synth/rtl_sim.cpp" "CMakeFiles/b2h.dir/src/synth/rtl_sim.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/rtl_sim.cpp.o.d"
+  "/root/repo/src/synth/schedule.cpp" "CMakeFiles/b2h.dir/src/synth/schedule.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/schedule.cpp.o.d"
+  "/root/repo/src/synth/synth.cpp" "CMakeFiles/b2h.dir/src/synth/synth.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/synth.cpp.o.d"
+  "/root/repo/src/synth/vhdl.cpp" "CMakeFiles/b2h.dir/src/synth/vhdl.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/synth/vhdl.cpp.o.d"
+  "/root/repo/src/toolchain/toolchain.cpp" "CMakeFiles/b2h.dir/src/toolchain/toolchain.cpp.o" "gcc" "CMakeFiles/b2h.dir/src/toolchain/toolchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

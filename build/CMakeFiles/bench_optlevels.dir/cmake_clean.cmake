@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optlevels.dir/bench/bench_optlevels.cpp.o"
+  "CMakeFiles/bench_optlevels.dir/bench/bench_optlevels.cpp.o.d"
+  "bench/bench_optlevels"
+  "bench/bench_optlevels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optlevels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

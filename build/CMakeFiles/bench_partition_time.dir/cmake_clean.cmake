@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_time.dir/bench/bench_partition_time.cpp.o"
+  "CMakeFiles/bench_partition_time.dir/bench/bench_partition_time.cpp.o.d"
+  "bench/bench_partition_time"
+  "bench/bench_partition_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_platforms.dir/bench/bench_platforms.cpp.o"
+  "CMakeFiles/bench_platforms.dir/bench/bench_platforms.cpp.o.d"
+  "bench/bench_platforms"
+  "bench/bench_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

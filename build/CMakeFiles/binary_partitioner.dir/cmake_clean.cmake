@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_partitioner.dir/examples/binary_partitioner.cpp.o"
+  "CMakeFiles/binary_partitioner.dir/examples/binary_partitioner.cpp.o.d"
+  "examples/binary_partitioner"
+  "examples/binary_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for binary_partitioner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alias.dir/tests/test_alias.cpp.o"
+  "CMakeFiles/test_alias.dir/tests/test_alias.cpp.o.d"
+  "test_alias"
+  "test_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

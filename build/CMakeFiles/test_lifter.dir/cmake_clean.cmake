@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifter.dir/tests/test_lifter.cpp.o"
+  "CMakeFiles/test_lifter.dir/tests/test_lifter.cpp.o.d"
+  "test_lifter"
+  "test_lifter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minicc.dir/tests/test_minicc.cpp.o"
+  "CMakeFiles/test_minicc.dir/tests/test_minicc.cpp.o.d"
+  "test_minicc"
+  "test_minicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

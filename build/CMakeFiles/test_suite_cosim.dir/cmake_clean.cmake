@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_cosim.dir/tests/test_suite_cosim.cpp.o"
+  "CMakeFiles/test_suite_cosim.dir/tests/test_suite_cosim.cpp.o.d"
+  "test_suite_cosim"
+  "test_suite_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain.dir/tests/test_toolchain.cpp.o"
+  "CMakeFiles/test_toolchain.dir/tests/test_toolchain.cpp.o.d"
+  "test_toolchain"
+  "test_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

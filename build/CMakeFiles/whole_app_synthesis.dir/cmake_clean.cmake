@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_app_synthesis.dir/examples/whole_app_synthesis.cpp.o"
+  "CMakeFiles/whole_app_synthesis.dir/examples/whole_app_synthesis.cpp.o.d"
+  "examples/whole_app_synthesis"
+  "examples/whole_app_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_app_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
