@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
 #include "toolchain/toolchain.hpp"
@@ -82,6 +83,7 @@ int main() {
          std::make_shared<const mips::SoftBinary>(std::move(binary).take())});
   }
 
+  bench::JsonWriter json("ablation");
   printf("%-26s %10s %12s %12s %9s\n", "variant", "ok", "hw time(ms)",
          "avg gates", "speedup");
   Totals baseline;
@@ -95,6 +97,11 @@ int main() {
     printf("%-26s %7d/18 %12.3f %12.0f %9.2f", variant.name, totals.count,
            totals.hw_time * 1e3, totals.area / totals.count,
            totals.speedup / totals.count);
+    json.Record("hw_time", totals.hw_time * 1e3, "ms", variant.pipeline);
+    json.Record("avg_area", totals.area / totals.count, "gates",
+                variant.pipeline);
+    json.Record("avg_speedup", totals.speedup / totals.count, "x",
+                variant.pipeline);
     if (&variant != &variants.front() && totals.count > 0) {
       const double area_delta =
           (totals.area / totals.count) / (baseline.area / baseline.count);

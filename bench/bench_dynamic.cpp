@@ -1,0 +1,150 @@
+// Experiment E5 (beyond the paper's tables): dynamic partitioning.
+//
+// Three measurements back the dynamic subsystem's headline claims:
+//   1. Detector overhead — the simulator hot path with the backward-branch
+//      hook + hot-region cache enabled (but no swaps) versus the plain
+//      uninstrumented Run().  Target: <= 10% slowdown.
+//   2. Online CAD latency — host wall-clock time from run start to the
+//      first kernel swap (incremental decompilation + synthesis), plus the
+//      *simulated* swap point as a fraction of the run.
+//   3. Dynamic-vs-static gap — speedup of the online partitioner against
+//      the static oracle on the same binary, across the suite.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dynamic/hot_region.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+#include "support/cpu_time.hpp"
+#include "toolchain/toolchain.hpp"
+
+using namespace b2h;
+
+int main() {
+  bench::JsonWriter json("dynamic");
+
+  // ---- 1. Detector overhead on the simulator hot path. -------------------
+  printf("=== E5.1: detector overhead (hooks + hot-region cache, no swaps) "
+         "===\n\n");
+  printf("%-11s %12s %12s %10s\n", "benchmark", "plain (ms)", "hooked (ms)",
+         "overhead");
+  double worst_overhead = 0.0;
+  double sum_overhead = 0.0;
+  int measured = 0;
+  for (const char* name : {"crc", "fir", "matmul", "g3fax"}) {
+    const suite::Benchmark* bench = suite::FindBenchmark(name);
+    if (bench == nullptr) continue;
+    auto built = suite::BuildBinary(*bench, 1);
+    if (!built.ok()) continue;
+    const mips::SoftBinary binary = std::move(built).take();
+
+    // Size reps so each sample simulates a few million instructions.
+    mips::Simulator probe(binary);
+    const auto probe_run = probe.Run();
+    const int reps = std::max<int>(
+        1, static_cast<int>(2'000'000 / std::max<std::uint64_t>(
+                                            1, probe_run.instructions)));
+    // Interleaved min-of-5 sampling to shrug off scheduler noise.
+    double plain = 1e9;
+    double hooked = 1e9;
+    for (int sample = 0; sample < 5; ++sample) {
+      plain = std::min(plain, support::CpuSecondsOf([&] {
+        for (int i = 0; i < reps; ++i) {
+          mips::Simulator sim(binary);
+          (void)sim.Run();
+        }
+      }));
+      hooked = std::min(hooked, support::CpuSecondsOf([&] {
+        for (int i = 0; i < reps; ++i) {
+          mips::Simulator sim(binary);
+          dynamic::DetectionOnlyObserver detector;
+          (void)sim.RunInstrumented({}, 100'000'000, &detector);
+        }
+      }));
+    }
+    const double overhead = plain > 0.0 ? hooked / plain - 1.0 : 0.0;
+    worst_overhead = std::max(worst_overhead, overhead);
+    sum_overhead += overhead;
+    ++measured;
+    printf("%-11s %12.3f %12.3f %9.1f%%\n", name, plain * 1e3, hooked * 1e3,
+           overhead * 100.0);
+    json.Record("detector_overhead", overhead * 100.0, "%", name);
+  }
+  const double avg_overhead = measured > 0 ? sum_overhead / measured : 0.0;
+  printf("average overhead: %.1f%% (target <= 10%%), worst-case %.1f%%\n\n",
+         avg_overhead * 100.0, worst_overhead * 100.0);
+  json.Record("detector_overhead_avg", avg_overhead * 100.0, "%");
+  json.Record("detector_overhead_worst", worst_overhead * 100.0, "%");
+
+  // ---- 2 + 3. Online CAD latency and dynamic-vs-static gap. ---------------
+  printf("=== E5.2/3: dynamic vs static across the suite (MIPS@200MHz) "
+         "===\n\n");
+  printf("%-11s %9s %9s %11s %6s %11s %12s\n", "benchmark", "static-x",
+         "dynamic-x", "convergence", "swaps", "swap point", "1st kern (ms)");
+  std::vector<NamedBinary> binaries;
+  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+    auto binary = suite::BuildBinary(*bench, 1);
+    if (!binary.ok()) continue;
+    binaries.push_back(
+        {bench->name,
+         std::make_shared<const mips::SoftBinary>(std::move(binary).take())});
+  }
+  Toolchain toolchain;
+  toolchain.WithDynamic(true);
+  const BatchResult batch = toolchain.RunMany(binaries, {"mips200-xc2v1000"});
+
+  double sum_convergence = 0.0;
+  double sum_first_kernel_ms = 0.0;
+  int counted = 0;
+  int swapped = 0;
+  for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+    if (!batch.runs[i].ok()) continue;
+    const ToolchainRun& run = batch.runs[i].value();
+    const dynamic::DynamicRun& dyn = *run.dynamic_run;
+    const double convergence = run.estimate.speedup > 0.0
+                                   ? dyn.estimate.speedup /
+                                         run.estimate.speedup
+                                   : 0.0;
+    const double swap_point =
+        !dyn.swaps.empty() && dyn.run.instructions > 0
+            ? static_cast<double>(dyn.swaps.front().at_instruction) /
+                  static_cast<double>(dyn.run.instructions)
+            : 1.0;
+    printf("%-11s %9.2f %9.2f %10.0f%% %6zu %10.0f%% %12.2f\n",
+           binaries[i].name.c_str(), run.estimate.speedup,
+           dyn.estimate.speedup, convergence * 100.0, dyn.swaps.size(),
+           swap_point * 100.0, dyn.time_to_first_kernel_ms);
+    json.Record("static_speedup", run.estimate.speedup, "x",
+                binaries[i].name);
+    json.Record("dynamic_speedup", dyn.estimate.speedup, "x",
+                binaries[i].name);
+    json.Record("convergence", convergence * 100.0, "%", binaries[i].name);
+    if (!dyn.swaps.empty()) {
+      json.Record("time_to_first_kernel", dyn.time_to_first_kernel_ms, "ms",
+                  binaries[i].name);
+      sum_first_kernel_ms += dyn.time_to_first_kernel_ms;
+      ++swapped;
+    }
+    sum_convergence += convergence;
+    ++counted;
+  }
+  if (counted > 0) {
+    printf("\nAVERAGE convergence %.0f%% over %d benchmarks; "
+           "avg time-to-first-kernel %.2f ms over %d swaps\n",
+           sum_convergence / counted * 100.0, counted,
+           swapped > 0 ? sum_first_kernel_ms / swapped : 0.0, swapped);
+    json.Record("avg_convergence", sum_convergence / counted * 100.0, "%");
+    if (swapped > 0) {
+      json.Record("avg_time_to_first_kernel", sum_first_kernel_ms / swapped,
+                  "ms");
+    }
+  }
+  printf("\nReading: dynamic trails static (pre-detection iterations run in\n"
+         "software and arrays are staged per invocation), but every hot\n"
+         "benchmark still swaps a kernel in mid-run and speeds up.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Machine-readable benchmark output (JSON Lines).
+//
+// Every bench_* binary writes one JSON object per measurement to
+// BENCH_<name>.json in the working directory, in addition to its
+// human-readable stdout, so the perf trajectory across commits can be
+// collected by tooling (`cmake --build build --target bench` runs them all).
+// Format, one line per record:
+//   {"bench":"table1","metric":"avg_speedup","value":5.2,"unit":"x"}
+// An optional "label" field qualifies per-item records (benchmark name,
+// platform, pipeline variant, ...).
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace b2h::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& bench_name)
+      : bench_(bench_name), path_("BENCH_" + bench_name + ".json"),
+        out_(path_) {}
+
+  ~JsonWriter() {
+    if (records_ > 0) {
+      std::printf("[%zu measurement(s) -> %s]\n", records_, path_.c_str());
+    }
+  }
+
+  void Record(const std::string& metric, double value, const std::string& unit,
+              const std::string& label = "") {
+    char value_text[64];
+    std::snprintf(value_text, sizeof value_text, "%.9g", value);
+    out_ << "{\"bench\":\"" << Escape(bench_) << "\",\"metric\":\""
+         << Escape(metric) << "\",\"value\":" << value_text << ",\"unit\":\""
+         << Escape(unit) << "\"";
+    if (!label.empty()) out_ << ",\"label\":\"" << Escape(label) << "\"";
+    out_ << "}\n";
+    ++records_;
+  }
+
+ private:
+  static std::string Escape(const std::string& text) {
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return escaped;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::ofstream out_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace b2h::bench

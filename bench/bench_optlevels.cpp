@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
 #include "toolchain/toolchain.hpp"
@@ -24,6 +25,7 @@
 using namespace b2h;
 
 int main() {
+  bench::JsonWriter json("optlevels");
   printf("=== E3: four benchmarks at gcc -O0..-O3 (MIPS@200MHz) ===\n\n");
   const char* names[] = {"fir", "brev", "autcor00", "adpcm_dec"};
 
@@ -72,6 +74,8 @@ int main() {
       }
       const auto& est = run.value().estimate;
       const auto& stats = run.value().program->stats;
+      json.Record("speedup", est.speedup, "x",
+                  std::string(name) + "@O" + std::to_string(level));
       printf("  -O%d  %10.3f %10.3f %9.1f %9.0f %9zu %8zu%s\n", level,
              est.sw_time * 1e3, est.partitioned_time * 1e3, est.speedup,
              est.energy_savings * 100.0, stats.loops_rerolled,

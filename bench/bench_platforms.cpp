@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
 #include "toolchain/toolchain.hpp"
@@ -22,6 +23,7 @@
 using namespace b2h;
 
 int main() {
+  bench::JsonWriter json("platforms");
   printf("=== E2: platform sweep (suite averages at each CPU clock) ===\n\n");
   printf("%10s %12s %12s %14s\n", "cpu (MHz)", "speedup", "energy %",
          "paper (s/e%)");
@@ -56,6 +58,9 @@ int main() {
     }
     printf("%10.0f %12.1f %12.0f %14s\n", clocks[p], sum_speedup / count,
            sum_energy / count * 100.0, paper[p]);
+    json.Record("avg_speedup", sum_speedup / count, "x", platforms[p]);
+    json.Record("avg_energy_savings", sum_energy / count * 100.0, "%",
+                platforms[p]);
   }
   printf("\n(%zu binaries, %zu runs, %zu decompilations — one per binary)\n",
          binaries.size(), batch.runs.size(), batch.decompilations_run);

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
 #include "toolchain/toolchain.hpp"
@@ -21,6 +22,7 @@
 using namespace b2h;
 
 int main() {
+  bench::JsonWriter json("table1");
   printf("=== E1 / Table 1: decompilation-based partitioning, "
          "MIPS@200MHz + Virtex-II, gcc -O1 ===\n\n");
   printf("%-11s %-11s %9s %9s %8s %8s %8s %10s\n", "benchmark", "suite",
@@ -65,6 +67,7 @@ int main() {
            bench.name.c_str(), bench.origin.c_str(), est.sw_time * 1e3,
            est.partitioned_time * 1e3, est.speedup, est.avg_kernel_speedup,
            est.energy_savings * 100.0, est.area_gates);
+    json.Record("speedup", est.speedup, "x", bench.name);
     sum_speedup += est.speedup;
     sum_kernel += est.avg_kernel_speedup;
     sum_energy += est.energy_savings;
@@ -79,5 +82,10 @@ int main() {
          69.0, 26261.0);
   printf("\nCDFG recovery failures: %d (paper: 2, both EEMBC, "
          "indirect jumps)\n", failures);
+  json.Record("avg_speedup", sum_speedup / successes, "x");
+  json.Record("avg_kernel_speedup", sum_kernel / successes, "x");
+  json.Record("avg_energy_savings", sum_energy / successes * 100.0, "%");
+  json.Record("avg_area", sum_area / successes, "gates");
+  json.Record("cdfg_failures", failures, "count");
   return 0;
 }

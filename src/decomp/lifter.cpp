@@ -556,13 +556,19 @@ std::size_t EliminateTrivialPhis(ir::Function& function) {
   return total_removed;
 }
 
-Result<ir::Module> Lift(const mips::SoftBinary& binary,
-                        const LiftOptions& options) {
+namespace {
+
+/// Shared lift driver: recover and lift `root_entry` plus its transitive
+/// callees.  Whole-binary lifting roots at the binary entry point;
+/// region-scoped lifting roots at an arbitrary discovered function.
+Result<ir::Module> LiftFrom(const mips::SoftBinary& binary,
+                            std::uint32_t root_entry,
+                            const LiftOptions& options) {
   ir::Module module;
 
-  // Discover functions: entry point plus transitive jal targets.
-  std::set<std::uint32_t> discovered{binary.entry};
-  std::deque<std::uint32_t> work{binary.entry};
+  // Discover functions: the root plus transitive jal targets.
+  std::set<std::uint32_t> discovered{root_entry};
+  std::deque<std::uint32_t> work{root_entry};
   std::map<std::uint32_t, MachineCfg> cfgs;
   while (!work.empty()) {
     const std::uint32_t entry = work.front();
@@ -588,11 +594,40 @@ Result<ir::Module> Lift(const mips::SoftBinary& binary,
     auto function = std::make_unique<ir::Function>(name, entry);
     FunctionLifter lifter(binary, cfg, *function, options);
     if (Status status = lifter.Run(); !status.ok()) return status;
-    if (entry == binary.entry) module.main = function.get();
+    if (entry == root_entry) module.main = function.get();
     module.functions.push_back(std::move(function));
   }
-  Check(module.main != nullptr, "Lift: entry function missing");
+  Check(module.main != nullptr, "Lift: root function missing");
   return module;
+}
+
+}  // namespace
+
+Result<ir::Module> Lift(const mips::SoftBinary& binary,
+                        const LiftOptions& options) {
+  return LiftFrom(binary, binary.entry, options);
+}
+
+Result<ir::Module> LiftAt(const mips::SoftBinary& binary,
+                          std::uint32_t root_entry,
+                          const LiftOptions& options) {
+  if (!binary.ContainsText(root_entry)) {
+    return Status::Error(ErrorKind::kMalformedBinary,
+                         "LiftAt: root entry outside text segment");
+  }
+  return LiftFrom(binary, root_entry, options);
+}
+
+std::vector<std::uint32_t> FunctionEntries(const mips::SoftBinary& binary) {
+  std::set<std::uint32_t> entries{binary.entry};
+  for (std::size_t i = 0; i < binary.text.size(); ++i) {
+    const auto instr = mips::Decode(binary.text[i]);
+    if (!instr.has_value() || instr->op != mips::Op::kJal) continue;
+    const std::uint32_t pc = mips::kTextBase + static_cast<std::uint32_t>(i) * 4u;
+    const std::uint32_t target = mips::JumpTarget(pc, *instr);
+    if (binary.ContainsText(target)) entries.insert(target);
+  }
+  return {entries.begin(), entries.end()};
 }
 
 }  // namespace b2h::decomp

@@ -36,6 +36,23 @@ struct LiftOptions {
 [[nodiscard]] Result<ir::Module> Lift(const mips::SoftBinary& binary,
                                       const LiftOptions& options = {});
 
+/// Region-scoped lift for incremental (dynamic) decompilation: lift only the
+/// function entered at `root_entry` plus its transitive callees, leaving the
+/// rest of the binary untouched.  The returned module's `main` is the root
+/// function.  Callees are included so the inlining pass can keep
+/// helper-calling loops synthesizable, exactly as in a whole-binary lift.
+[[nodiscard]] Result<ir::Module> LiftAt(const mips::SoftBinary& binary,
+                                        std::uint32_t root_entry,
+                                        const LiftOptions& options = {});
+
+/// Static function-entry discovery without lifting: the binary entry point
+/// plus every direct-call (`jal`) target found by scanning the text segment.
+/// Sorted ascending.  A dynamic partitioner uses this to map a hot PC to the
+/// entry of its enclosing function (greatest entry <= pc) without paying for
+/// a whole-binary CFG recovery.
+[[nodiscard]] std::vector<std::uint32_t> FunctionEntries(
+    const mips::SoftBinary& binary);
+
 /// Remove phis whose operands are all identical (or self-references).
 /// Returns number of phis removed.  Exposed for reuse by stack-op removal.
 std::size_t EliminateTrivialPhis(ir::Function& function);

@@ -335,9 +335,24 @@ Result<DecompiledProgram> PassManager::Run(
   lift_options.profile = profile;
   auto lifted = Lift(*binary, lift_options);
   if (!lifted.ok()) return lifted.status();
+  return Finish(std::move(binary), std::move(lifted).take());
+}
 
+Result<DecompiledProgram> PassManager::RunAt(
+    std::shared_ptr<const mips::SoftBinary> binary, std::uint32_t root_entry,
+    const mips::ExecProfile* profile) const {
+  Check(binary != nullptr, "PassManager::RunAt: null binary");
+  LiftOptions lift_options;
+  lift_options.profile = profile;
+  auto lifted = LiftAt(*binary, root_entry, lift_options);
+  if (!lifted.ok()) return lifted.status();
+  return Finish(std::move(binary), std::move(lifted).take());
+}
+
+Result<DecompiledProgram> PassManager::Finish(
+    std::shared_ptr<const mips::SoftBinary> binary, ir::Module lifted) const {
   DecompiledProgram program;
-  program.module = std::move(lifted).take();
+  program.module = std::move(lifted);
   program.binary = std::move(binary);
 
   for (const auto& function : program.module.functions) {

@@ -122,11 +122,25 @@ class PassManager {
       std::shared_ptr<const mips::SoftBinary> binary,
       const mips::ExecProfile* profile = nullptr) const;
 
+  /// Incremental (region-scoped) decompilation for dynamic partitioning:
+  /// lift ONLY the function entered at `root_entry` (plus its transitive
+  /// callees, so inlining still works) and run the same pipeline over that
+  /// small module.  The returned program's module has the root function as
+  /// `main`; cost is proportional to the region, not the binary.
+  [[nodiscard]] Result<DecompiledProgram> RunAt(
+      std::shared_ptr<const mips::SoftBinary> binary,
+      std::uint32_t root_entry,
+      const mips::ExecProfile* profile = nullptr) const;
+
   /// Run the pipeline over an already-lifted module in place.
   void RunOnModule(ir::Module& module, DecompileStats& stats,
                    std::vector<PassRunStats>& pass_runs) const;
 
  private:
+  /// Shared tail of Run/RunAt: pipeline + final cleanup + verification.
+  [[nodiscard]] Result<DecompiledProgram> Finish(
+      std::shared_ptr<const mips::SoftBinary> binary, ir::Module lifted) const;
+
   std::vector<const Pass*> pipeline_;
   bool verify_ = true;
 };

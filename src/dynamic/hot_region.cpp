@@ -1,0 +1,31 @@
+#include "dynamic/hot_region.hpp"
+
+#include "support/error.hpp"
+
+namespace b2h::dynamic {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+HotRegionCache::HotRegionCache(std::size_t entries,
+                               std::uint64_t hot_threshold)
+    : threshold_(hot_threshold) {
+  Check(entries > 0, "HotRegionCache: zero entries");
+  Check(hot_threshold > 0, "HotRegionCache: zero threshold");
+  slots_.resize(RoundUpPow2(entries));
+  mask_ = slots_.size() - 1;
+}
+
+std::uint32_t HotRegionCache::MaxLatchFor(std::uint32_t header_pc) const {
+  const Slot& slot = slots_[(header_pc >> 2) & mask_];
+  return slot.header_pc == header_pc ? slot.max_latch_pc : 0u;
+}
+
+}  // namespace b2h::dynamic

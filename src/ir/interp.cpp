@@ -21,8 +21,10 @@ Interpreter::Interpreter(const Module& module,
                          InterpOptions options)
     : module_(module), options_(options) {
   data_mem_.assign(options_.data_size, 0);
-  std::memcpy(data_mem_.data(), initial_data.data(),
-              std::min<std::size_t>(initial_data.size(), data_mem_.size()));
+  if (!initial_data.empty()) {
+    std::memcpy(data_mem_.data(), initial_data.data(),
+                std::min<std::size_t>(initial_data.size(), data_mem_.size()));
+  }
   stack_mem_.assign(options_.stack_size, 0);
 }
 

@@ -31,8 +31,10 @@ Simulator::Simulator(const SoftBinary& binary, CycleModel model)
     }
   }
   data_mem_.resize(kDataSegmentSize, 0);
-  std::memcpy(data_mem_.data(), binary.data.data(),
-              std::min<std::size_t>(binary.data.size(), data_mem_.size()));
+  if (!binary.data.empty()) {
+    std::memcpy(data_mem_.data(), binary.data.data(),
+                std::min<std::size_t>(binary.data.size(), data_mem_.size()));
+  }
   stack_mem_.resize(kStackSize, 0);
 }
 
@@ -68,6 +70,20 @@ void Simulator::PokeWord(std::uint32_t addr, std::uint32_t value) {
 
 RunResult Simulator::Run(std::span<const std::int32_t> args,
                          std::uint64_t max_instructions) {
+  return Exec<false>(args, max_instructions, nullptr);
+}
+
+RunResult Simulator::RunInstrumented(std::span<const std::int32_t> args,
+                                     std::uint64_t max_instructions,
+                                     RunObserver* observer) {
+  if (observer == nullptr) return Exec<false>(args, max_instructions, nullptr);
+  return Exec<true>(args, max_instructions, observer);
+}
+
+template <bool kInstrumented>
+RunResult Simulator::Exec(std::span<const std::int32_t> args,
+                          std::uint64_t max_instructions,
+                          RunObserver* observer) {
   RunResult result;
   result.profile.instr_count.assign(binary_.text.size(), 0);
   result.profile.cycle_count.assign(binary_.text.size(), 0);
@@ -84,7 +100,24 @@ RunResult Simulator::Run(std::span<const std::int32_t> args,
   }
 
   std::uint32_t pc = binary_.entry;
+  // Latch-event batch buffer (one observer call per kBranchBatch events or
+  // per kFlushIntervalInstrs instructions, whichever comes first).
+  [[maybe_unused]] std::array<BranchEvent, kBranchBatch> events;
+  [[maybe_unused]] std::size_t event_count = 0;
+  [[maybe_unused]] std::uint64_t next_flush_at = kFlushIntervalInstrs;
+  const auto flush_events = [&] {
+    if constexpr (kInstrumented) {
+      if (event_count > 0) {
+        result.profile.total_instructions = result.instructions;
+        result.profile.total_cycles = result.cycles;
+        observer->OnBackwardBranches({events.data(), event_count}, result);
+        event_count = 0;
+      }
+      next_flush_at = result.instructions + kFlushIntervalInstrs;
+    }
+  };
   const auto fault = [&](const std::string& message) {
+    flush_events();
     result.reason = HaltReason::kFault;
     std::ostringstream out;
     out << "fault at pc=0x" << std::hex << pc << ": " << message;
@@ -96,6 +129,7 @@ RunResult Simulator::Run(std::span<const std::int32_t> args,
 
   while (result.instructions < max_instructions) {
     if (pc == kHaltAddress) {
+      flush_events();
       result.reason = HaltReason::kReturned;
       result.return_value = regs[kV0];
       result.profile.total_instructions = result.instructions;
@@ -250,8 +284,22 @@ RunResult Simulator::Run(std::span<const std::int32_t> args,
     result.profile.cycle_count[index] += cycles;
     ++result.instructions;
     result.cycles += cycles;
+    if constexpr (kInstrumented) {
+      // Loop-latch observation: a taken conditional branch or direct j to a
+      // lower address.  jal/jr/jalr (calls and returns) never trigger.
+      // `taken` is only ever set by conditional-branch opcodes, so it
+      // subsumes the IsBranch() test — no out-of-line call on this path.
+      if (next_pc < pc && (taken || in.op == Op::kJ)) [[unlikely]] {
+        events[event_count++] = {next_pc, pc};
+        if (event_count == kBranchBatch ||
+            result.instructions >= next_flush_at) {
+          flush_events();
+        }
+      }
+    }
     pc = next_pc;
   }
+  flush_events();
   result.reason = HaltReason::kMaxInstructions;
   result.fault_message = "instruction budget exhausted";
   result.profile.total_instructions = result.instructions;

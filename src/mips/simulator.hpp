@@ -10,6 +10,16 @@
 //      branch taken/not-taken counts that the decompiler maps onto CDFG
 //      blocks and loops.
 //
+// A third role exists for *dynamic* partitioning (paper §6: the partitioner
+// is fast enough to run on-chip while the application executes):
+// RunInstrumented() adds a RunObserver hook that batches taken backward
+// branches (the on-chip loop profiler's trigger event), through which a
+// dynamic partitioner detects hot loop headers mid-run.  Everything else the
+// dynamic flow needs — per-region cycle/entry accounting for swapped-in
+// kernels — is derived from profile *snapshots* taken inside the callback,
+// so the interpreter hot path carries no extra per-instruction work, and
+// the plain Run() path compiles without even the hook check.
+//
 // Semantics notes (documented platform definition, see DESIGN.md §6):
 //   - no branch delay slots;
 //   - add/addi/sub do not trap on overflow (wrap like their -u forms);
@@ -64,6 +74,30 @@ struct RunResult {
   ExecProfile profile;
 };
 
+/// One taken backward control transfer (a loop latch): a conditional branch
+/// or direct `j` whose target precedes it.  Function calls and returns are
+/// never recorded.
+struct BranchEvent {
+  std::uint32_t target_pc = 0;  ///< loop header
+  std::uint32_t from_pc = 0;    ///< latch instruction
+};
+
+/// Observation hook for RunInstrumented.  Latch events are collected into a
+/// small on-simulator buffer and delivered in batches (one virtual call per
+/// kBranchBatch events — the software analogue of draining an on-chip
+/// branch FIFO, and what keeps the hook overhead on the interpreter hot
+/// path small).  A partial batch is flushed before the run returns.
+/// `so_far` is the run's cumulative state including every batched event;
+/// the profile vectors are live, so an observer may snapshot them mid-run —
+/// to decompile the code executed so far, and to re-price a region later as
+/// the delta between its swap-time snapshot and the final profile.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  virtual void OnBackwardBranches(std::span<const BranchEvent> events,
+                                  const RunResult& so_far) = 0;
+};
+
 class Simulator {
  public:
   explicit Simulator(const SoftBinary& binary, CycleModel model = {});
@@ -72,14 +106,36 @@ class Simulator {
   [[nodiscard]] RunResult Run(std::span<const std::int32_t> args = {},
                               std::uint64_t max_instructions = 100'000'000);
 
+  /// Run with the dynamic-partitioning hook enabled: the observer (may be
+  /// null) sees every taken backward branch, batched.  Semantically
+  /// identical to Run() — same result, same profile — only the callbacks
+  /// differ.
+  [[nodiscard]] RunResult RunInstrumented(
+      std::span<const std::int32_t> args, std::uint64_t max_instructions,
+      RunObserver* observer);
+
   /// Direct memory access for tests and for host-side result inspection.
   [[nodiscard]] std::uint32_t PeekWord(std::uint32_t addr) const;
   void PokeWord(std::uint32_t addr, std::uint32_t value);
 
   static constexpr std::uint32_t kDataSegmentSize = 1u << 20;  // 1 MiB
   static constexpr std::uint32_t kStackSize = 1u << 16;        // 64 KiB
+  /// Latch events buffered per observer callback (see RunObserver).
+  static constexpr std::size_t kBranchBatch = 128;
+  /// A partial batch is flushed once this many instructions have elapsed
+  /// since the last flush (bounds detection latency on sparse-latch code;
+  /// checked only when an event is recorded, so it costs nothing on the
+  /// straight-line hot path).
+  static constexpr std::uint64_t kFlushIntervalInstrs = 2048;
 
  private:
+  /// The interpreter loop.  kInstrumented=false compiles the exact pre-hook
+  /// hot path (no observer checks at all) for static flows.
+  template <bool kInstrumented>
+  [[nodiscard]] RunResult Exec(std::span<const std::int32_t> args,
+                               std::uint64_t max_instructions,
+                               RunObserver* observer);
+
   [[nodiscard]] const std::uint8_t* MemPtr(std::uint32_t addr,
                                            unsigned size) const;
   [[nodiscard]] std::uint8_t* MemPtr(std::uint32_t addr, unsigned size);

@@ -27,6 +27,34 @@ std::uint64_t RegionSwCycles(const mips::ExecProfile& profile,
   return cycles;
 }
 
+std::uint64_t ArrayFootprintWords(const decomp::AliasAnalysis& alias,
+                                  const std::set<int>& regions,
+                                  const mips::SoftBinary& binary) {
+  // Sorted data symbol addresses to derive extents.
+  std::vector<std::uint32_t> addresses;
+  for (const auto& [name, addr] : binary.symbols) {
+    if (addr >= mips::kDataBase) addresses.push_back(addr);
+  }
+  std::sort(addresses.begin(), addresses.end());
+  const std::uint32_t data_end =
+      mips::kDataBase + static_cast<std::uint32_t>(binary.data.size());
+
+  std::uint64_t words = 0;
+  for (int id : regions) {
+    if (id < 0 || static_cast<std::size_t>(id) >= alias.regions().size()) {
+      words += 64;  // unknown region: charge a default block
+      continue;
+    }
+    const decomp::MemRegion& region = alias.regions()[id];
+    if (region.kind != decomp::MemRegion::Kind::kGlobal) continue;
+    const auto base = static_cast<std::uint32_t>(region.key);
+    auto it = std::upper_bound(addresses.begin(), addresses.end(), base);
+    const std::uint32_t end = it != addresses.end() ? *it : data_end;
+    words += std::max<std::uint32_t>(1, (end - base) / 4u);
+  }
+  return words;
+}
+
 AppEstimate CombineEstimates(const Platform& platform,
                              std::uint64_t total_sw_cycles,
                              std::vector<KernelEstimate> kernels) {

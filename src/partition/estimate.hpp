@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "decomp/alias.hpp"
 #include "mips/binary.hpp"
 #include "mips/simulator.hpp"
 #include "partition/platform.hpp"
@@ -53,6 +55,14 @@ struct AppEstimate {
     const mips::ExecProfile& profile,
     const std::vector<std::uint32_t>& all_leaders,
     const std::vector<std::uint32_t>& region_leaders);
+
+/// Estimate the word footprint of the arrays in `regions`, using data
+/// symbols to derive extents when the binary carries them (assembler output
+/// does).  Shared by the static alias step and the dynamic DMA-staging
+/// model.
+[[nodiscard]] std::uint64_t ArrayFootprintWords(
+    const decomp::AliasAnalysis& alias, const std::set<int>& regions,
+    const mips::SoftBinary& binary);
 
 /// Combine kernel estimates into the application-level numbers.
 [[nodiscard]] AppEstimate CombineEstimates(

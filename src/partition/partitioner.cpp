@@ -55,36 +55,6 @@ std::vector<std::uint32_t> BlockLeaders(
   return leaders;
 }
 
-/// Estimate the word footprint of the arrays a region touches, using data
-/// symbols when the binary carries them (assembler output does).
-std::uint64_t ArrayFootprintWords(const decomp::AliasAnalysis& alias,
-                                  const std::set<int>& regions,
-                                  const mips::SoftBinary& binary) {
-  // Sorted data symbol addresses to derive extents.
-  std::vector<std::uint32_t> addresses;
-  for (const auto& [name, addr] : binary.symbols) {
-    if (addr >= mips::kDataBase) addresses.push_back(addr);
-  }
-  std::sort(addresses.begin(), addresses.end());
-  const std::uint32_t data_end =
-      mips::kDataBase + static_cast<std::uint32_t>(binary.data.size());
-
-  std::uint64_t words = 0;
-  for (int id : regions) {
-    if (id < 0 || static_cast<std::size_t>(id) >= alias.regions().size()) {
-      words += 64;  // unknown region: charge a default block
-      continue;
-    }
-    const decomp::MemRegion& region = alias.regions()[id];
-    if (region.kind != decomp::MemRegion::Kind::kGlobal) continue;
-    const auto base = static_cast<std::uint32_t>(region.key);
-    auto it = std::upper_bound(addresses.begin(), addresses.end(), base);
-    const std::uint32_t end = it != addresses.end() ? *it : data_end;
-    words += std::max<std::uint32_t>(1, (end - base) / 4u);
-  }
-  return words;
-}
-
 }  // namespace
 
 Result<PartitionResult> PartitionProgram(
@@ -225,6 +195,10 @@ Result<PartitionResult> PartitionProgram(
     }
     SelectedRegion selected;
     selected.synthesized = std::move(synthesized).take();
+    // The loop analysis lives only for the duration of this call; the
+    // stored region must not carry a pointer into it.  The loop's identity
+    // survives as region.blocks.front()->start_pc (the header leader).
+    selected.synthesized.region.loop = nullptr;
     selected.selected_by = reason;
     selected.sw_cycles = candidate.sw_cycles;
     selected.invocations = candidate.invocations;

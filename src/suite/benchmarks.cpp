@@ -469,13 +469,16 @@ int32_t BcntReference() {
   }
   int32_t total = 0;
   for (int i = 0; i < 256; ++i) {
-    int32_t b = data[i];
-    b = (b & 0x55555555) + ((b >> 1) & 0x55555555);
-    b = (b & 0x33333333) + ((b >> 2) & 0x33333333);
-    b = (b & 0x0F0F0F0F) + ((b >> 4) & 0x0F0F0F0F);
-    b = (b & 0x00FF00FF) + ((b >> 8) & 0x00FF00FF);
-    b = (b & 0x0000FFFF) + ((b >> 16) & 0x0000FFFF);
-    total += b;
+    // Unsigned arithmetic: the first reduction step can carry into bit 31,
+    // which is the simulator's documented wrapping add but signed-overflow
+    // UB in native C++.
+    uint32_t b = static_cast<uint32_t>(data[i]);
+    b = (b & 0x55555555u) + ((b >> 1) & 0x55555555u);
+    b = (b & 0x33333333u) + ((b >> 2) & 0x33333333u);
+    b = (b & 0x0F0F0F0Fu) + ((b >> 4) & 0x0F0F0F0Fu);
+    b = (b & 0x00FF00FFu) + ((b >> 8) & 0x00FF00FFu);
+    b = (b & 0x0000FFFFu) + ((b >> 16) & 0x0000FFFFu);
+    total += static_cast<int32_t>(b);
   }
   return total;
 }

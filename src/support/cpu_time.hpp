@@ -1,0 +1,30 @@
+// Process-CPU timing for micro-measurements (bench + perf tests).
+//
+// Wall clock is useless for single-digit-percent comparisons on shared
+// machines: sibling processes may own every other core, and scheduler
+// preemption lands in one variant's samples.  Process CPU time charges only
+// cycles this process actually ran.
+#pragma once
+
+#include <ctime>
+#include <utility>
+
+namespace b2h::support {
+
+/// CPU seconds consumed by this process so far.
+[[nodiscard]] inline double ProcessCpuSeconds() {
+  timespec now{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &now);
+  return static_cast<double>(now.tv_sec) +
+         static_cast<double>(now.tv_nsec) * 1e-9;
+}
+
+/// CPU seconds `fn` takes to run.
+template <typename Fn>
+[[nodiscard]] double CpuSecondsOf(Fn&& fn) {
+  const double start = ProcessCpuSeconds();
+  std::forward<Fn>(fn)();
+  return ProcessCpuSeconds() - start;
+}
+
+}  // namespace b2h::support

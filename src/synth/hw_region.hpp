@@ -18,7 +18,10 @@ namespace b2h::synth {
 
 struct HwRegion {
   const ir::Function* function = nullptr;
-  const ir::Loop* loop = nullptr;  ///< null for whole-function regions
+  /// Loop being synthesized; null for whole-function regions.  Valid only
+  /// while the extracting LoopForest is alive — the partitioner nulls it on
+  /// results it stores (use blocks.front()->start_pc for the header).
+  const ir::Loop* loop = nullptr;
   std::vector<const ir::Block*> blocks;  ///< region blocks, entry first
   std::vector<const ir::Instr*> live_ins;
   std::vector<const ir::Instr*> live_outs;

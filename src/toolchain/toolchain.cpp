@@ -156,6 +156,26 @@ Toolchain& Toolchain::WithPlatform(partition::Platform platform,
   return *this;
 }
 
+Toolchain& Toolchain::WithDynamicPolicy(partition::DynamicPolicy policy) {
+  dynamic_policy_ = policy;
+  return *this;
+}
+
+Toolchain& Toolchain::WithDynamic(bool enabled) {
+  dynamic_enabled_ = enabled;
+  return *this;
+}
+
+dynamic::DynamicOptions Toolchain::DynamicConfig() const {
+  dynamic::DynamicOptions options;
+  options.policy = dynamic_policy_;
+  options.pipeline = pipeline_spec_;
+  options.synth = partition_options_.synth;
+  options.max_instructions = max_sim_instructions_;
+  options.verify_ir = verify_ir_;
+  return options;
+}
+
 Result<ToolchainRun> Toolchain::PartitionPrepared(
     std::string binary_name, std::string platform_name,
     std::shared_ptr<const mips::SoftBinary> binary,
@@ -230,6 +250,64 @@ Result<ToolchainRun> Toolchain::RunOn(
   }
   return RunOnPlatform(std::move(binary), std::move(binary_name), *platform,
                        std::string(platform_name));
+}
+
+Result<DynamicToolchainRun> Toolchain::RunDynamicOnPlatform(
+    std::shared_ptr<const mips::SoftBinary> binary, std::string binary_name,
+    const partition::Platform& platform, std::string platform_name) const {
+  auto static_run =
+      RunOnPlatform(binary, binary_name, platform, platform_name);
+  if (!static_run.ok()) return static_run.status();
+
+  dynamic::DynamicPartitioner online(platform, DynamicConfig(),
+                                     platform_name);
+  auto dynamic_run = online.Run(std::move(binary), std::move(binary_name));
+  if (!dynamic_run.ok()) return dynamic_run.status();
+
+  DynamicToolchainRun run;
+  run.static_run = std::move(static_run).take();
+  run.dynamic_run = std::move(dynamic_run).take();
+  run.convergence = run.static_run.estimate.speedup > 0.0
+                        ? run.dynamic_run.estimate.speedup /
+                              run.static_run.estimate.speedup
+                        : 0.0;
+  return run;
+}
+
+Result<DynamicToolchainRun> Toolchain::RunDynamic(
+    std::shared_ptr<const mips::SoftBinary> binary,
+    std::string binary_name) const {
+  if (custom_platform_.has_value()) {
+    return RunDynamicOnPlatform(std::move(binary), std::move(binary_name),
+                                *custom_platform_, default_platform_name_);
+  }
+  return RunDynamicOn(default_platform_name_, std::move(binary),
+                      std::move(binary_name));
+}
+
+Result<DynamicToolchainRun> Toolchain::RunDynamicOn(
+    std::string_view platform_name,
+    std::shared_ptr<const mips::SoftBinary> binary,
+    std::string binary_name) const {
+  const auto platform = PlatformRegistry::Global().Find(platform_name);
+  if (!platform.has_value()) {
+    return Status::Error(ErrorKind::kUnsupported,
+                         "unknown platform: " + std::string(platform_name));
+  }
+  return RunDynamicOnPlatform(std::move(binary), std::move(binary_name),
+                              *platform, std::string(platform_name));
+}
+
+std::string DynamicToolchainRun::Report() const {
+  std::ostringstream out;
+  out << dynamic_run.Report();
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "static oracle: speedup=%.2fx (dynamic captured %.0f%% of "
+                "the static payoff)\n",
+                static_run.estimate.speedup, convergence * 100.0);
+  out << line;
+  return out.str();
 }
 
 BatchResult Toolchain::RunMany(
@@ -350,6 +428,21 @@ BatchResult Toolchain::RunMany(
       slots[index] = PartitionPrepared(binaries[b].name, platform_names[p],
                                        binaries[b].binary, base.software_run,
                                        base.program, *platforms[p]);
+      // Dynamic mode: also run the online partitioner for this pair.  Each
+      // pair gets its own simulator + detector, so the fan-out stays
+      // deterministic (parallel == serial).
+      if (dynamic_enabled_ && slots[index]->ok()) {
+        dynamic::DynamicPartitioner online(*platforms[p], DynamicConfig(),
+                                           platform_names[p]);
+        auto dynamic_run = online.Run(binaries[b].binary, binaries[b].name);
+        if (!dynamic_run.ok()) {
+          slots[index] = dynamic_run.status();
+        } else {
+          slots[index]->value().dynamic_run =
+              std::make_shared<const dynamic::DynamicRun>(
+                  std::move(dynamic_run).take());
+        }
+      }
     } catch (const std::exception& e) {
       slots[index] = Status::Error(
           ErrorKind::kUnsupported,

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "decomp/pass_manager.hpp"
+#include "dynamic/dynamic_partitioner.hpp"
 #include "partition/flow.hpp"
 #include "partition/platform.hpp"
 
@@ -71,6 +72,20 @@ struct ToolchainRun {
   std::shared_ptr<const decomp::DecompiledProgram> program;
   partition::PartitionResult partition;
   partition::AppEstimate estimate;
+  /// Filled by RunMany when WithDynamic(true): the online (runtime)
+  /// partitioning outcome for the same (binary, platform) pair.
+  std::shared_ptr<const dynamic::DynamicRun> dynamic_run;
+
+  [[nodiscard]] std::string Report() const;
+};
+
+/// Outcome of RunDynamic: the online run next to its static oracle.
+struct DynamicToolchainRun {
+  ToolchainRun static_run;          ///< ahead-of-time flow (the oracle)
+  dynamic::DynamicRun dynamic_run;  ///< online flow on the same binary
+  /// dynamic speedup / static speedup — how much of the static payoff the
+  /// online partitioner captured (1.0 = full convergence).
+  double convergence = 0.0;
 
   [[nodiscard]] std::string Report() const;
 };
@@ -113,6 +128,13 @@ class Toolchain {
   Toolchain& WithPlatform(std::string registered_name);
   Toolchain& WithPlatform(partition::Platform platform,
                           std::string label = "custom");
+  /// Online-partitioning configuration for RunDynamic and for RunMany in
+  /// dynamic mode.  Pipeline spec, verify flag, and simulation budget are
+  /// inherited from the toolchain configuration.
+  Toolchain& WithDynamicPolicy(partition::DynamicPolicy policy);
+  /// When enabled, RunMany additionally executes the online partitioner for
+  /// every (binary, platform) pair and attaches ToolchainRun::dynamic_run.
+  Toolchain& WithDynamic(bool enabled);
 
   // --------------------------------------------------------------- running
   /// Single binary on the configured default platform.
@@ -134,7 +156,25 @@ class Toolchain {
       const std::vector<NamedBinary>& binaries,
       const std::vector<std::string>& platform_names) const;
 
+  /// Dynamic front door: run the online partitioner on the configured
+  /// default platform AND the static oracle on the same binary, reporting
+  /// both plus their convergence.
+  [[nodiscard]] Result<DynamicToolchainRun> RunDynamic(
+      std::shared_ptr<const mips::SoftBinary> binary,
+      std::string binary_name = "binary") const;
+
+  /// Dynamic front door against a named registered platform.
+  [[nodiscard]] Result<DynamicToolchainRun> RunDynamicOn(
+      std::string_view platform_name,
+      std::shared_ptr<const mips::SoftBinary> binary,
+      std::string binary_name = "binary") const;
+
  private:
+  [[nodiscard]] Result<DynamicToolchainRun> RunDynamicOnPlatform(
+      std::shared_ptr<const mips::SoftBinary> binary, std::string binary_name,
+      const partition::Platform& platform, std::string platform_name) const;
+
+  [[nodiscard]] dynamic::DynamicOptions DynamicConfig() const;
   [[nodiscard]] Result<ToolchainRun> RunOnPlatform(
       std::shared_ptr<const mips::SoftBinary> binary, std::string binary_name,
       const partition::Platform& platform, std::string platform_name) const;
@@ -155,6 +195,8 @@ class Toolchain {
   bool verify_ir_ = true;
   std::string default_platform_name_ = "mips200-xc2v1000";
   std::optional<partition::Platform> custom_platform_;
+  partition::DynamicPolicy dynamic_policy_;
+  bool dynamic_enabled_ = false;
 };
 
 }  // namespace b2h
