@@ -126,6 +126,14 @@ int main() {
     if (!dyn.swaps.empty()) {
       json.Record("time_to_first_kernel", dyn.time_to_first_kernel_ms, "ms",
                   binaries[i].name);
+      // Simulated-time CAD accounting (DynamicPolicy::cad_cycles_per_ms):
+      // when the first kernel is live, measured in simulated CPU cycles.
+      json.Record("time_to_first_kernel_sim",
+                  static_cast<double>(dyn.time_to_first_kernel_cycles),
+                  "cycles", binaries[i].name);
+      json.Record("online_cad_sim",
+                  static_cast<double>(dyn.cad_simulated_cycles), "cycles",
+                  binaries[i].name);
       sum_first_kernel_ms += dyn.time_to_first_kernel_ms;
       ++swapped;
     }

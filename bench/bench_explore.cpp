@@ -1,0 +1,120 @@
+// Experiment E6 (beyond the paper's tables): design-space exploration.
+//
+// Three measurements back the exploration engine's claims:
+//   1. Greedy-vs-optimal gap — how much speedup the paper's "deliberately
+//      simple and fast" heuristic leaves on the table against the exact
+//      knapsack selection, per benchmark on the default platform.  The
+//      bench FAILS (non-zero exit) if optimal ever falls below greedy:
+//      that would be a search regression, caught here and in CI.
+//   2. Artifact-cache effectiveness — hit rate and work counters of a warm
+//      repeat of the full sweep (expected: zero decompilations).
+//   3. Sweep scalability — wall time of the full {18 benchmarks} x
+//      {3 platforms} x {3 strategies} sweep, serial vs. thread pool.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
+
+using namespace b2h;
+
+int main() {
+  bench::JsonWriter json("explore");
+
+  std::vector<NamedBinary> binaries;
+  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+    auto binary = suite::BuildBinary(*bench, 1);
+    if (!binary.ok()) continue;
+    binaries.push_back(
+        {bench->name,
+         std::make_shared<const mips::SoftBinary>(std::move(binary).take())});
+  }
+
+  explore::ExploreSpec spec;
+  spec.binaries = binaries;
+  spec.platforms = {"mips40", "mips200-xc2v1000", "mips400"};
+  spec.strategies = {"paper-greedy", "knapsack-optimal", "annealing"};
+  spec.objectives = {partition::Objective::kSpeedup};
+
+  // ---- 3. Sweep wall time, serial vs. parallel (both cache-cold). --------
+  Toolchain serial;
+  serial.WithThreads(1);
+  const explore::ExploreResult serial_sweep = serial.Explore(spec);
+  Toolchain parallel;  // threads = hardware concurrency
+  const explore::ExploreResult cold = parallel.Explore(spec);
+  printf("=== E6: design-space exploration (%zu benchmarks x %zu platforms "
+         "x %zu strategies) ===\n\n",
+         spec.binaries.size(), spec.platforms.size(), spec.strategies.size());
+  printf("sweep wall time: serial %.1f ms, parallel %.1f ms (%.1fx)\n\n",
+         serial_sweep.wall_ms, cold.wall_ms,
+         cold.wall_ms > 0.0 ? serial_sweep.wall_ms / cold.wall_ms : 0.0);
+  json.Record("sweep_wall_serial", serial_sweep.wall_ms, "ms");
+  json.Record("sweep_wall_parallel", cold.wall_ms, "ms");
+
+  // ---- 1. Greedy-vs-optimal gap per benchmark (default platform). --------
+  printf("%-11s %9s %9s %9s %8s\n", "benchmark", "greedy-x", "optimal-x",
+         "anneal-x", "gap");
+  bool regression = false;
+  double sum_gap = 0.0;
+  int counted = 0;
+  const std::size_t default_platform = 1;  // mips200-xc2v1000
+  for (std::size_t b = 0; b < spec.binaries.size(); ++b) {
+    const auto& greedy = cold.At(b, default_platform, 0, 0);
+    const auto& optimal = cold.At(b, default_platform, 1, 0);
+    const auto& annealed = cold.At(b, default_platform, 2, 0);
+    if (!greedy.status.ok() || !optimal.status.ok()) continue;
+    const double gap =
+        greedy.speedup > 0.0 ? optimal.speedup / greedy.speedup - 1.0 : 0.0;
+    if (optimal.speedup < greedy.speedup - 1e-9) regression = true;
+    printf("%-11s %9.2f %9.2f %9.2f %7.1f%%\n", spec.binaries[b].name.c_str(),
+           greedy.speedup, optimal.speedup,
+           annealed.status.ok() ? annealed.speedup : 0.0, gap * 100.0);
+    json.Record("greedy_speedup", greedy.speedup, "x", spec.binaries[b].name);
+    json.Record("optimal_speedup", optimal.speedup, "x",
+                spec.binaries[b].name);
+    json.Record("greedy_vs_optimal_gap", gap * 100.0, "%",
+                spec.binaries[b].name);
+    sum_gap += gap;
+    ++counted;
+  }
+  const double avg_gap = counted > 0 ? sum_gap / counted : 0.0;
+  printf("\naverage greedy-vs-optimal gap: %.1f%% over %d benchmarks\n\n",
+         avg_gap * 100.0, counted);
+  json.Record("avg_greedy_vs_optimal_gap", avg_gap * 100.0, "%");
+
+  // ---- 2. Cache effectiveness: warm repeat of the identical sweep. -------
+  const explore::ExploreResult warm = parallel.Explore(spec);
+  const std::size_t probes = warm.cache_hits + warm.cache_misses;
+  const double hit_rate =
+      probes > 0 ? static_cast<double>(warm.cache_hits) /
+                       static_cast<double>(probes)
+                 : 0.0;
+  printf("cache-warm repeat: %zu simulations, %zu decompilations, "
+         "%zu partitions, hit rate %.0f%%\n",
+         warm.simulations_run, warm.decompilations_run, warm.partitions_run,
+         hit_rate * 100.0);
+  printf("%s", warm.StatsReport().c_str());
+  json.Record("warm_decompilations", (double)warm.decompilations_run, "runs");
+  json.Record("warm_partitions", (double)warm.partitions_run, "runs");
+  json.Record("cache_hit_rate", hit_rate * 100.0, "%");
+  json.Record("sweep_wall_warm", warm.wall_ms, "ms");
+
+  if (regression) {
+    printf("\nREGRESSION: knapsack-optimal fell below paper-greedy on at "
+           "least one benchmark\n");
+    return 1;
+  }
+  if (warm.decompilations_run != 0) {
+    printf("\nREGRESSION: cache-warm sweep re-ran %zu decompilation(s)\n",
+           warm.decompilations_run);
+    return 1;
+  }
+  printf("\nReading: the exact selection confirms how little the paper's\n"
+         "heuristic leaves on the table on this suite, and the artifact\n"
+         "cache makes repeated sweeps free.\n");
+  return 0;
+}

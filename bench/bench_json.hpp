@@ -5,16 +5,23 @@
 // human-readable stdout, so the perf trajectory across commits can be
 // collected by tooling (`cmake --build build --target bench` runs them all).
 // Format, one line per record:
-//   {"bench":"table1","metric":"avg_speedup","value":5.2,"unit":"x"}
+//   {"schema":1,"bench":"table1","metric":"avg_speedup","value":5.2,"unit":"x"}
 // An optional "label" field qualifies per-item records (benchmark name,
-// platform, pipeline variant, ...).
+// platform, pipeline variant, ...).  Every record carries the schema
+// version (kSchemaVersion) so downstream collectors can detect format
+// changes; bump it whenever a field is added, removed, or reinterpreted.
 #pragma once
 
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "support/json.hpp"
+
 namespace b2h::bench {
+
+/// Version of the JSON-lines record format.
+inline constexpr int kSchemaVersion = 1;
 
 class JsonWriter {
  public:
@@ -32,7 +39,8 @@ class JsonWriter {
               const std::string& label = "") {
     char value_text[64];
     std::snprintf(value_text, sizeof value_text, "%.9g", value);
-    out_ << "{\"bench\":\"" << Escape(bench_) << "\",\"metric\":\""
+    out_ << "{\"schema\":" << kSchemaVersion << ",\"bench\":\""
+         << Escape(bench_) << "\",\"metric\":\""
          << Escape(metric) << "\",\"value\":" << value_text << ",\"unit\":\""
          << Escape(unit) << "\"";
     if (!label.empty()) out_ << ",\"label\":\"" << Escape(label) << "\"";
@@ -42,13 +50,7 @@ class JsonWriter {
 
  private:
   static std::string Escape(const std::string& text) {
-    std::string escaped;
-    escaped.reserve(text.size());
-    for (char c : text) {
-      if (c == '"' || c == '\\') escaped.push_back('\\');
-      escaped.push_back(c);
-    }
-    return escaped;
+    return support::JsonEscape(text);
   }
 
   std::string bench_;

@@ -1,12 +1,13 @@
-// Platform exploration (paper §4: "Using a hypothetical platform allows us
-// to more easily evaluate different types of platforms with different clock
-// speeds and FPGA sizes").
+// Platform + strategy exploration (paper §4: "Using a hypothetical
+// platform allows us to more easily evaluate different types of platforms
+// with different clock speeds and FPGA sizes").
 //
-// Registers one named platform per (CPU clock, FPGA capacity) point in the
-// PlatformRegistry, then sweeps them all over one benchmark binary in a
-// single Toolchain::RunMany batch — the binary is profiled and decompiled
-// once for the whole matrix — and prints the speedup/energy matrix a
-// platform architect would look at.
+// Registers one named platform per (CPU clock, FPGA capacity) point, then
+// runs one Toolchain::Explore sweep over {platform grid} x {all three
+// partitioner strategies} — the binary is profiled and decompiled once for
+// the whole matrix, partitions are cached by content, and the result
+// carries the multi-objective Pareto frontier (speedup vs. energy vs. FPGA
+// area) a platform architect would shortlist from.
 //
 // Build & run:  ./build/examples/platform_explorer [benchmark]
 #include <cstdio>
@@ -39,14 +40,16 @@ int main(int argc, char** argv) {
   auto binary =
       std::make_shared<const mips::SoftBinary>(std::move(built).take());
 
-  printf("platform exploration for '%s' (%s)\n\n", bench->name.c_str(),
+  printf("design-space exploration for '%s' (%s)\n\n", bench->name.c_str(),
          bench->description.c_str());
 
   const double cpu_clocks[] = {40, 100, 200, 400};
   const double fpga_kgates[] = {15, 50, 300};
 
   // Register the whole design-space grid as named platforms.
-  std::vector<std::string> platform_names;
+  explore::ExploreSpec spec;
+  spec.binaries = {{bench->name, binary}};
+  spec.platforms.clear();
   for (double mhz : cpu_clocks) {
     for (double kg : fpga_kgates) {
       partition::Platform platform = partition::Platform::WithCpuMhz(mhz);
@@ -55,39 +58,55 @@ int main(int argc, char** argv) {
       std::string platform_name = "mips" + std::to_string((int)mhz) + "-" +
                                   std::to_string((int)kg) + "kg";
       PlatformRegistry::Global().Register(platform_name, platform);
-      platform_names.push_back(std::move(platform_name));
+      spec.platforms.push_back(std::move(platform_name));
     }
   }
+  spec.strategies = {"paper-greedy", "knapsack-optimal", "annealing"};
 
-  // One batch over the full matrix; one decompilation total.
+  // One sweep over the full matrix; one decompilation total.
   Toolchain toolchain;
-  const BatchResult batch = toolchain.RunMany(
-      {{bench->name, binary}}, platform_names);
+  const explore::ExploreResult result = toolchain.Explore(spec);
 
+  // The classic speedup/energy matrix, for the paper heuristic.
+  printf("paper-greedy heuristic (each cell: speedup / energy savings):\n");
   printf("%-10s", "cpu\\fpga");
   for (double kg : fpga_kgates) printf("   %6.0fk gates   ", kg);
   printf("\n");
-  std::size_t index = 0;
+  std::size_t platform_index = 0;
   for (double mhz : cpu_clocks) {
     printf("%6.0fMHz ", mhz);
     for (std::size_t k = 0; k < std::size(fpga_kgates); ++k) {
-      const auto& run = batch.runs[index++];
-      if (!run.ok()) {
+      const auto& point = result.At(0, platform_index++, 0, 0);
+      if (!point.status.ok()) {
         printf("   %-15s", "flow failed");
         continue;
       }
       char cell[32];
-      snprintf(cell, sizeof cell, "%5.1fx / %3.0f%%",
-               run.value().estimate.speedup,
-               run.value().estimate.energy_savings * 100.0);
+      snprintf(cell, sizeof cell, "%5.1fx / %3.0f%%", point.speedup,
+               point.energy_savings * 100.0);
       printf("   %-15s", cell);
     }
     printf("\n");
   }
-  printf("\n(each cell: application speedup / energy savings vs "
-         "software-only on the same CPU;\n %zu platform points, "
-         "%zu decompilation%s)\n",
-         batch.runs.size(), batch.decompilations_run,
-         batch.decompilations_run == 1 ? "" : "s");
+
+  // The Pareto shortlist across all platforms AND strategies.
+  printf("\npareto frontier (speedup vs. energy vs. area, all strategies):\n");
+  printf("  %-16s %-18s %9s %12s %12s %3s\n", "platform", "strategy",
+         "speedup", "energy(uJ)", "area(gates)", "hw");
+  std::size_t frontier = 0;
+  for (const auto& point : result.points) {
+    if (!point.status.ok() || !point.on_frontier) continue;
+    ++frontier;
+    printf("  %-16s %-18s %8.2fx %12.3f %12.0f %3zu\n",
+           point.platform_name.c_str(), point.strategy_name.c_str(),
+           point.speedup, point.energy * 1e6, point.area_gates,
+           point.hw_regions);
+  }
+  printf("\n(%zu of %zu points on the frontier; %zu decompilation%s, "
+         "%zu partition%s for the whole matrix)\n",
+         frontier, result.points.size(), result.decompilations_run,
+         result.decompilations_run == 1 ? "" : "s", result.partitions_run,
+         result.partitions_run == 1 ? "" : "s");
+  printf("%s", result.StatsReport().c_str());
   return 0;
 }

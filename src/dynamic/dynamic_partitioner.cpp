@@ -162,6 +162,12 @@ class OnlinePartitioner final : public mips::RunObserver {
   [[nodiscard]] double time_to_first_kernel_ms() const {
     return time_to_first_kernel_ms_;
   }
+  /// Host CAD milliseconds spent up to and including the first successful
+  /// swap (earlier rejected attempts included): the wall-clock input to the
+  /// simulated time-to-first-kernel conversion.
+  [[nodiscard]] double cad_ms_to_first_kernel() const {
+    return cad_ms_to_first_kernel_;
+  }
 
   void StartWallClock() { wall_start_ = Clock::now(); }
 
@@ -386,6 +392,7 @@ class OnlinePartitioner final : public mips::RunObserver {
     swaps_.push_back(std::move(swap));
     if (swaps_.size() == 1) {
       time_to_first_kernel_ms_ = MillisSince(wall_start_);
+      cad_ms_to_first_kernel_ = online_cad_ms_;
     }
   }
 
@@ -401,6 +408,7 @@ class OnlinePartitioner final : public mips::RunObserver {
   std::vector<std::string> rejected_;
   double online_cad_ms_ = 0.0;
   double time_to_first_kernel_ms_ = 0.0;
+  double cad_ms_to_first_kernel_ = 0.0;
   Clock::time_point wall_start_ = Clock::now();
 };
 
@@ -441,6 +449,17 @@ Result<DynamicRun> DynamicPartitioner::Run(
   out.detector_events = online.detector_events();
   out.online_cad_ms = online.online_cad_ms();
   out.time_to_first_kernel_ms = online.time_to_first_kernel_ms();
+  // Simulated-time CAD accounting: convert the host wall-clock CAD cost
+  // through the policy's cycles-per-millisecond model.
+  const double cad_rate = options_.policy.cad_cycles_per_ms;
+  out.cad_simulated_cycles = static_cast<std::uint64_t>(
+      std::llround(online.online_cad_ms() * cad_rate));
+  if (!out.swaps.empty()) {
+    out.time_to_first_kernel_cycles =
+        out.swaps.front().at_cycle +
+        static_cast<std::uint64_t>(
+            std::llround(online.cad_ms_to_first_kernel() * cad_rate));
+  }
 
   std::vector<partition::KernelEstimate> estimates;
   for (const auto& mapped : online.mapped()) {

@@ -105,6 +105,15 @@ struct DynamicRun {
   std::uint64_t detector_events = 0;   ///< taken backward branches observed
   double time_to_first_kernel_ms = 0;  ///< host wall clock (0 = no kernel)
   double online_cad_ms = 0;            ///< total decompile+synth wall time
+  /// Total online CAD cost converted into simulated CPU cycles via
+  /// DynamicPolicy::cad_cycles_per_ms (ROADMAP: report CAD latency in
+  /// *simulated* time, not just host wall clock).
+  std::uint64_t cad_simulated_cycles = 0;
+  /// Simulated cycle at which the first kernel is live: the swap's
+  /// simulated-time position plus every preceding CAD attempt's converted
+  /// cost (0 = no kernel).  With cad_cycles_per_ms = 0 this is exactly
+  /// swaps.front().at_cycle.
+  std::uint64_t time_to_first_kernel_cycles = 0;
 
   /// Deterministic report: same binary + config => identical text (host
   /// wall-clock fields are deliberately omitted).

@@ -1,0 +1,160 @@
+#include "explore/artifact_cache.hpp"
+
+#include <cstring>
+
+namespace b2h::explore {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+ContentHasher& ContentHasher::Bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= bytes[i];
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+ContentHasher& ContentHasher::U64(std::uint64_t value) {
+  unsigned char encoded[8];
+  for (int i = 0; i < 8; ++i) {
+    encoded[i] = static_cast<unsigned char>(value >> (i * 8));
+  }
+  return Bytes(encoded, sizeof encoded);
+}
+
+ContentHasher& ContentHasher::F64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return U64(bits);
+}
+
+ContentHasher& ContentHasher::Str(std::string_view text) {
+  // Length prefix: "ab"+"c" must not collide with "a"+"bc".
+  U64(text.size());
+  return Bytes(text.data(), text.size());
+}
+
+std::string ContentHasher::Hex() const {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(state_));
+  return buffer;
+}
+
+std::string HashBinary(const mips::SoftBinary& binary) {
+  ContentHasher hasher;
+  hasher.U64(binary.entry);
+  hasher.U64(binary.text.size());
+  hasher.Bytes(binary.text.data(), binary.text.size() * sizeof(std::uint32_t));
+  hasher.U64(binary.data.size());
+  hasher.Bytes(binary.data.data(), binary.data.size());
+  hasher.U64(binary.symbols.size());
+  for (const auto& [name, address] : binary.symbols) {
+    hasher.Str(name).U64(address);
+  }
+  return hasher.Hex();
+}
+
+std::string HashPlatform(const partition::Platform& platform) {
+  ContentHasher hasher;
+  const auto& cpu = platform.cpu;
+  hasher.F64(cpu.clock_mhz)
+      .F64(cpu.base_watts)
+      .F64(cpu.watts_per_mhz)
+      .F64(cpu.idle_fraction);
+  const auto& model = cpu.cycle_model;
+  hasher.U64(model.base)
+      .U64(model.load_extra)
+      .U64(model.mult_extra)
+      .U64(model.div_extra)
+      .U64(model.taken_extra);
+  const auto& fpga = platform.fpga;
+  hasher.F64(fpga.capacity_gates)
+      .F64(fpga.usable_fraction)
+      .F64(fpga.clock_mhz_cap)
+      .F64(fpga.static_watts)
+      .F64(fpga.watts_per_kgate_100mhz);
+  const auto& comm = platform.comm;
+  hasher.F64(comm.setup_cycles)
+      .F64(comm.cycles_per_word)
+      .F64(comm.bus_penalty_cycles);
+  return hasher.Hex();
+}
+
+std::string HashPartitionOptions(const partition::PartitionOptions& options) {
+  ContentHasher hasher;
+  hasher.F64(options.coverage_target)
+      .U64(options.enable_alias_step ? 1 : 0)
+      .U64(options.enable_greedy_step ? 1 : 0);
+  const auto& schedule = options.synth.schedule;
+  hasher.F64(schedule.clock_ns)
+      .U64(schedule.mem_ports)
+      .U64(schedule.max_mults)
+      .U64(schedule.max_divs)
+      .U64(schedule.enable_pipelining ? 1 : 0)
+      .U64(schedule.enable_chaining ? 1 : 0);
+  const auto& library = options.synth.library;
+  hasher.F64(library.gates_per_lut)
+      .F64(library.gates_per_ff)
+      .F64(library.gates_per_mult18)
+      .F64(library.add_base_ns)
+      .F64(library.mul_ns);
+  hasher.U64(options.synth.emit_vhdl ? 1 : 0);
+  return hasher.Hex();
+}
+
+std::shared_ptr<const DecompileArtifact> ArtifactCache::FindDecompile(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = decompiles_.find(key);
+  if (it == decompiles_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+std::shared_ptr<const PartitionArtifact> ArtifactCache::FindPartition(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = partitions_.find(key);
+  if (it == partitions_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ArtifactCache::PutDecompile(
+    const std::string& key, std::shared_ptr<const DecompileArtifact> artifact) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  decompiles_[key] = std::move(artifact);
+  stats_.entries = decompiles_.size() + partitions_.size();
+}
+
+void ArtifactCache::PutPartition(
+    const std::string& key, std::shared_ptr<const PartitionArtifact> artifact) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  partitions_[key] = std::move(artifact);
+  stats_.entries = decompiles_.size() + partitions_.size();
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ArtifactCache::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  decompiles_.clear();
+  partitions_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace b2h::explore

@@ -1,0 +1,114 @@
+// Content-addressed artifact cache for design-space sweeps.
+//
+// Both expensive stages of the flow are pure functions of their inputs:
+//
+//   decompile  = f(binary bytes, pipeline spec, CPU cycle model, sim budget)
+//   partition  = f(decompile inputs, platform model, strategy, objective,
+//                  seed, partition/synthesis options)
+//
+// so each artifact is stored under a hash of exactly those inputs (FNV-1a
+// 64 over a canonical serialization).  Repeated or overlapping sweeps —
+// re-running a sweep, widening a platform grid, adding a strategy — skip
+// all work whose key already exists.  Hit/miss counters are exposed for
+// reports and asserted by the cache tests (a warm identical sweep performs
+// zero decompilations).
+//
+// The cache stores shared_ptr-owned immutable artifacts; a PartitionResult
+// points into its decompiled program's IR, so the partition artifact keeps
+// the program alive alongside it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "decomp/pipeline.hpp"
+#include "mips/binary.hpp"
+#include "mips/simulator.hpp"
+#include "partition/estimate.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/platform.hpp"
+#include "support/error.hpp"
+
+namespace b2h::explore {
+
+/// FNV-1a 64 accumulator with fixed-width encodings, so keys are stable
+/// across platforms and runs.
+class ContentHasher {
+ public:
+  ContentHasher& Bytes(const void* data, std::size_t size);
+  ContentHasher& U64(std::uint64_t value);
+  ContentHasher& F64(double value);  ///< hashed by bit pattern
+  ContentHasher& Str(std::string_view text);
+
+  /// 16-hex-digit digest of everything hashed so far.
+  [[nodiscard]] std::string Hex() const;
+
+ private:
+  std::uint64_t state_ = 1469598103934665603ull;
+};
+
+/// Content hash of a software binary (text, data, entry point, symbols).
+[[nodiscard]] std::string HashBinary(const mips::SoftBinary& binary);
+/// Content hash of every numeric field of a platform model.
+[[nodiscard]] std::string HashPlatform(const partition::Platform& platform);
+/// Content hash of partitioning + synthesis options that affect results.
+[[nodiscard]] std::string HashPartitionOptions(
+    const partition::PartitionOptions& options);
+
+/// Profiling run + decompiled program for one (binary, cycle model,
+/// pipeline) key.  Failures (faulting binaries, CDFG recovery) are cached
+/// too — `status` carries the error and the payload pointers stay null —
+/// so a warm sweep never redoes known-bad work either.
+struct DecompileArtifact {
+  Status status;
+  std::shared_ptr<const mips::RunResult> software_run;
+  std::shared_ptr<const decomp::DecompiledProgram> program;
+};
+
+/// Partition + estimate for one (decompile key, platform, strategy,
+/// objective) key.  `program` keeps the IR the partition points into
+/// alive.  As above, a failed partition is cached with its `status`.
+struct PartitionArtifact {
+  Status status;
+  std::shared_ptr<const decomp::DecompiledProgram> program;
+  std::shared_ptr<const mips::RunResult> software_run;
+  partition::PartitionResult partition;
+  partition::AppEstimate estimate;
+};
+
+class ArtifactCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// nullptr on miss; every call counts toward hits/misses.
+  [[nodiscard]] std::shared_ptr<const DecompileArtifact> FindDecompile(
+      const std::string& key) const;
+  [[nodiscard]] std::shared_ptr<const PartitionArtifact> FindPartition(
+      const std::string& key) const;
+
+  void PutDecompile(const std::string& key,
+                    std::shared_ptr<const DecompileArtifact> artifact);
+  void PutPartition(const std::string& key,
+                    std::shared_ptr<const PartitionArtifact> artifact);
+
+  [[nodiscard]] Stats stats() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  mutable Stats stats_;
+  std::unordered_map<std::string, std::shared_ptr<const DecompileArtifact>>
+      decompiles_;
+  std::unordered_map<std::string, std::shared_ptr<const PartitionArtifact>>
+      partitions_;
+};
+
+}  // namespace b2h::explore

@@ -1,0 +1,529 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "decomp/pass_manager.hpp"
+#include "mips/simulator.hpp"
+#include "support/parallel_for.hpp"
+
+namespace b2h::explore {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string DecompKey(const std::string& binary_hash,
+                      const std::string& pipeline,
+                      const mips::CycleModel& model,
+                      std::uint64_t max_instructions, bool verify) {
+  ContentHasher hasher;
+  hasher.Str("decompile")
+      .Str(binary_hash)
+      .Str(pipeline)
+      .U64(model.base)
+      .U64(model.load_extra)
+      .U64(model.mult_extra)
+      .U64(model.div_extra)
+      .U64(model.taken_extra)
+      .U64(max_instructions)
+      .U64(verify ? 1 : 0);
+  return hasher.Hex();
+}
+
+std::string PartitionKey(const std::string& decomp_key,
+                         const std::string& platform_hash,
+                         const std::string& options_hash,
+                         std::string_view strategy,
+                         std::string_view objective,
+                         std::string_view options_fingerprint) {
+  ContentHasher hasher;
+  hasher.Str("partition")
+      .Str(decomp_key)
+      .Str(platform_hash)
+      .Str(options_hash)
+      .Str(strategy)
+      .Str(objective)
+      .Str(options_fingerprint);
+  return hasher.Hex();
+}
+
+}  // namespace
+
+bool Dominates(const ParetoMetrics& a, const ParetoMetrics& b) {
+  const bool no_worse = a.speedup >= b.speedup && a.energy <= b.energy &&
+                        a.area_gates <= b.area_gates;
+  const bool better = a.speedup > b.speedup || a.energy < b.energy ||
+                      a.area_gates < b.area_gates;
+  return no_worse && better;
+}
+
+std::vector<std::size_t> ParetoFrontier(
+    const std::vector<ParetoMetrics>& points) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && Dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+const ExplorePoint& ExploreResult::At(std::size_t binary, std::size_t platform,
+                                      std::size_t strategy,
+                                      std::size_t objective) const {
+  return points.at(
+      ((binary * num_platforms + platform) * num_strategies + strategy) *
+          num_objectives +
+      objective);
+}
+
+Explorer::Explorer(ExplorerConfig config, std::shared_ptr<ArtifactCache> cache)
+    : config_(std::move(config)),
+      cache_(cache != nullptr ? std::move(cache)
+                              : std::make_shared<ArtifactCache>()) {}
+
+ExploreResult Explorer::Run(const ExploreSpec& spec) const {
+  const auto wall_start = Clock::now();
+  ExploreResult out;
+  out.num_binaries = spec.binaries.size();
+  out.num_platforms = spec.platforms.size();
+  out.num_strategies = spec.strategies.size();
+  out.num_objectives = spec.objectives.size();
+  const std::size_t num_points = out.num_binaries * out.num_platforms *
+                                 out.num_strategies * out.num_objectives;
+  out.points.resize(num_points);
+
+  const auto point_index = [&](std::size_t b, std::size_t p, std::size_t s,
+                               std::size_t o) {
+    return ((b * out.num_platforms + p) * out.num_strategies + s) *
+               out.num_objectives +
+           o;
+  };
+  for (std::size_t b = 0; b < out.num_binaries; ++b) {
+    for (std::size_t p = 0; p < out.num_platforms; ++p) {
+      for (std::size_t s = 0; s < out.num_strategies; ++s) {
+        for (std::size_t o = 0; o < out.num_objectives; ++o) {
+          ExplorePoint& point = out.points[point_index(b, p, s, o)];
+          point.binary_name = spec.binaries[b].name;
+          point.platform_name = spec.platforms[p];
+          point.strategy_name = spec.strategies[s];
+          point.objective = spec.objectives[o];
+        }
+      }
+    }
+  }
+  if (num_points == 0) {
+    out.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            wall_start)
+                      .count();
+    return out;
+  }
+
+  auto manager = decomp::PassManager::FromSpec(config_.pipeline);
+  if (!manager.ok()) {
+    for (ExplorePoint& point : out.points) point.status = manager.status();
+    return out;
+  }
+  const decomp::PassManager pipeline =
+      std::move(manager).take().SetVerify(config_.verify_ir);
+
+  // Resolve every sweep axis up front.
+  std::vector<std::optional<partition::Platform>> platforms;
+  std::vector<std::string> platform_hashes(out.num_platforms);
+  for (std::size_t p = 0; p < out.num_platforms; ++p) {
+    platforms.push_back(
+        partition::PlatformRegistry::Global().Find(spec.platforms[p]));
+    if (platforms[p].has_value()) {
+      platform_hashes[p] = HashPlatform(*platforms[p]);
+    }
+  }
+  // One shared instance per strategy name: Strategy::Partition is const and
+  // the built-ins are stateless, so instances are shared across workers.
+  std::vector<std::unique_ptr<partition::Strategy>> strategies;
+  for (const std::string& name : spec.strategies) {
+    strategies.push_back(partition::StrategyRegistry::Global().Create(name));
+  }
+  std::vector<std::string> binary_hashes(out.num_binaries);
+  for (std::size_t b = 0; b < out.num_binaries; ++b) {
+    if (spec.binaries[b].binary != nullptr) {
+      binary_hashes[b] = HashBinary(*spec.binaries[b].binary);
+    }
+  }
+  const std::string options_hash = HashPartitionOptions(config_.partition);
+
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+
+  // ---- Stage A: one profile + decompilation per unique artifact key ------
+  // The key covers binary bytes, pipeline spec, and CPU cycle model: clock
+  // frequency and FPGA capacity do not affect cycle counts, so the paper's
+  // whole platform grid shares one decompilation per binary.
+  struct DecompJob {
+    std::string key;
+    std::size_t binary = 0;
+    mips::CycleModel model;
+  };
+  std::vector<DecompJob> decomp_jobs;
+  std::map<std::string, std::shared_ptr<const DecompileArtifact>> decomp_done;
+  std::map<std::string, Status> decomp_failed;
+  // decomp key per (binary, platform); empty when unresolvable.
+  std::vector<std::string> pair_decomp_key(out.num_binaries *
+                                           out.num_platforms);
+  for (std::size_t b = 0; b < out.num_binaries; ++b) {
+    for (std::size_t p = 0; p < out.num_platforms; ++p) {
+      if (spec.binaries[b].binary == nullptr || !platforms[p].has_value()) {
+        continue;
+      }
+      const std::string key =
+          DecompKey(binary_hashes[b], config_.pipeline,
+                    platforms[p]->cpu.cycle_model,
+                    config_.max_sim_instructions, config_.verify_ir);
+      pair_decomp_key[b * out.num_platforms + p] = key;
+      if (decomp_done.count(key) != 0 || decomp_failed.count(key) != 0) {
+        continue;
+      }
+      if (std::any_of(decomp_jobs.begin(), decomp_jobs.end(),
+                      [&](const DecompJob& job) { return job.key == key; })) {
+        continue;
+      }
+      auto cached = cache_->FindDecompile(key);
+      if (cached != nullptr) {
+        ++cache_hits;
+        if (cached->status.ok()) {
+          decomp_done.emplace(key, std::move(cached));
+        } else {
+          decomp_failed.emplace(key, cached->status);
+        }
+      } else {
+        ++cache_misses;
+        decomp_jobs.push_back({key, b, platforms[p]->cpu.cycle_model});
+      }
+    }
+  }
+
+  std::vector<std::shared_ptr<DecompileArtifact>> decomp_slots(
+      decomp_jobs.size());
+  std::atomic<std::size_t> simulations{0};
+  std::atomic<std::size_t> decompilations{0};
+  support::ParallelFor(
+      decomp_jobs.size(), config_.threads, [&](std::size_t index) {
+        const DecompJob& job = decomp_jobs[index];
+        auto artifact = std::make_shared<DecompileArtifact>();
+        decomp_slots[index] = artifact;
+        try {
+          const auto& binary = spec.binaries[job.binary].binary;
+          mips::Simulator simulator(*binary, job.model);
+          auto run = std::make_shared<mips::RunResult>(
+              simulator.Run({}, config_.max_sim_instructions));
+          simulations.fetch_add(1);
+          if (run->reason != mips::HaltReason::kReturned) {
+            artifact->status = Status::Error(
+                ErrorKind::kMalformedBinary,
+                "software run did not complete: " + run->fault_message);
+            return;
+          }
+          auto program = pipeline.Run(binary, &run->profile);
+          decompilations.fetch_add(1);
+          if (!program.ok()) {
+            artifact->status = program.status();
+            return;
+          }
+          artifact->software_run = std::move(run);
+          artifact->program = std::make_shared<const decomp::DecompiledProgram>(
+              std::move(program).take());
+        } catch (const std::exception& e) {
+          artifact->status = Status::Error(
+              ErrorKind::kUnsupported,
+              std::string("internal error: ") + e.what());
+        }
+      });
+  for (std::size_t index = 0; index < decomp_jobs.size(); ++index) {
+    std::shared_ptr<const DecompileArtifact> artifact =
+        std::move(decomp_slots[index]);
+    cache_->PutDecompile(decomp_jobs[index].key, artifact);
+    if (artifact->status.ok()) {
+      decomp_done.emplace(decomp_jobs[index].key, std::move(artifact));
+    } else {
+      decomp_failed.emplace(decomp_jobs[index].key, artifact->status);
+    }
+  }
+
+  // ---- Stage B: one partition per unique artifact key --------------------
+  // Objective-insensitive strategies (the paper heuristic) collapse all
+  // objectives onto one key, so those sweep points are served by a single
+  // partition.
+  struct PartitionJob {
+    std::string key;
+    std::size_t binary = 0;
+    std::size_t platform = 0;
+    std::size_t strategy = 0;
+    partition::Objective objective = partition::Objective::kSpeedup;
+  };
+  std::vector<std::string> point_keys(num_points);
+  std::vector<PartitionJob> partition_jobs;
+  std::map<std::string, std::shared_ptr<const PartitionArtifact>>
+      partition_done;
+  std::map<std::string, Status> partition_failed;
+  std::set<std::string> partition_cached_keys;  // hits at probe time
+  std::set<std::string> partition_queued;
+  for (std::size_t b = 0; b < out.num_binaries; ++b) {
+    for (std::size_t p = 0; p < out.num_platforms; ++p) {
+      for (std::size_t s = 0; s < out.num_strategies; ++s) {
+        for (std::size_t o = 0; o < out.num_objectives; ++o) {
+          ExplorePoint& point = out.points[point_index(b, p, s, o)];
+          if (spec.binaries[b].binary == nullptr) {
+            point.status = Status::Error(
+                ErrorKind::kMalformedBinary,
+                "null binary: " + spec.binaries[b].name);
+            continue;
+          }
+          if (!platforms[p].has_value()) {
+            point.status = Status::Error(
+                ErrorKind::kUnsupported,
+                "unknown platform: " + spec.platforms[p]);
+            continue;
+          }
+          if (strategies[s] == nullptr) {
+            point.status = Status::Error(
+                ErrorKind::kUnsupported,
+                "unknown strategy: " + spec.strategies[s]);
+            continue;
+          }
+          const std::string& decomp_key =
+              pair_decomp_key[b * out.num_platforms + p];
+          const auto failed = decomp_failed.find(decomp_key);
+          if (failed != decomp_failed.end()) {
+            point.status = failed->second;
+            continue;
+          }
+          const std::string_view objective_key =
+              strategies[s]->objective_sensitive()
+                  ? partition::ObjectiveName(spec.objectives[o])
+                  : "objective-insensitive";
+          const std::string key = PartitionKey(
+              decomp_key, platform_hashes[p], options_hash,
+              spec.strategies[s], objective_key,
+              strategies[s]->OptionsFingerprint(spec.strategy_options));
+          point_keys[point_index(b, p, s, o)] = key;
+          if (partition_queued.count(key) != 0 ||
+              partition_cached_keys.count(key) != 0) {
+            continue;
+          }
+          auto cached = cache_->FindPartition(key);
+          if (cached != nullptr) {
+            ++cache_hits;
+            partition_cached_keys.insert(key);
+            if (cached->status.ok()) {
+              partition_done.emplace(key, std::move(cached));
+            } else {
+              partition_failed.emplace(key, cached->status);
+            }
+          } else {
+            ++cache_misses;
+            partition_queued.insert(key);
+            partition_jobs.push_back(
+                {key, b, p, s, spec.objectives[o]});
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::shared_ptr<PartitionArtifact>> partition_slots(
+      partition_jobs.size());
+  std::atomic<std::size_t> partitions{0};
+  support::ParallelFor(
+      partition_jobs.size(), config_.threads, [&](std::size_t index) {
+        const PartitionJob& job = partition_jobs[index];
+        auto artifact = std::make_shared<PartitionArtifact>();
+        partition_slots[index] = artifact;
+        try {
+          const auto& base = decomp_done.at(
+              pair_decomp_key[job.binary * out.num_platforms + job.platform]);
+          partition::StrategyOptions strategy_options = spec.strategy_options;
+          strategy_options.objective = job.objective;
+          auto partitioned = strategies[job.strategy]->Partition(
+              *base->program, base->software_run->profile,
+              *platforms[job.platform], config_.partition, strategy_options);
+          partitions.fetch_add(1);
+          if (!partitioned.ok()) {
+            artifact->status = partitioned.status();
+            return;
+          }
+          artifact->program = base->program;
+          artifact->software_run = base->software_run;
+          artifact->partition = std::move(partitioned).take();
+          artifact->estimate = partition::EstimatePartition(
+              artifact->partition, *platforms[job.platform]);
+        } catch (const std::exception& e) {
+          artifact->status = Status::Error(
+              ErrorKind::kUnsupported,
+              std::string("internal error: ") + e.what());
+        }
+      });
+  for (std::size_t index = 0; index < partition_jobs.size(); ++index) {
+    std::shared_ptr<const PartitionArtifact> artifact =
+        std::move(partition_slots[index]);
+    cache_->PutPartition(partition_jobs[index].key, artifact);
+    if (artifact->status.ok()) {
+      partition_done.emplace(partition_jobs[index].key, std::move(artifact));
+    } else {
+      partition_failed.emplace(partition_jobs[index].key, artifact->status);
+    }
+  }
+
+  // ---- Fill points and compute per-binary Pareto frontiers ---------------
+  for (std::size_t i = 0; i < num_points; ++i) {
+    ExplorePoint& point = out.points[i];
+    if (!point.status.ok() || point_keys[i].empty()) continue;
+    const auto failed = partition_failed.find(point_keys[i]);
+    if (failed != partition_failed.end()) {
+      point.status = failed->second;
+      continue;
+    }
+    const auto done = partition_done.find(point_keys[i]);
+    Check(done != partition_done.end(), "Explorer: missing artifact");
+    const PartitionArtifact& artifact = *done->second;
+    point.speedup = artifact.estimate.speedup;
+    point.partitioned_time = artifact.estimate.partitioned_time;
+    point.energy = artifact.estimate.partitioned_energy;
+    point.energy_savings = artifact.estimate.energy_savings;
+    point.edp =
+        artifact.estimate.partitioned_energy * artifact.estimate.partitioned_time;
+    point.area_gates = artifact.estimate.area_gates;
+    point.hw_regions = artifact.partition.hw.size();
+    point.rejected = artifact.partition.rejected;
+    point.from_cache = partition_cached_keys.count(point_keys[i]) != 0;
+  }
+  for (std::size_t b = 0; b < out.num_binaries; ++b) {
+    std::vector<std::size_t> ok_points;
+    std::vector<ParetoMetrics> metrics;
+    for (std::size_t p = 0; p < out.num_platforms; ++p) {
+      for (std::size_t s = 0; s < out.num_strategies; ++s) {
+        for (std::size_t o = 0; o < out.num_objectives; ++o) {
+          const std::size_t i = point_index(b, p, s, o);
+          if (!out.points[i].status.ok()) continue;
+          ok_points.push_back(i);
+          metrics.push_back({out.points[i].speedup, out.points[i].energy,
+                             out.points[i].area_gates});
+        }
+      }
+    }
+    for (std::size_t index : ParetoFrontier(metrics)) {
+      out.points[ok_points[index]].on_frontier = true;
+    }
+  }
+
+  out.simulations_run = simulations.load();
+  out.decompilations_run = decompilations.load();
+  out.partitions_run = partitions.load();
+  out.cache_hits = cache_hits;
+  out.cache_misses = cache_misses;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
+          .count();
+  return out;
+}
+
+std::string ExploreResult::Report() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "=== design-space exploration: %zu binaries x %zu platforms "
+                "x %zu strategies x %zu objectives ===\n",
+                num_binaries, num_platforms, num_strategies, num_objectives);
+  out << line;
+  for (std::size_t b = 0; b < num_binaries; ++b) {
+    const std::size_t row = b * num_platforms * num_strategies * num_objectives;
+    if (row >= points.size()) break;
+    out << "--- " << points[row].binary_name << " ---\n";
+    std::snprintf(line, sizeof line,
+                  "  %-20s %-18s %-9s %9s %11s %12s %12s %3s %s\n", "platform",
+                  "strategy", "objective", "speedup", "energy(uJ)",
+                  "edp(uJ.ms)", "area(gates)", "hw", "pareto");
+    out << line;
+    std::size_t frontier_count = 0;
+    std::size_t ok_count = 0;
+    for (std::size_t p = 0; p < num_platforms; ++p) {
+      for (std::size_t s = 0; s < num_strategies; ++s) {
+        for (std::size_t o = 0; o < num_objectives; ++o) {
+          const ExplorePoint& point = At(b, p, s, o);
+          if (!point.status.ok()) {
+            std::snprintf(line, sizeof line, "  %-20s %-18s %-9s FAILED: %s\n",
+                          point.platform_name.c_str(),
+                          point.strategy_name.c_str(),
+                          std::string(partition::ObjectiveName(point.objective))
+                              .c_str(),
+                          point.status.message().c_str());
+            out << line;
+            continue;
+          }
+          ++ok_count;
+          if (point.on_frontier) ++frontier_count;
+          std::snprintf(
+              line, sizeof line,
+              "  %-20s %-18s %-9s %8.2fx %11.3f %12.4f %12.0f %3zu %s\n",
+              point.platform_name.c_str(), point.strategy_name.c_str(),
+              std::string(partition::ObjectiveName(point.objective)).c_str(),
+              point.speedup, point.energy * 1e6, point.edp * 1e9,
+              point.area_gates, point.hw_regions,
+              point.on_frontier ? "*" : "");
+          out << line;
+        }
+      }
+    }
+    std::snprintf(line, sizeof line,
+                  "  pareto frontier: %zu of %zu points\n", frontier_count,
+                  ok_count);
+    out << line;
+    // Why regions were skipped (deduplicated per point).
+    for (std::size_t p = 0; p < num_platforms; ++p) {
+      for (std::size_t s = 0; s < num_strategies; ++s) {
+        for (std::size_t o = 0; o < num_objectives; ++o) {
+          const ExplorePoint& point = At(b, p, s, o);
+          if (!point.status.ok() || point.rejected.empty()) continue;
+          const std::vector<std::string> unique =
+              partition::UniqueRejections(point.rejected);
+          out << "  rejected [" << point.platform_name << "/"
+              << point.strategy_name << "/"
+              << partition::ObjectiveName(point.objective) << "]: ";
+          for (std::size_t r = 0; r < unique.size(); ++r) {
+            if (r != 0) out << "; ";
+            out << unique[r];
+          }
+          out << "\n";
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string ExploreResult::StatsReport() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "work: %zu simulations, %zu decompilations, %zu partitions\n",
+                simulations_run, decompilations_run, partitions_run);
+  out << line;
+  std::snprintf(line, sizeof line,
+                "cache: %zu hits, %zu misses (hit rate %.0f%%)\n", cache_hits,
+                cache_misses,
+                cache_hits + cache_misses > 0
+                    ? 100.0 * static_cast<double>(cache_hits) /
+                          static_cast<double>(cache_hits + cache_misses)
+                    : 0.0);
+  out << line;
+  std::snprintf(line, sizeof line, "wall: %.1f ms\n", wall_ms);
+  out << line;
+  return out.str();
+}
+
+}  // namespace b2h::explore

@@ -1,0 +1,147 @@
+// Design-space exploration engine: sweep {binaries} x {platforms} x
+// {strategies} x {objectives}, reusing one profile+decompilation per
+// (binary, cycle model) and one partition per distinct artifact key, and
+// emit every point plus the multi-objective Pareto frontier (speedup vs.
+// energy vs. FPGA area).
+//
+// Layering: the Explorer is built from the same pieces as the Toolchain
+// batch API (pass manager, platform registry, thread-pool fan-out) plus the
+// strategy registry and the content-addressed ArtifactCache.  The Toolchain
+// facade front-doors it as Toolchain::Explore(ExploreSpec).
+//
+// Determinism contract (asserted by tests): Report() is bit-identical
+// across thread counts and across cache-cold vs. cache-warm runs; work and
+// cache counters live in StatsReport() so the determinism contract and the
+// "second sweep does zero decompilations" contract can coexist.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/artifact_cache.hpp"
+#include "partition/platform_registry.hpp"
+#include "partition/strategy.hpp"
+#include "support/error.hpp"
+
+namespace b2h {
+
+/// A named binary handed to the batch APIs (Toolchain::RunMany and the
+/// exploration engine).
+struct NamedBinary {
+  std::string name;
+  std::shared_ptr<const mips::SoftBinary> binary;
+};
+
+}  // namespace b2h
+
+namespace b2h::explore {
+
+struct ExploreSpec {
+  std::vector<NamedBinary> binaries;
+  /// Registered platform names (partition::PlatformRegistry).
+  std::vector<std::string> platforms = {"mips40", "mips200-xc2v1000",
+                                        "mips400"};
+  /// Registered strategy names (partition::StrategyRegistry).
+  std::vector<std::string> strategies = {"paper-greedy", "knapsack-optimal",
+                                         "annealing"};
+  std::vector<partition::Objective> objectives = {
+      partition::Objective::kSpeedup};
+  /// Seed / iteration knobs shared by every point (the objective field is
+  /// overridden per point).
+  partition::StrategyOptions strategy_options;
+};
+
+/// One (binary, platform, strategy, objective) outcome.
+struct ExplorePoint {
+  std::string binary_name;
+  std::string platform_name;
+  std::string strategy_name;
+  partition::Objective objective = partition::Objective::kSpeedup;
+  Status status;  ///< per-point failure (CDFG recovery, unknown names, ...)
+
+  double speedup = 1.0;
+  double partitioned_time = 0.0;   ///< seconds
+  double energy = 0.0;             ///< partitioned energy, joules
+  double energy_savings = 0.0;
+  double edp = 0.0;                ///< energy x delay, joule-seconds
+  double area_gates = 0.0;
+  std::size_t hw_regions = 0;
+  std::vector<std::string> rejected;  ///< why regions were skipped
+
+  bool on_frontier = false;   ///< Pareto-optimal within its binary
+  bool from_cache = false;    ///< partition artifact predates this sweep
+};
+
+/// Metrics the Pareto frontier is computed over: maximize speedup,
+/// minimize energy, minimize area.
+struct ParetoMetrics {
+  double speedup = 1.0;
+  double energy = 0.0;
+  double area_gates = 0.0;
+};
+
+/// True when `a` dominates `b`: no worse on every axis, strictly better on
+/// at least one.
+[[nodiscard]] bool Dominates(const ParetoMetrics& a, const ParetoMetrics& b);
+
+/// Indices of the non-dominated points, in input order.
+[[nodiscard]] std::vector<std::size_t> ParetoFrontier(
+    const std::vector<ParetoMetrics>& points);
+
+struct ExploreResult {
+  /// Row-major: binary-major, then platform, strategy, objective.
+  std::vector<ExplorePoint> points;
+  std::size_t num_binaries = 0;
+  std::size_t num_platforms = 0;
+  std::size_t num_strategies = 0;
+  std::size_t num_objectives = 0;
+
+  // Work actually executed this sweep (cache-warm sweeps report zeros).
+  std::size_t simulations_run = 0;
+  std::size_t decompilations_run = 0;
+  std::size_t partitions_run = 0;
+  // Unique-artifact cache traffic this sweep.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double wall_ms = 0.0;  ///< host wall clock for the sweep
+
+  [[nodiscard]] const ExplorePoint& At(std::size_t binary,
+                                       std::size_t platform,
+                                       std::size_t strategy,
+                                       std::size_t objective) const;
+
+  /// Deterministic sweep report: every point plus the per-binary Pareto
+  /// frontier.  Identical across thread counts and cache states.
+  [[nodiscard]] std::string Report() const;
+  /// Work/cache counters and wall time (varies between runs by design).
+  [[nodiscard]] std::string StatsReport() const;
+};
+
+struct ExplorerConfig {
+  std::string pipeline = "default";
+  partition::PartitionOptions partition;
+  std::uint64_t max_sim_instructions = 200'000'000;
+  unsigned threads = 0;  ///< 0 = hardware concurrency, 1 = serial
+  bool verify_ir = true;
+};
+
+class Explorer {
+ public:
+  /// A null cache means a private, sweep-local cache (no reuse).
+  explicit Explorer(ExplorerConfig config,
+                    std::shared_ptr<ArtifactCache> cache = nullptr);
+
+  [[nodiscard]] ExploreResult Run(const ExploreSpec& spec) const;
+
+  [[nodiscard]] const std::shared_ptr<ArtifactCache>& cache() const {
+    return cache_;
+  }
+
+ private:
+  ExplorerConfig config_;
+  std::shared_ptr<ArtifactCache> cache_;
+};
+
+}  // namespace b2h::explore

@@ -1,0 +1,433 @@
+#include "partition/candidates.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+#include "support/error.hpp"
+
+namespace b2h::partition {
+
+namespace {
+
+/// Functions reachable from main via surviving calls (inlined-away callees
+/// would otherwise be double-counted: their blocks share binary addresses
+/// with the inlined copies).
+std::set<const ir::Function*> ReachableFunctions(const ir::Module& module) {
+  std::set<const ir::Function*> reachable;
+  std::vector<const ir::Function*> work{module.main};
+  reachable.insert(module.main);
+  while (!work.empty()) {
+    const ir::Function* function = work.back();
+    work.pop_back();
+    for (const auto& block : function->blocks()) {
+      for (const ir::Instr* instr : block->instrs) {
+        if (instr->op != ir::Opcode::kCall) continue;
+        const ir::Function* callee = module.FindByEntry(instr->call_target);
+        if (callee != nullptr && reachable.insert(callee).second) {
+          work.push_back(callee);
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<std::uint32_t> BlockLeaders(
+    const std::vector<const ir::Block*>& blocks) {
+  std::vector<std::uint32_t> leaders;
+  leaders.reserve(blocks.size());
+  for (const ir::Block* block : blocks) leaders.push_back(block->start_pc);
+  return leaders;
+}
+
+}  // namespace
+
+CandidateSet CandidateSet::Scan(const decomp::DecompiledProgram& program,
+                                const mips::ExecProfile& profile) {
+  CandidateSet set;
+  set.total_sw_cycles_ = profile.total_cycles;
+
+  // All block leaders in the module (for PC -> block attribution).
+  std::vector<std::uint32_t> all_leaders;
+  for (const auto& function : program.module.functions) {
+    for (const auto& block : function->blocks()) {
+      all_leaders.push_back(block->start_pc);
+    }
+  }
+
+  const std::set<const ir::Function*> reachable =
+      ReachableFunctions(program.module);
+  for (const auto& function : program.module.functions) {
+    if (reachable.count(function.get()) == 0) continue;
+    FunctionAnalyses analyses;
+    analyses.function = function.get();
+    analyses.dom = std::make_unique<ir::DominatorTree>(*function);
+    analyses.forest =
+        std::make_unique<ir::LoopForest>(*function, *analyses.dom);
+    analyses.forest->AnnotateProfile();
+    analyses.alias = std::make_unique<decomp::AliasAnalysis>(
+        *function,
+        program.binary != nullptr ? &program.binary->symbols : nullptr);
+
+    for (const auto& loop : analyses.forest->loops()) {
+      // Whole loop nests are candidates too: when an inner loop is entered
+      // many times, moving the enclosing loop avoids paying the kernel
+      // start/stop handshake per entry (the paper moves "loops", nesting
+      // included).  Overlapping selections are excluded at selection time.
+      Candidate candidate;
+      candidate.function = function.get();
+      candidate.loop = loop.get();
+      candidate.region = synth::ExtractLoopRegion(*function, *loop);
+      candidate.sw_cycles = RegionSwCycles(
+          profile, all_leaders, BlockLeaders(candidate.region.blocks));
+      candidate.invocations = std::max<std::uint64_t>(1, loop->entry_count);
+      candidate.alias_regions = analyses.alias->RegionsIn(*loop);
+      if (program.binary != nullptr) {
+        candidate.comm_words = ArrayFootprintWords(
+            *analyses.alias, candidate.alias_regions, *program.binary);
+      }
+      for (const ir::Block* block : candidate.region.blocks) {
+        std::uint64_t mem_ops = 0;
+        for (const ir::Instr* instr : block->instrs) {
+          if (instr->op == ir::Opcode::kLoad ||
+              instr->op == ir::Opcode::kStore) {
+            ++mem_ops;
+          }
+        }
+        candidate.mem_accesses += mem_ops * block->exec_count;
+      }
+      set.candidates_.push_back(std::move(candidate));
+    }
+    set.analyses_.push_back(std::move(analyses));
+  }
+
+  std::stable_sort(set.candidates_.begin(), set.candidates_.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.sw_cycles > b.sw_cycles;
+                   });
+  for (const Candidate& candidate : set.candidates_) {
+    // Count outermost loops only: nested candidates overlap their parents.
+    if (candidate.loop->parent == nullptr) {
+      set.loop_cycles_total_ += candidate.sw_cycles;
+    }
+  }
+  set.loop_coverage_ =
+      profile.total_cycles > 0
+          ? static_cast<double>(set.loop_cycles_total_) /
+                static_cast<double>(profile.total_cycles)
+          : 0.0;
+
+  set.synth_memo_.resize(set.candidates_.size());
+  return set;
+}
+
+const decomp::AliasAnalysis& CandidateSet::alias_for(
+    const ir::Function* function) const {
+  for (const FunctionAnalyses& analyses : analyses_) {
+    if (analyses.function == function) return *analyses.alias;
+  }
+  Check(false, "CandidateSet: no alias analysis for function");
+  __builtin_unreachable();
+}
+
+const Result<synth::SynthesizedRegion>& CandidateSet::Synthesize(
+    std::size_t id, const synth::SynthOptions& options) const {
+  Check(id < candidates_.size(), "CandidateSet::Synthesize: bad id");
+  auto& memo = synth_memo_[id];
+  if (!memo.has_value()) {
+    const Candidate& candidate = candidates_[id];
+    memo = synth::Synthesize(candidate.region,
+                             &alias_for(candidate.function), options);
+  }
+  return *memo;
+}
+
+bool CandidateSet::Overlaps(std::size_t a, std::size_t b) const {
+  if (block_sets_.empty()) {
+    block_sets_.reserve(candidates_.size());
+    for (const Candidate& candidate : candidates_) {
+      block_sets_.emplace_back(candidate.region.blocks.begin(),
+                               candidate.region.blocks.end());
+    }
+  }
+  const auto& small = block_sets_[a].size() <= block_sets_[b].size()
+                          ? block_sets_[a]
+                          : block_sets_[b];
+  const auto& large = &small == &block_sets_[a] ? block_sets_[b]
+                                                : block_sets_[a];
+  for (const ir::Block* block : small) {
+    if (large.count(block) != 0) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------- SelectionState
+
+SelectionState::SelectionState(const CandidateSet& set,
+                               const Platform& platform,
+                               const PartitionOptions& options)
+    : set_(set),
+      platform_(platform),
+      options_(options),
+      selected_(set.size(), false),
+      area_budget_(platform.fpga.budget_gates()) {}
+
+void SelectionState::AppendRejection(std::string reason) {
+  result_.rejected.push_back(std::move(reason));
+}
+
+bool SelectionState::TrySelect(std::size_t id, SelectedBy reason) {
+  Check(id < set_.size(), "SelectionState::TrySelect: bad id");
+  const Candidate& candidate = set_.candidates()[id];
+  if (selected_[id]) return false;
+  // A region nested inside (or containing) an already-selected region is
+  // already covered by that hardware.
+  for (const ir::Block* block : candidate.region.blocks) {
+    if (selected_blocks_.count(block) != 0) {
+      selected_[id] = true;  // subsumed
+      return false;
+    }
+  }
+  const auto& synthesized = set_.Synthesize(id, options_.synth);
+  if (!synthesized.ok()) {
+    result_.rejected.push_back(candidate.region.name + ": " +
+                               synthesized.status().message());
+    return false;
+  }
+  if (area_used_ + synthesized.value().area.total_gates > area_budget_) {
+    result_.rejected.push_back(candidate.region.name +
+                               ": area constraint violated");
+    return false;
+  }
+  // Hardware suitability (paper §3, third step only): a greedy addition
+  // must pay off even with worst-case (non-resident) memory traffic.
+  // Step-1 kernels are selected purely by frequency, as in the paper; the
+  // alias step then fixes their memory placement.  Search strategies
+  // (kOptimal / kAnnealing) gate profitability through their objective.
+  if (reason == SelectedBy::kGreedy) {
+    const double fpga_hz =
+        std::min(synthesized.value().clock_mhz, platform_.fpga.clock_mhz_cap) *
+        1e6;
+    const double hw_seconds =
+        (static_cast<double>(synthesized.value().hw_cycles) +
+         static_cast<double>(candidate.invocations) *
+             platform_.comm.setup_cycles +
+         static_cast<double>(candidate.mem_accesses) *
+             platform_.comm.bus_penalty_cycles) /
+        fpga_hz;
+    const double sw_seconds = static_cast<double>(candidate.sw_cycles) /
+                              (platform_.cpu.clock_mhz * 1e6);
+    if (hw_seconds >= sw_seconds) {
+      result_.rejected.push_back(candidate.region.name +
+                                 ": not profitable in hardware");
+      return false;
+    }
+  }
+  SelectedRegion selected;
+  selected.synthesized = synthesized.value();
+  // The loop analysis lives only for the duration of the partitioning
+  // call; the stored region must not carry a pointer into it.  The loop's
+  // identity survives as region.blocks.front()->start_pc (the header
+  // leader).
+  selected.synthesized.region.loop = nullptr;
+  selected.selected_by = reason;
+  selected.sw_cycles = candidate.sw_cycles;
+  selected.invocations = candidate.invocations;
+  selected.comm_words = candidate.comm_words;
+  selected.mem_accesses = candidate.mem_accesses;
+  selected.alias_regions.assign(candidate.alias_regions.begin(),
+                                candidate.alias_regions.end());
+  area_used_ += selected.synthesized.area.total_gates;
+  for (const ir::Block* block : candidate.region.blocks) {
+    selected_blocks_.insert(block);
+  }
+  result_.hw.push_back(std::move(selected));
+  selected_[id] = true;
+  chosen_.push_back(id);
+  return true;
+}
+
+void SelectionState::MarkCovered() {
+  for (std::size_t id = 0; id < set_.size(); ++id) {
+    if (selected_[id]) continue;
+    for (const ir::Block* block : set_.candidates()[id].region.blocks) {
+      if (selected_blocks_.count(block) != 0) {
+        selected_[id] = true;
+        break;
+      }
+    }
+  }
+}
+
+void SelectionState::ComputeResidency() {
+  // Arrays shared only among hardware kernels become FPGA-resident: no
+  // DMA per invocation.  An array also touched by software code that
+  // remains on the CPU must stay in main memory.
+  std::map<std::pair<const ir::Function*, int>, bool> only_hw;
+  for (const SelectedRegion& selected : result_.hw) {
+    for (int id : selected.alias_regions) {
+      only_hw[{selected.synthesized.region.function, id}] = true;
+    }
+  }
+  for (std::size_t id = 0; id < set_.size(); ++id) {
+    if (selected_[id]) continue;
+    const Candidate& candidate = set_.candidates()[id];
+    for (int region : candidate.alias_regions) {
+      only_hw[{candidate.function, region}] = false;
+    }
+  }
+  for (SelectedRegion& selected : result_.hw) {
+    bool resident = true;
+    for (int id : selected.alias_regions) {
+      const auto it = only_hw.find({selected.synthesized.region.function, id});
+      if (it == only_hw.end() || !it->second) {
+        resident = false;
+        break;
+      }
+    }
+    selected.arrays_resident = resident && !selected.alias_regions.empty();
+  }
+}
+
+PartitionResult SelectionState::Take() {
+  result_.area_used_gates = area_used_;
+  result_.area_budget_gates = area_budget_;
+  result_.total_sw_cycles = set_.total_sw_cycles();
+  result_.loop_coverage = set_.loop_coverage();
+  return std::move(result_);
+}
+
+// ------------------------------------------------ search-strategy helpers
+
+std::vector<std::size_t> GreedyChosenSubset(const CandidateSet& set,
+                                            const Platform& platform,
+                                            const PartitionOptions& options) {
+  SelectionState greedy(set, platform, options);
+  PaperGreedySelect(set, greedy, options);
+  std::vector<std::size_t> chosen = greedy.chosen();
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+ViableCandidates FilterViableCandidates(const CandidateSet& set,
+                                        const Platform& platform,
+                                        const PartitionOptions& options) {
+  ViableCandidates viable;
+  const double budget = platform.fpga.budget_gates();
+  for (std::size_t id = 0; id < set.size(); ++id) {
+    const Candidate& candidate = set.candidates()[id];
+    if (candidate.sw_cycles == 0) continue;
+    const auto& synthesized = set.Synthesize(id, options.synth);
+    if (!synthesized.ok()) {
+      viable.infeasible_reasons.push_back(candidate.region.name + ": " +
+                                          synthesized.status().message());
+      continue;
+    }
+    if (synthesized.value().area.total_gates > budget) {
+      viable.infeasible_reasons.push_back(candidate.region.name +
+                                          ": area constraint violated");
+      continue;
+    }
+    viable.ids.push_back(id);
+  }
+  return viable;
+}
+
+PartitionResult CommitSubset(const CandidateSet& set, const Platform& platform,
+                             const PartitionOptions& options,
+                             const std::vector<std::size_t>& subset,
+                             SelectedBy reason, const ViableCandidates& viable,
+                             const std::string& excluded_reason,
+                             std::vector<std::string> extra_rejections) {
+  SelectionState state(set, platform, options);
+  for (std::size_t id : subset) {
+    const bool committed = state.TrySelect(id, reason);
+    Check(committed, "CommitSubset: winning subset failed to commit");
+  }
+  state.MarkCovered();
+  state.ComputeResidency();
+  for (std::size_t id : viable.ids) {
+    if (state.selected(id)) continue;
+    state.AppendRejection(set.candidates()[id].region.name + ": " +
+                          excluded_reason);
+  }
+  for (std::string& rejection : extra_rejections) {
+    state.AppendRejection(std::move(rejection));
+  }
+  for (const std::string& rejection : viable.infeasible_reasons) {
+    state.AppendRejection(rejection);
+  }
+  return state.Take();
+}
+
+// -------------------------------------------------------- EvaluateSubset
+
+std::optional<AppEstimate> EvaluateSubset(
+    const CandidateSet& set, const std::vector<std::size_t>& subset,
+    const Platform& platform, const PartitionOptions& options) {
+  // Feasibility: pairwise overlap-free and within the area budget.
+  double area = 0.0;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      if (set.Overlaps(subset[i], subset[j])) return std::nullopt;
+    }
+    const auto& synthesized = set.Synthesize(subset[i], options.synth);
+    if (!synthesized.ok()) return std::nullopt;
+    area += synthesized.value().area.total_gates;
+  }
+  if (area > platform.fpga.budget_gates()) return std::nullopt;
+
+  // Residency under this subset, mirroring the alias step: an array is
+  // FPGA-resident iff no candidate left in software (i.e. neither selected
+  // nor overlapping a selected region) touches it.
+  std::vector<bool> covered(set.size(), false);
+  for (std::size_t id : subset) covered[id] = true;
+  for (std::size_t id = 0; id < set.size(); ++id) {
+    if (covered[id]) continue;
+    for (std::size_t sel : subset) {
+      if (set.Overlaps(id, sel)) {
+        covered[id] = true;
+        break;
+      }
+    }
+  }
+  std::set<std::pair<const ir::Function*, int>> sw_arrays;
+  for (std::size_t id = 0; id < set.size(); ++id) {
+    if (covered[id]) continue;
+    const Candidate& candidate = set.candidates()[id];
+    for (int region : candidate.alias_regions) {
+      sw_arrays.insert({candidate.function, region});
+    }
+  }
+
+  std::vector<KernelEstimate> kernels;
+  kernels.reserve(subset.size());
+  for (std::size_t id : subset) {
+    const Candidate& candidate = set.candidates()[id];
+    const auto& synthesized = set.Synthesize(id, options.synth);
+    bool resident = !candidate.alias_regions.empty();
+    for (int region : candidate.alias_regions) {
+      if (sw_arrays.count({candidate.function, region}) != 0) {
+        resident = false;
+        break;
+      }
+    }
+    KernelEstimate kernel;
+    kernel.name = candidate.region.name;
+    kernel.sw_cycles = candidate.sw_cycles;
+    kernel.hw_cycles = synthesized.value().hw_cycles;
+    kernel.invocations = candidate.invocations;
+    kernel.comm_words = candidate.comm_words;
+    kernel.mem_accesses = candidate.mem_accesses;
+    kernel.arrays_resident = resident;
+    kernel.hw_clock_mhz =
+        std::min(synthesized.value().clock_mhz, platform.fpga.clock_mhz_cap);
+    kernel.area_gates = synthesized.value().area.total_gates;
+    kernels.push_back(std::move(kernel));
+  }
+  return CombineEstimates(platform, set.total_sw_cycles(), std::move(kernels));
+}
+
+}  // namespace b2h::partition

@@ -1,0 +1,203 @@
+// Candidate enumeration and selection machinery shared by every
+// partitioning strategy.
+//
+// Historically this lived inline in PartitionProgram.  The exploration
+// engine needs the same candidate scan (loops + analyses + profile
+// weights), the same selection bookkeeping (overlap subsumption, area
+// accounting, rejection reasons), and the same array-residency rules for
+// *multiple* selection policies, so the machinery is factored out here:
+//
+//   CandidateSet   — one scan of the decompiled program: every loop (nests
+//                    included) with its profile weight, alias regions, and
+//                    a memoized synthesis result.
+//   SelectionState — commit-side bookkeeping with semantics identical to
+//                    the original three-step partitioner's try_select.
+//   EvaluateSubset — score an arbitrary overlap-free candidate subset the
+//                    way EstimatePartition would, for search strategies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "decomp/alias.hpp"
+#include "decomp/pipeline.hpp"
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+#include "partition/estimate.hpp"
+#include "partition/partitioner.hpp"
+#include "synth/synth.hpp"
+
+namespace b2h::partition {
+
+/// One candidate loop region.  Pointers reference analyses owned by the
+/// CandidateSet and IR owned by the DecompiledProgram; both must outlive
+/// any use of the candidate.
+struct Candidate {
+  const ir::Function* function = nullptr;
+  const ir::Loop* loop = nullptr;
+  synth::HwRegion region;
+  std::uint64_t sw_cycles = 0;
+  std::uint64_t invocations = 1;
+  std::set<int> alias_regions;
+  std::uint64_t comm_words = 0;
+  std::uint64_t mem_accesses = 0;  ///< profile-weighted loads+stores
+};
+
+class CandidateSet {
+ public:
+  /// Scan a decompiled program: gather candidate loops (whole nests
+  /// included — overlaps are resolved at selection time) from functions
+  /// reachable from main, annotate profiles, and order candidates by
+  /// descending software cycles (stable: scan order breaks ties).
+  [[nodiscard]] static CandidateSet Scan(
+      const decomp::DecompiledProgram& program,
+      const mips::ExecProfile& profile);
+
+  [[nodiscard]] const std::vector<Candidate>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] std::size_t size() const { return candidates_.size(); }
+  [[nodiscard]] std::uint64_t total_sw_cycles() const {
+    return total_sw_cycles_;
+  }
+  /// Cycles spent in outermost candidate loops (for the 90-10 coverage).
+  [[nodiscard]] std::uint64_t loop_cycles_total() const {
+    return loop_cycles_total_;
+  }
+  [[nodiscard]] double loop_coverage() const { return loop_coverage_; }
+
+  [[nodiscard]] const decomp::AliasAnalysis& alias_for(
+      const ir::Function* function) const;
+
+  /// Memoized synthesis of candidate `id`: the first call synthesizes, later
+  /// calls return the cached result (synthesis is deterministic).
+  [[nodiscard]] const Result<synth::SynthesizedRegion>& Synthesize(
+      std::size_t id, const synth::SynthOptions& options) const;
+
+  /// True when candidates `a` and `b` share at least one block (nested or
+  /// otherwise overlapping loop regions).
+  [[nodiscard]] bool Overlaps(std::size_t a, std::size_t b) const;
+
+ private:
+  std::vector<Candidate> candidates_;
+  std::uint64_t total_sw_cycles_ = 0;
+  std::uint64_t loop_cycles_total_ = 0;
+  double loop_coverage_ = 0.0;
+
+  // Analyses keyed/owned per reachable function.
+  struct FunctionAnalyses {
+    const ir::Function* function = nullptr;
+    std::unique_ptr<ir::DominatorTree> dom;
+    std::unique_ptr<ir::LoopForest> forest;
+    std::unique_ptr<decomp::AliasAnalysis> alias;
+  };
+  std::vector<FunctionAnalyses> analyses_;
+
+  mutable std::vector<std::optional<Result<synth::SynthesizedRegion>>>
+      synth_memo_;
+  mutable std::vector<std::set<const ir::Block*>> block_sets_;  // lazy
+};
+
+/// Commit-side selection bookkeeping.  TrySelect reproduces the original
+/// partitioner's try_select semantics exactly: overlap subsumption, lazily
+/// memoized synthesis, area accounting, the greedy profitability gate, and
+/// the order and wording of rejection reasons.
+class SelectionState {
+ public:
+  SelectionState(const CandidateSet& set, const Platform& platform,
+                 const PartitionOptions& options);
+
+  /// Attempt to move candidate `id` to hardware.  Returns true when the
+  /// candidate was committed; failures append to the rejection log.  The
+  /// profitability gate applies to SelectedBy::kGreedy only (paper §3:
+  /// step-1 kernels are selected purely by frequency).
+  bool TrySelect(std::size_t id, SelectedBy reason);
+
+  /// True when `id` was committed OR subsumed by a committed region.
+  [[nodiscard]] bool selected(std::size_t id) const { return selected_[id]; }
+  [[nodiscard]] const std::vector<std::size_t>& chosen() const {
+    return chosen_;
+  }
+  [[nodiscard]] double area_used() const { return area_used_; }
+  [[nodiscard]] double area_budget() const { return area_budget_; }
+
+  void AppendRejection(std::string reason);
+
+  /// Mark every unselected candidate that overlaps committed hardware as
+  /// covered, so ComputeResidency does not treat it as software.  The
+  /// greedy strategy gets this marking as a side effect of attempting
+  /// every candidate; subset-search strategies call this explicitly after
+  /// committing their chosen subset.
+  void MarkCovered();
+
+  /// Recompute SelectedRegion::arrays_resident over the current hardware
+  /// set: arrays shared only among hardware kernels (and regions they
+  /// subsume) become FPGA-resident; arrays also touched by software-side
+  /// candidates must stay in main memory.
+  void ComputeResidency();
+
+  /// Finalize: fills the area/coverage summary fields and returns the
+  /// result (the state is spent afterwards).
+  [[nodiscard]] PartitionResult Take();
+
+ private:
+  const CandidateSet& set_;
+  const Platform& platform_;
+  const PartitionOptions& options_;
+  PartitionResult result_;
+  std::vector<bool> selected_;
+  std::vector<std::size_t> chosen_;
+  std::set<const ir::Block*> selected_blocks_;
+  double area_used_ = 0.0;
+  double area_budget_ = 0.0;
+};
+
+/// The paper's three selection steps (frequency, alias, greedy fill) run
+/// against a SelectionState.  Defined with the paper-greedy strategy;
+/// search strategies reuse it to seed their incumbent/start subset.
+void PaperGreedySelect(const CandidateSet& set, SelectionState& state,
+                       const PartitionOptions& options);
+
+/// The greedy subset as a sorted id list (runs PaperGreedySelect on a
+/// scratch state) — the incumbent/start point of the search strategies.
+[[nodiscard]] std::vector<std::size_t> GreedyChosenSubset(
+    const CandidateSet& set, const Platform& platform,
+    const PartitionOptions& options);
+
+/// Candidates a search strategy may select: profiled (sw_cycles > 0),
+/// synthesizable, and individually within the area budget.  Everything
+/// else carries a rejection reason (same wording the greedy strategy
+/// uses) for the final result.
+struct ViableCandidates {
+  std::vector<std::size_t> ids;  ///< candidate order = sw_cycles descending
+  std::vector<std::string> infeasible_reasons;
+};
+[[nodiscard]] ViableCandidates FilterViableCandidates(
+    const CandidateSet& set, const Platform& platform,
+    const PartitionOptions& options);
+
+/// Shared commit epilogue of the search strategies: select `subset` (sorted
+/// ascending = descending software cycles) with `reason`, mark regions the
+/// subset covers, recompute residency, and append rejections — viable
+/// candidates left in software get `excluded_reason`, then
+/// `extra_rejections`, then the filter's infeasible reasons.
+[[nodiscard]] PartitionResult CommitSubset(
+    const CandidateSet& set, const Platform& platform,
+    const PartitionOptions& options, const std::vector<std::size_t>& subset,
+    SelectedBy reason, const ViableCandidates& viable,
+    const std::string& excluded_reason,
+    std::vector<std::string> extra_rejections = {});
+
+/// Exact subset scoring for search strategies: synthesize every member,
+/// apply the same residency rules as the alias step, and combine into an
+/// application estimate.  Returns nullopt when any member fails synthesis
+/// or the subset violates the area budget or overlaps internally.
+[[nodiscard]] std::optional<AppEstimate> EvaluateSubset(
+    const CandidateSet& set, const std::vector<std::size_t>& subset,
+    const Platform& platform, const PartitionOptions& options);
+
+}  // namespace b2h::partition

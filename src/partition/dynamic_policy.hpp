@@ -38,6 +38,12 @@ struct DynamicPolicy {
   /// Replace a mapped kernel when a loop strictly containing it becomes hot
   /// and profitable (converges toward the static outer-nest choice).
   bool allow_upgrade = true;
+  /// Simulated-time model of the online CAD work (incremental decompile +
+  /// synthesis): how many *simulated CPU cycles* one host wall-clock
+  /// millisecond of CAD corresponds to.  The default models CAD running
+  /// inline on the paper's 200 MHz CPU (1 ms = 200k cycles); 0 disables the
+  /// conversion (CAD is free in simulated time, as before this knob).
+  double cad_cycles_per_ms = 200'000.0;
 };
 
 /// Cost model of one dynamically synthesized kernel, fixed at swap-in time.

@@ -64,10 +64,14 @@ std::string FlowReportBody(const mips::RunResult& software_run,
       << partition.area_budget_gates << " gates, loop coverage "
       << std::setprecision(1) << partition.loop_coverage * 100.0 << "%\n";
   for (const auto& selected : partition.hw) {
-    const char* reason =
-        selected.selected_by == SelectedBy::kFrequency ? "freq"
-        : selected.selected_by == SelectedBy::kAlias   ? "alias"
-                                                       : "greedy";
+    const char* reason = selected.selected_by == SelectedBy::kFrequency
+                             ? "freq"
+                         : selected.selected_by == SelectedBy::kAlias ? "alias"
+                         : selected.selected_by == SelectedBy::kGreedy
+                             ? "greedy"
+                         : selected.selected_by == SelectedBy::kOptimal
+                             ? "optimal"
+                             : "annealed";
     out << "  [" << reason << "] " << selected.synthesized.region.name
         << ": sw " << selected.sw_cycles << " cyc -> hw "
         << selected.synthesized.hw_cycles << " cyc @ "
@@ -78,6 +82,10 @@ std::string FlowReportBody(const mips::RunResult& software_run,
     }
     if (selected.arrays_resident) out << ", arrays resident";
     out << "\n";
+  }
+  // Why regions were skipped.
+  for (const std::string& reason : UniqueRejections(partition.rejected)) {
+    out << "  rejected " << reason << "\n";
   }
   out << std::setprecision(2);
   out << "estimate: speedup " << estimate.speedup << "x, kernel speedup "

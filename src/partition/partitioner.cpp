@@ -1,302 +1,20 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
-#include <map>
-#include <memory>
-#include <set>
 
-#include "ir/dominators.hpp"
-#include "ir/loops.hpp"
+#include "partition/strategy.hpp"
 
 namespace b2h::partition {
-namespace {
-
-/// A candidate loop region with the analyses it was derived from.
-struct Candidate {
-  const ir::Function* function = nullptr;
-  const ir::Loop* loop = nullptr;
-  synth::HwRegion region;
-  std::uint64_t sw_cycles = 0;
-  std::uint64_t invocations = 1;
-  std::set<int> alias_regions;
-  std::uint64_t comm_words = 0;
-  std::uint64_t mem_accesses = 0;  ///< profile-weighted loads+stores
-  bool selected = false;
-};
-
-/// Functions reachable from main via surviving calls (inlined-away callees
-/// would otherwise be double-counted: their blocks share binary addresses
-/// with the inlined copies).
-std::set<const ir::Function*> ReachableFunctions(const ir::Module& module) {
-  std::set<const ir::Function*> reachable;
-  std::vector<const ir::Function*> work{module.main};
-  reachable.insert(module.main);
-  while (!work.empty()) {
-    const ir::Function* function = work.back();
-    work.pop_back();
-    for (const auto& block : function->blocks()) {
-      for (const ir::Instr* instr : block->instrs) {
-        if (instr->op != ir::Opcode::kCall) continue;
-        const ir::Function* callee = module.FindByEntry(instr->call_target);
-        if (callee != nullptr && reachable.insert(callee).second) {
-          work.push_back(callee);
-        }
-      }
-    }
-  }
-  return reachable;
-}
-
-std::vector<std::uint32_t> BlockLeaders(
-    const std::vector<const ir::Block*>& blocks) {
-  std::vector<std::uint32_t> leaders;
-  leaders.reserve(blocks.size());
-  for (const ir::Block* block : blocks) leaders.push_back(block->start_pc);
-  return leaders;
-}
-
-}  // namespace
 
 Result<PartitionResult> PartitionProgram(
     const decomp::DecompiledProgram& program,
     const mips::ExecProfile& profile, const Platform& platform,
     const PartitionOptions& options) {
-  PartitionResult result;
-  result.area_budget_gates = platform.fpga.budget_gates();
-  result.total_sw_cycles = profile.total_cycles;
-
-  // All block leaders in the module (for PC -> block attribution).
-  std::vector<std::uint32_t> all_leaders;
-  for (const auto& function : program.module.functions) {
-    for (const auto& block : function->blocks()) {
-      all_leaders.push_back(block->start_pc);
-    }
-  }
-
-  // Gather candidate loops (innermost first) with analyses per function.
-  std::vector<Candidate> candidates;
-  std::map<const ir::Function*, std::unique_ptr<decomp::AliasAnalysis>>
-      alias_by_function;
-  std::vector<std::unique_ptr<ir::DominatorTree>> dom_storage;
-  std::vector<std::unique_ptr<ir::LoopForest>> forest_storage;
-
-  const std::set<const ir::Function*> reachable =
-      ReachableFunctions(program.module);
-  for (const auto& function : program.module.functions) {
-    if (reachable.count(function.get()) == 0) continue;
-    auto dom = std::make_unique<ir::DominatorTree>(*function);
-    auto forest = std::make_unique<ir::LoopForest>(*function, *dom);
-    forest->AnnotateProfile();
-    auto alias = std::make_unique<decomp::AliasAnalysis>(
-        *function,
-        program.binary != nullptr ? &program.binary->symbols : nullptr);
-
-    for (const auto& loop : forest->loops()) {
-      // Whole loop nests are candidates too: when an inner loop is entered
-      // many times, moving the enclosing loop avoids paying the kernel
-      // start/stop handshake per entry (the paper moves "loops", nesting
-      // included).  Overlapping selections are excluded at selection time.
-      Candidate candidate;
-      candidate.function = function.get();
-      candidate.loop = loop.get();
-      candidate.region = synth::ExtractLoopRegion(*function, *loop);
-      candidate.sw_cycles = RegionSwCycles(
-          profile, all_leaders, BlockLeaders(candidate.region.blocks));
-      candidate.invocations = std::max<std::uint64_t>(1, loop->entry_count);
-      candidate.alias_regions = alias->RegionsIn(*loop);
-      if (program.binary != nullptr) {
-        candidate.comm_words = ArrayFootprintWords(
-            *alias, candidate.alias_regions, *program.binary);
-      }
-      for (const ir::Block* block : candidate.region.blocks) {
-        std::uint64_t mem_ops = 0;
-        for (const ir::Instr* instr : block->instrs) {
-          if (instr->op == ir::Opcode::kLoad ||
-              instr->op == ir::Opcode::kStore) {
-            ++mem_ops;
-          }
-        }
-        candidate.mem_accesses += mem_ops * block->exec_count;
-      }
-      candidates.push_back(std::move(candidate));
-    }
-    alias_by_function.emplace(function.get(), std::move(alias));
-    dom_storage.push_back(std::move(dom));
-    forest_storage.push_back(std::move(forest));
-  }
-
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.sw_cycles > b.sw_cycles;
-            });
-  std::uint64_t loop_cycles_total = 0;
-  for (const Candidate& candidate : candidates) {
-    // Count outermost loops only: nested candidates overlap their parents.
-    if (candidate.loop->parent == nullptr) {
-      loop_cycles_total += candidate.sw_cycles;
-    }
-  }
-  result.loop_coverage =
-      profile.total_cycles > 0
-          ? static_cast<double>(loop_cycles_total) /
-                static_cast<double>(profile.total_cycles)
-          : 0.0;
-
-  double area_used = 0.0;
-  std::set<const ir::Block*> selected_blocks;
-  const auto try_select = [&](Candidate& candidate,
-                              SelectedBy reason) -> bool {
-    if (candidate.selected) return false;
-    // A region nested inside (or containing) an already-selected region is
-    // already covered by that hardware.
-    for (const ir::Block* block : candidate.region.blocks) {
-      if (selected_blocks.count(block) != 0) {
-        candidate.selected = true;  // subsumed
-        return false;
-      }
-    }
-    const decomp::AliasAnalysis* alias =
-        alias_by_function.at(candidate.function).get();
-    auto synthesized =
-        synth::Synthesize(candidate.region, alias, options.synth);
-    if (!synthesized.ok()) {
-      result.rejected.push_back(candidate.region.name + ": " +
-                                synthesized.status().message());
-      return false;
-    }
-    if (area_used + synthesized.value().area.total_gates >
-        result.area_budget_gates) {
-      result.rejected.push_back(candidate.region.name +
-                                ": area constraint violated");
-      return false;
-    }
-    // Hardware suitability (paper §3, third step only): a greedy addition
-    // must pay off even with worst-case (non-resident) memory traffic.
-    // Step-1 kernels are selected purely by frequency, as in the paper; the
-    // alias step then fixes their memory placement.
-    if (reason == SelectedBy::kGreedy) {
-      const double fpga_hz =
-          std::min(synthesized.value().clock_mhz, platform.fpga.clock_mhz_cap) *
-          1e6;
-      const double hw_seconds =
-          (static_cast<double>(synthesized.value().hw_cycles) +
-           static_cast<double>(candidate.invocations) *
-               platform.comm.setup_cycles +
-           static_cast<double>(candidate.mem_accesses) *
-               platform.comm.bus_penalty_cycles) /
-          fpga_hz;
-      const double sw_seconds = static_cast<double>(candidate.sw_cycles) /
-                                (platform.cpu.clock_mhz * 1e6);
-      if (hw_seconds >= sw_seconds) {
-        result.rejected.push_back(candidate.region.name +
-                                  ": not profitable in hardware");
-        return false;
-      }
-    }
-    SelectedRegion selected;
-    selected.synthesized = std::move(synthesized).take();
-    // The loop analysis lives only for the duration of this call; the
-    // stored region must not carry a pointer into it.  The loop's identity
-    // survives as region.blocks.front()->start_pc (the header leader).
-    selected.synthesized.region.loop = nullptr;
-    selected.selected_by = reason;
-    selected.sw_cycles = candidate.sw_cycles;
-    selected.invocations = candidate.invocations;
-    selected.comm_words = candidate.comm_words;
-    selected.mem_accesses = candidate.mem_accesses;
-    selected.alias_regions.assign(candidate.alias_regions.begin(),
-                                  candidate.alias_regions.end());
-    area_used += selected.synthesized.area.total_gates;
-    for (const ir::Block* block : candidate.region.blocks) {
-      selected_blocks.insert(block);
-    }
-    result.hw.push_back(std::move(selected));
-    candidate.selected = true;
-    return true;
-  };
-
-  // ---- Step 1: most frequent loops up to the coverage target -------------
-  std::uint64_t covered = 0;
-  for (Candidate& candidate : candidates) {
-    if (loop_cycles_total == 0) break;
-    if (static_cast<double>(covered) >=
-        options.coverage_target * static_cast<double>(loop_cycles_total)) {
-      break;
-    }
-    if (candidate.sw_cycles == 0) break;
-    if (try_select(candidate, SelectedBy::kFrequency)) {
-      covered += candidate.sw_cycles;
-    }
-  }
-
-  // ---- Step 2: alias-connected regions -----------------------------------
-  if (options.enable_alias_step) {
-    // Arrays touched by the current hardware partition.
-    std::set<std::pair<const ir::Function*, int>> hw_arrays;
-    for (const SelectedRegion& selected : result.hw) {
-      for (int id : selected.alias_regions) {
-        hw_arrays.insert({selected.synthesized.region.function, id});
-      }
-    }
-    for (Candidate& candidate : candidates) {
-      if (candidate.selected) continue;
-      bool shares = false;
-      for (int id : candidate.alias_regions) {
-        if (hw_arrays.count({candidate.function, id}) != 0) {
-          shares = true;
-          break;
-        }
-      }
-      if (shares) {
-        if (try_select(candidate, SelectedBy::kAlias)) {
-          // All kernels touching these arrays can now keep them resident.
-        }
-      }
-    }
-    // Arrays shared only among hardware kernels become FPGA-resident: no
-    // DMA per invocation.  An array also touched by software code that
-    // remains on the CPU must stay in main memory.
-    std::map<std::pair<const ir::Function*, int>, bool> only_hw;
-    for (const SelectedRegion& selected : result.hw) {
-      for (int id : selected.alias_regions) {
-        only_hw[{selected.synthesized.region.function, id}] = true;
-      }
-    }
-    for (const Candidate& candidate : candidates) {
-      if (candidate.selected) continue;
-      for (int id : candidate.alias_regions) {
-        only_hw[{candidate.function, id}] = false;
-      }
-    }
-    for (SelectedRegion& selected : result.hw) {
-      bool resident = true;
-      for (int id : selected.alias_regions) {
-        const auto it =
-            only_hw.find({selected.synthesized.region.function, id});
-        if (it == only_hw.end() || !it->second) {
-          resident = false;
-          break;
-        }
-      }
-      selected.arrays_resident = resident && !selected.alias_regions.empty();
-    }
-  }
-
-  // ---- Step 3: greedy fill until the area constraint ---------------------
-  if (options.enable_greedy_step) {
-    // Profile-weight per estimated area, most valuable first.
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.sw_cycles > b.sw_cycles;
-              });
-    for (Candidate& candidate : candidates) {
-      if (candidate.selected || candidate.sw_cycles == 0) continue;
-      (void)try_select(candidate, SelectedBy::kGreedy);
-    }
-  }
-
-  result.area_used_gates = area_used;
-  return result;
+  // The paper's algorithm is the "paper-greedy" strategy; the candidate
+  // scan and selection machinery it shares with the other strategies lives
+  // in candidates.{hpp,cpp}.
+  return MakePaperGreedyStrategy()->Partition(program, profile, platform,
+                                              options, StrategyOptions{});
 }
 
 AppEstimate EstimatePartition(const PartitionResult& partition,
@@ -319,6 +37,17 @@ AppEstimate EstimatePartition(const PartitionResult& partition,
   }
   return CombineEstimates(platform, partition.total_sw_cycles,
                           std::move(kernels));
+}
+
+std::vector<std::string> UniqueRejections(
+    const std::vector<std::string>& rejected) {
+  std::vector<std::string> unique;
+  for (const std::string& reason : rejected) {
+    if (std::find(unique.begin(), unique.end(), reason) == unique.end()) {
+      unique.push_back(reason);
+    }
+  }
+  return unique;
 }
 
 }  // namespace b2h::partition

@@ -34,7 +34,13 @@ struct PartitionOptions {
   bool enable_greedy_step = true;  ///< step 3
 };
 
-enum class SelectedBy : std::uint8_t { kFrequency, kAlias, kGreedy };
+enum class SelectedBy : std::uint8_t {
+  kFrequency,  ///< paper step 1: most frequent loops
+  kAlias,      ///< paper step 2: alias-connected regions
+  kGreedy,     ///< paper step 3: greedy fill under the area budget
+  kOptimal,    ///< chosen by the knapsack-optimal strategy
+  kAnnealing,  ///< chosen by the annealing strategy
+};
 
 struct SelectedRegion {
   synth::SynthesizedRegion synthesized;
@@ -56,7 +62,10 @@ struct PartitionResult {
   double loop_coverage = 0.0;  ///< fraction of cycles in candidate loops
 };
 
-/// Run partitioning over a decompiled program with its profile.
+/// Run the paper's three-step partitioner over a decompiled program with
+/// its profile.  Equivalent to the "paper-greedy" entry of the
+/// partition::StrategyRegistry (strategy.hpp), which also offers optimal
+/// and randomized selection policies behind the same PartitionResult.
 [[nodiscard]] Result<PartitionResult> PartitionProgram(
     const decomp::DecompiledProgram& program,
     const mips::ExecProfile& profile, const Platform& platform,
@@ -65,5 +74,11 @@ struct PartitionResult {
 /// Fold a partition into the application-level performance/energy numbers.
 [[nodiscard]] AppEstimate EstimatePartition(const PartitionResult& partition,
                                             const Platform& platform);
+
+/// Rejection reasons deduplicated in first-seen order, for display: the
+/// greedy strategy may attempt — and reject — the same candidate in more
+/// than one step.
+[[nodiscard]] std::vector<std::string> UniqueRejections(
+    const std::vector<std::string>& rejected);
 
 }  // namespace b2h::partition

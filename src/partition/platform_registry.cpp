@@ -1,0 +1,57 @@
+#include "partition/platform_registry.hpp"
+
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace b2h::partition {
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+PlatformRegistry& PlatformRegistry::Global() {
+  static PlatformRegistry* registry = [] {
+    auto* r = new PlatformRegistry();
+    r->Register("mips200-xc2v1000", Platform::WithCpuMhz(200.0));
+    r->Register("mips40", Platform::WithCpuMhz(40.0));
+    r->Register("mips400", Platform::WithCpuMhz(400.0));
+    return r;
+  }();
+  return *registry;
+}
+
+void PlatformRegistry::Register(std::string name, Platform platform) {
+  Check(!name.empty(), "PlatformRegistry::Register: empty name");
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.platform = std::move(platform);
+      return;
+    }
+  }
+  entries_.push_back({std::move(name), std::move(platform)});
+}
+
+std::optional<Platform> PlatformRegistry::Find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.platform;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> PlatformRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace b2h::partition

@@ -1,0 +1,42 @@
+// Process-wide named platform registry.
+//
+// Lives in partition/ (it stores partition::Platform models) so that both
+// the Toolchain facade and the exploration engine can resolve platform
+// names without depending on each other.  `b2h::PlatformRegistry` remains
+// available as an alias through toolchain/toolchain.hpp.
+//
+// Built-ins (the paper's three evaluation points) are registered on first
+// access:
+//   "mips200-xc2v1000" — 200 MHz MIPS + Virtex-II XC2V1000 (the default)
+//   "mips40"           — same FPGA, 40 MHz CPU
+//   "mips400"          — same FPGA, 400 MHz CPU
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "partition/platform.hpp"
+
+namespace b2h::partition {
+
+class PlatformRegistry {
+ public:
+  static PlatformRegistry& Global();
+
+  /// Register or replace a named platform.
+  void Register(std::string name, Platform platform);
+
+  [[nodiscard]] std::optional<Platform> Find(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Platform platform;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace b2h::partition

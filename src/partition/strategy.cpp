@@ -1,0 +1,93 @@
+#include "partition/strategy.hpp"
+
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace b2h::partition {
+
+std::string_view ObjectiveName(Objective objective) {
+  switch (objective) {
+    case Objective::kSpeedup: return "speedup";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEnergyDelay: return "edp";
+  }
+  return "speedup";
+}
+
+std::optional<Objective> ParseObjective(std::string_view name) {
+  if (name == "speedup") return Objective::kSpeedup;
+  if (name == "energy") return Objective::kEnergy;
+  if (name == "edp" || name == "energy-delay") return Objective::kEnergyDelay;
+  return std::nullopt;
+}
+
+double ObjectiveScore(const AppEstimate& estimate, Objective objective) {
+  switch (objective) {
+    case Objective::kSpeedup:
+      return estimate.speedup;
+    case Objective::kEnergy:
+      return -estimate.partitioned_energy;
+    case Objective::kEnergyDelay:
+      return -(estimate.partitioned_energy * estimate.partitioned_time);
+  }
+  return estimate.speedup;
+}
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+StrategyRegistry& StrategyRegistry::Global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    r->Register("paper-greedy", MakePaperGreedyStrategy);
+    r->Register("knapsack-optimal", MakeKnapsackStrategy);
+    r->Register("annealing", MakeAnnealingStrategy);
+    return r;
+  }();
+  return *registry;
+}
+
+void StrategyRegistry::Register(std::string name, Factory factory) {
+  Check(!name.empty(), "StrategyRegistry::Register: empty name");
+  Check(factory != nullptr, "StrategyRegistry::Register: null factory");
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back({std::move(name), std::move(factory)});
+}
+
+std::unique_ptr<Strategy> StrategyRegistry::Create(
+    std::string_view name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(RegistryMutex());
+    for (const Entry& entry : entries_) {
+      if (entry.name == name) {
+        factory = entry.factory;
+        break;
+      }
+    }
+  }
+  return factory ? factory() : nullptr;
+}
+
+std::vector<std::string> StrategyRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace b2h::partition

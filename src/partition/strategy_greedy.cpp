@@ -1,0 +1,100 @@
+// The paper's three-step heuristic as a pluggable Strategy.
+//
+// This is a faithful transplant of the original PartitionProgram body onto
+// the shared CandidateSet/SelectionState machinery: same candidate order,
+// same attempt order, same rejection wording — PartitionProgram (which now
+// delegates here) remains bit-identical to the pre-strategy implementation,
+// and the tests assert parity between the two entry points.
+#include <set>
+#include <utility>
+
+#include "partition/candidates.hpp"
+#include "partition/strategy.hpp"
+
+namespace b2h::partition {
+
+void PaperGreedySelect(const CandidateSet& set, SelectionState& state,
+                       const PartitionOptions& options) {
+  const std::vector<Candidate>& candidates = set.candidates();
+
+  // ---- Step 1: most frequent loops up to the coverage target -------------
+  std::uint64_t covered = 0;
+  for (std::size_t id = 0; id < candidates.size(); ++id) {
+    if (set.loop_cycles_total() == 0) break;
+    if (static_cast<double>(covered) >=
+        options.coverage_target *
+            static_cast<double>(set.loop_cycles_total())) {
+      break;
+    }
+    if (candidates[id].sw_cycles == 0) break;
+    if (state.TrySelect(id, SelectedBy::kFrequency)) {
+      covered += candidates[id].sw_cycles;
+    }
+  }
+
+  // ---- Step 2: alias-connected regions -----------------------------------
+  if (options.enable_alias_step) {
+    // Arrays touched by the current hardware partition.
+    std::set<std::pair<const ir::Function*, int>> hw_arrays;
+    for (std::size_t id : state.chosen()) {
+      for (int region : candidates[id].alias_regions) {
+        hw_arrays.insert({candidates[id].function, region});
+      }
+    }
+    for (std::size_t id = 0; id < candidates.size(); ++id) {
+      if (state.selected(id)) continue;
+      bool shares = false;
+      for (int region : candidates[id].alias_regions) {
+        if (hw_arrays.count({candidates[id].function, region}) != 0) {
+          shares = true;
+          break;
+        }
+      }
+      if (shares) {
+        if (state.TrySelect(id, SelectedBy::kAlias)) {
+          // All kernels touching these arrays can now keep them resident.
+        }
+      }
+    }
+    state.ComputeResidency();
+  }
+
+  // ---- Step 3: greedy fill until the area constraint ---------------------
+  if (options.enable_greedy_step) {
+    for (std::size_t id = 0; id < candidates.size(); ++id) {
+      if (state.selected(id) || candidates[id].sw_cycles == 0) continue;
+      (void)state.TrySelect(id, SelectedBy::kGreedy);
+    }
+  }
+}
+
+namespace {
+
+class PaperGreedyStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "paper-greedy";
+  }
+  // The paper heuristic always chases frequency/coverage; the objective
+  // knob does not change its answer.
+  [[nodiscard]] bool objective_sensitive() const override { return false; }
+
+  [[nodiscard]] Result<PartitionResult> Partition(
+      const decomp::DecompiledProgram& program,
+      const mips::ExecProfile& profile, const Platform& platform,
+      const PartitionOptions& options,
+      const StrategyOptions& /*strategy_options*/) const override {
+    const CandidateSet set = CandidateSet::Scan(program, profile);
+    SelectionState state(set, platform, options);
+    PaperGreedySelect(set, state, options);
+    return state.Take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> MakePaperGreedyStrategy() {
+  return std::make_unique<PaperGreedyStrategy>();
+}
+
+}  // namespace b2h::partition

@@ -1,0 +1,38 @@
+// Shared JSON string-literal escaping for every machine-readable output
+// (bench JSON-lines records, ToolchainRun::Json), so quoting/control-char
+// handling cannot drift between writers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace b2h::support {
+
+/// Escape `text` for use inside a JSON string literal: quotes and
+/// backslashes are escaped, common control characters get their short
+/// escapes, and any other control character becomes \u00XX.
+inline std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      case '\r': escaped += "\\r"; break;
+      default:
+        if (u < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", u);
+          escaped += buffer;
+        } else {
+          escaped.push_back(c);
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace b2h::support

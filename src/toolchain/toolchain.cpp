@@ -1,49 +1,19 @@
 #include "toolchain/toolchain.hpp"
 
 #include <atomic>
-#include <functional>
-#include <mutex>
 #include <sstream>
-#include <thread>
 
 #include "mips/simulator.hpp"
 #include "partition/partitioner.hpp"
+#include "support/json.hpp"
+#include "support/parallel_for.hpp"
 
 namespace b2h {
 
 namespace {
 
-std::mutex& RegistryMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-/// Run fn(0..n-1) on up to `threads` workers (0 = hardware concurrency).
-/// Index order is unspecified but every index runs exactly once, so filling
-/// per-index slots is deterministic regardless of the thread count.
-void ParallelFor(std::size_t n, unsigned threads,
-                 const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  std::size_t workers = threads == 0 ? std::thread::hardware_concurrency()
-                                     : threads;
-  if (workers == 0) workers = 1;
-  workers = std::min(workers, n);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-}
+using support::JsonEscape;
+using support::ParallelFor;
 
 bool SameCycleModel(const mips::CycleModel& a, const mips::CycleModel& b) {
   return a.base == b.base && a.load_extra == b.load_extra &&
@@ -52,49 +22,6 @@ bool SameCycleModel(const mips::CycleModel& a, const mips::CycleModel& b) {
 }
 
 }  // namespace
-
-// ------------------------------------------------------- PlatformRegistry
-
-PlatformRegistry& PlatformRegistry::Global() {
-  static PlatformRegistry* registry = [] {
-    auto* r = new PlatformRegistry();
-    r->Register("mips200-xc2v1000", partition::Platform::WithCpuMhz(200.0));
-    r->Register("mips40", partition::Platform::WithCpuMhz(40.0));
-    r->Register("mips400", partition::Platform::WithCpuMhz(400.0));
-    return r;
-  }();
-  return *registry;
-}
-
-void PlatformRegistry::Register(std::string name,
-                                partition::Platform platform) {
-  Check(!name.empty(), "PlatformRegistry::Register: empty name");
-  const std::lock_guard<std::mutex> lock(RegistryMutex());
-  for (Entry& entry : entries_) {
-    if (entry.name == name) {
-      entry.platform = std::move(platform);
-      return;
-    }
-  }
-  entries_.push_back({std::move(name), std::move(platform)});
-}
-
-std::optional<partition::Platform> PlatformRegistry::Find(
-    std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(RegistryMutex());
-  for (const Entry& entry : entries_) {
-    if (entry.name == name) return entry.platform;
-  }
-  return std::nullopt;
-}
-
-std::vector<std::string> PlatformRegistry::Names() const {
-  const std::lock_guard<std::mutex> lock(RegistryMutex());
-  std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const Entry& entry : entries_) names.push_back(entry.name);
-  return names;
-}
 
 // ---------------------------------------------------------- ToolchainRun
 
@@ -112,6 +39,32 @@ std::string ToolchainRun::Report() const {
     }
     out << "\n";
   }
+  return out.str();
+}
+
+std::string ToolchainRun::Json() const {
+  std::ostringstream out;
+  char number[64];
+  out << "{\"binary\":\"" << JsonEscape(binary_name) << "\",\"platform\":\""
+      << JsonEscape(platform_name) << "\"";
+  std::snprintf(number, sizeof number, "%.9g", estimate.speedup);
+  out << ",\"speedup\":" << number;
+  std::snprintf(number, sizeof number, "%.9g", estimate.energy_savings);
+  out << ",\"energy_savings\":" << number;
+  std::snprintf(number, sizeof number, "%.9g", estimate.area_gates);
+  out << ",\"area_gates\":" << number;
+  out << ",\"hw_regions\":[";
+  for (std::size_t i = 0; i < partition.hw.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << JsonEscape(partition.hw[i].synthesized.region.name)
+        << "\"";
+  }
+  out << "],\"rejected\":[";
+  for (std::size_t i = 0; i < partition.rejected.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << JsonEscape(partition.rejected[i]) << "\"";
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -164,6 +117,24 @@ Toolchain& Toolchain::WithDynamicPolicy(partition::DynamicPolicy policy) {
 Toolchain& Toolchain::WithDynamic(bool enabled) {
   dynamic_enabled_ = enabled;
   return *this;
+}
+
+Toolchain& Toolchain::WithArtifactCache(
+    std::shared_ptr<explore::ArtifactCache> cache) {
+  Check(cache != nullptr, "Toolchain: null artifact cache");
+  artifact_cache_ = std::move(cache);
+  return *this;
+}
+
+explore::ExploreResult Toolchain::Explore(
+    const explore::ExploreSpec& spec) const {
+  explore::ExplorerConfig config;
+  config.pipeline = pipeline_spec_;
+  config.partition = partition_options_;
+  config.max_sim_instructions = max_sim_instructions_;
+  config.threads = threads_;
+  config.verify_ir = verify_ir_;
+  return explore::Explorer(std::move(config), artifact_cache_).Run(spec);
 }
 
 dynamic::DynamicOptions Toolchain::DynamicConfig() const {

@@ -32,34 +32,16 @@
 
 #include "decomp/pass_manager.hpp"
 #include "dynamic/dynamic_partitioner.hpp"
+#include "explore/explorer.hpp"
 #include "partition/flow.hpp"
 #include "partition/platform.hpp"
+#include "partition/platform_registry.hpp"
 
 namespace b2h {
 
-/// Process-wide platform registry.  Built-ins (the paper's three
-/// evaluation points) are registered on first access:
-///   "mips200-xc2v1000" — 200 MHz MIPS + Virtex-II XC2V1000 (the default)
-///   "mips40"           — same FPGA, 40 MHz CPU
-///   "mips400"          — same FPGA, 400 MHz CPU
-class PlatformRegistry {
- public:
-  static PlatformRegistry& Global();
-
-  /// Register or replace a named platform.
-  void Register(std::string name, partition::Platform platform);
-
-  [[nodiscard]] std::optional<partition::Platform> Find(
-      std::string_view name) const;
-  [[nodiscard]] std::vector<std::string> Names() const;
-
- private:
-  struct Entry {
-    std::string name;
-    partition::Platform platform;
-  };
-  std::vector<Entry> entries_;
-};
+/// Process-wide platform registry (now partition::PlatformRegistry, shared
+/// with the exploration engine); the alias preserves the original spelling.
+using PlatformRegistry = partition::PlatformRegistry;
 
 /// One (binary, platform) flow outcome.  The profiling run and decompiled
 /// program are shared: every platform in a RunMany sweep points at the same
@@ -77,6 +59,10 @@ struct ToolchainRun {
   std::shared_ptr<const dynamic::DynamicRun> dynamic_run;
 
   [[nodiscard]] std::string Report() const;
+  /// One JSON object (no trailing newline) with the headline estimate AND
+  /// the partitioner's rejection reasons, so machine consumers can explain
+  /// why a region was skipped.
+  [[nodiscard]] std::string Json() const;
 };
 
 /// Outcome of RunDynamic: the online run next to its static oracle.
@@ -88,12 +74,6 @@ struct DynamicToolchainRun {
   double convergence = 0.0;
 
   [[nodiscard]] std::string Report() const;
-};
-
-/// A named binary handed to the batch API.
-struct NamedBinary {
-  std::string name;
-  std::shared_ptr<const mips::SoftBinary> binary;
 };
 
 /// Batch outcome: one result per (binary, platform) pair in row-major
@@ -135,6 +115,9 @@ class Toolchain {
   /// When enabled, RunMany additionally executes the online partitioner for
   /// every (binary, platform) pair and attaches ToolchainRun::dynamic_run.
   Toolchain& WithDynamic(bool enabled);
+  /// Share an artifact cache between toolchains (by default every Toolchain
+  /// owns a private cache that persists across its Explore calls).
+  Toolchain& WithArtifactCache(std::shared_ptr<explore::ArtifactCache> cache);
 
   // --------------------------------------------------------------- running
   /// Single binary on the configured default platform.
@@ -169,6 +152,17 @@ class Toolchain {
       std::shared_ptr<const mips::SoftBinary> binary,
       std::string binary_name = "binary") const;
 
+  /// Design-space exploration front door: sweep the spec's
+  /// {binaries} x {platforms} x {strategies} x {objectives} grid through
+  /// the exploration engine, using this toolchain's pipeline, partition
+  /// options, simulation budget, thread count, and artifact cache.
+  /// Repeated/overlapping sweeps on the same Toolchain reuse cached
+  /// decompile and partition artifacts (a warm identical sweep performs
+  /// zero decompilations).  Per-point failures are reported in the
+  /// corresponding ExplorePoint without aborting the sweep.
+  [[nodiscard]] explore::ExploreResult Explore(
+      const explore::ExploreSpec& spec) const;
+
  private:
   [[nodiscard]] Result<DynamicToolchainRun> RunDynamicOnPlatform(
       std::shared_ptr<const mips::SoftBinary> binary, std::string binary_name,
@@ -197,6 +191,8 @@ class Toolchain {
   std::optional<partition::Platform> custom_platform_;
   partition::DynamicPolicy dynamic_policy_;
   bool dynamic_enabled_ = false;
+  std::shared_ptr<explore::ArtifactCache> artifact_cache_ =
+      std::make_shared<explore::ArtifactCache>();
 };
 
 }  // namespace b2h

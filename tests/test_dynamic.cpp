@@ -203,6 +203,38 @@ TEST(DynamicFlow, DetectsStaticTopLoopSwapsMidRunAndSpeedsUp) {
   }
 }
 
+TEST(DynamicFlow, CadLatencyReportedInSimulatedTime) {
+  // ROADMAP item: the online CAD cost (incremental decompile + synthesis)
+  // is converted from host wall clock into simulated CPU cycles via
+  // DynamicPolicy::cad_cycles_per_ms, and time-to-first-kernel is reported
+  // in simulated cycles.
+  auto binary = BuildSuiteBinary("crc");
+  ASSERT_NE(binary, nullptr);
+  const auto platform = *PlatformRegistry::Global().Find("mips200-xc2v1000");
+
+  // Default model (CAD inline on the 200 MHz CPU): simulated CAD cost is
+  // positive and time-to-first-kernel lands strictly after the swap point.
+  dynamic::DynamicPartitioner online(platform);
+  auto run = online.Run(binary, "crc");
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run.value().swaps.empty());
+  EXPECT_GT(run.value().cad_simulated_cycles, 0u);
+  EXPECT_GT(run.value().time_to_first_kernel_cycles,
+            run.value().swaps.front().at_cycle);
+
+  // With the conversion disabled, time-to-first-kernel is exactly the
+  // simulated cycle of the first swap — a deterministic anchor.
+  dynamic::DynamicOptions free_cad;
+  free_cad.policy.cad_cycles_per_ms = 0.0;
+  dynamic::DynamicPartitioner anchored(platform, free_cad);
+  auto anchor = anchored.Run(binary, "crc");
+  ASSERT_TRUE(anchor.ok());
+  ASSERT_FALSE(anchor.value().swaps.empty());
+  EXPECT_EQ(anchor.value().cad_simulated_cycles, 0u);
+  EXPECT_EQ(anchor.value().time_to_first_kernel_cycles,
+            anchor.value().swaps.front().at_cycle);
+}
+
 TEST(DynamicFlow, FunctionalResultUnchangedByKernelSwaps) {
   // Cosimulation invariant: swapping kernels never changes the program's
   // result — only the accounting.

@@ -1,0 +1,395 @@
+// Exploration-engine tests: strategy registry completeness, paper-greedy
+// parity with the legacy PartitionProgram entry point (bit-identical
+// PartitionResult), knapsack-optimal dominance over the paper heuristic on
+// every decompilable benchmark, Pareto-frontier invariants, artifact-cache
+// determinism (a warm identical sweep performs zero decompilations and
+// reports identically), parallel == serial reports, and annealing
+// determinism under a fixed seed.
+#include "explore/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "partition/candidates.hpp"
+#include "partition/strategy.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+#include "toolchain/toolchain.hpp"
+
+namespace b2h {
+namespace {
+
+using explore::ExploreResult;
+using explore::ExploreSpec;
+using explore::ParetoFrontier;
+using explore::ParetoMetrics;
+using partition::Objective;
+
+std::shared_ptr<const mips::SoftBinary> BuildBench(const std::string& name) {
+  const suite::Benchmark* bench = suite::FindBenchmark(name);
+  EXPECT_NE(bench, nullptr) << name;
+  auto binary = suite::BuildBinary(*bench, 1);
+  EXPECT_TRUE(binary.ok()) << binary.status().message();
+  return std::make_shared<const mips::SoftBinary>(std::move(binary).take());
+}
+
+std::vector<NamedBinary> AllWorkingBinaries() {
+  std::vector<NamedBinary> binaries;
+  for (const suite::Benchmark* bench : suite::WorkingBenchmarks()) {
+    binaries.push_back({bench->name, BuildBench(bench->name)});
+  }
+  return binaries;
+}
+
+const std::vector<std::string> kPaperPlatforms = {"mips40", "mips200-xc2v1000",
+                                                  "mips400"};
+const std::vector<std::string> kAllStrategies = {"paper-greedy",
+                                                 "knapsack-optimal",
+                                                 "annealing"};
+
+void ExpectIdenticalPartitions(const partition::PartitionResult& a,
+                               const partition::PartitionResult& b) {
+  ASSERT_EQ(a.hw.size(), b.hw.size());
+  for (std::size_t i = 0; i < a.hw.size(); ++i) {
+    const auto& ra = a.hw[i];
+    const auto& rb = b.hw[i];
+    EXPECT_EQ(ra.synthesized.region.name, rb.synthesized.region.name) << i;
+    EXPECT_EQ(ra.selected_by, rb.selected_by) << i;
+    EXPECT_EQ(ra.sw_cycles, rb.sw_cycles) << i;
+    EXPECT_EQ(ra.invocations, rb.invocations) << i;
+    EXPECT_EQ(ra.comm_words, rb.comm_words) << i;
+    EXPECT_EQ(ra.mem_accesses, rb.mem_accesses) << i;
+    EXPECT_EQ(ra.arrays_resident, rb.arrays_resident) << i;
+    EXPECT_EQ(ra.alias_regions, rb.alias_regions) << i;
+    EXPECT_EQ(ra.synthesized.hw_cycles, rb.synthesized.hw_cycles) << i;
+    EXPECT_EQ(ra.synthesized.clock_mhz, rb.synthesized.clock_mhz) << i;
+    EXPECT_EQ(ra.synthesized.area.total_gates, rb.synthesized.area.total_gates)
+        << i;
+    EXPECT_EQ(ra.synthesized.vhdl, rb.synthesized.vhdl) << i;
+  }
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.area_used_gates, b.area_used_gates);
+  EXPECT_EQ(a.area_budget_gates, b.area_budget_gates);
+  EXPECT_EQ(a.total_sw_cycles, b.total_sw_cycles);
+  EXPECT_EQ(a.loop_coverage, b.loop_coverage);
+}
+
+TEST(StrategyRegistry, BuiltinsRegistered) {
+  const auto names = partition::StrategyRegistry::Global().Names();
+  for (const char* expected :
+       {"paper-greedy", "knapsack-optimal", "annealing"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    EXPECT_NE(partition::StrategyRegistry::Global().Create(expected), nullptr)
+        << expected;
+  }
+  EXPECT_EQ(partition::StrategyRegistry::Global().Create("no-such-strategy"),
+            nullptr);
+}
+
+TEST(StrategyRegistry, PaperGreedyIsObjectiveInsensitive) {
+  const auto greedy = partition::MakePaperGreedyStrategy();
+  EXPECT_FALSE(greedy->objective_sensitive());
+  EXPECT_TRUE(partition::MakeKnapsackStrategy()->objective_sensitive());
+  EXPECT_TRUE(partition::MakeAnnealingStrategy()->objective_sensitive());
+}
+
+// The "paper-greedy" strategy and the legacy PartitionProgram entry point
+// must produce bit-identical PartitionResults (same selections, same
+// rejection log, same metrics) — the strategy extraction is a pure
+// refactor of the paper's algorithm.
+TEST(Strategy, PaperGreedyParityWithPartitionProgram) {
+  for (const char* name : {"fir", "crc", "brev", "autcor00"}) {
+    auto flow = partition::RunFlow(BuildBench(name));
+    ASSERT_TRUE(flow.ok()) << name;
+    const auto& program = *flow.value().program;
+    const auto& profile = flow.value().software_run.profile;
+    const partition::Platform platform;
+
+    const auto strategy =
+        partition::StrategyRegistry::Global().Create("paper-greedy");
+    ASSERT_NE(strategy, nullptr);
+    auto result = strategy->Partition(program, profile, platform, {}, {});
+    ASSERT_TRUE(result.ok()) << name;
+    ExpectIdenticalPartitions(result.value(), flow.value().partition);
+  }
+}
+
+// Acceptance criterion: a full {18 benchmarks} x {3 platforms} x
+// {3 strategies} sweep where knapsack-optimal beats or matches paper-greedy
+// on every (benchmark, platform) point, the cache-warm repeat performs zero
+// simulations/decompilations/partitions and reports identically, and
+// annealing never falls below greedy either (it refines the greedy start).
+TEST(Explore, FullSweepKnapsackDominatesGreedyAndCacheWarmRepeatIsFree) {
+  ExploreSpec spec;
+  spec.binaries = AllWorkingBinaries();
+  spec.platforms = kPaperPlatforms;
+  spec.strategies = kAllStrategies;
+  spec.objectives = {Objective::kSpeedup};
+
+  Toolchain toolchain;
+  const ExploreResult cold = toolchain.Explore(spec);
+  ASSERT_EQ(cold.points.size(), spec.binaries.size() * 3 * 3);
+  EXPECT_EQ(cold.decompilations_run, spec.binaries.size());
+  EXPECT_EQ(cold.simulations_run, spec.binaries.size());
+
+  for (std::size_t b = 0; b < spec.binaries.size(); ++b) {
+    for (std::size_t p = 0; p < kPaperPlatforms.size(); ++p) {
+      const auto& greedy = cold.At(b, p, 0, 0);
+      const auto& optimal = cold.At(b, p, 1, 0);
+      const auto& annealed = cold.At(b, p, 2, 0);
+      ASSERT_TRUE(greedy.status.ok())
+          << spec.binaries[b].name << ": " << greedy.status.message();
+      ASSERT_TRUE(optimal.status.ok())
+          << spec.binaries[b].name << ": " << optimal.status.message();
+      ASSERT_TRUE(annealed.status.ok())
+          << spec.binaries[b].name << ": " << annealed.status.message();
+      EXPECT_GE(optimal.speedup, greedy.speedup - 1e-12)
+          << spec.binaries[b].name << " on " << kPaperPlatforms[p];
+      EXPECT_GE(annealed.speedup, greedy.speedup - 1e-12)
+          << spec.binaries[b].name << " on " << kPaperPlatforms[p];
+    }
+  }
+
+  // Cache-warm repeat: all artifacts served from the cache, report
+  // bit-identical.
+  const ExploreResult warm = toolchain.Explore(spec);
+  EXPECT_EQ(warm.simulations_run, 0u);
+  EXPECT_EQ(warm.decompilations_run, 0u);
+  EXPECT_EQ(warm.partitions_run, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(cold.Report(), warm.Report());
+  for (const auto& point : warm.points) {
+    ASSERT_TRUE(point.status.ok());
+    EXPECT_TRUE(point.from_cache);
+  }
+}
+
+TEST(Explore, ParallelEqualsSerial) {
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")},
+                   {"crc", BuildBench("crc")},
+                   {"brev", BuildBench("brev")}};
+  spec.strategies = kAllStrategies;
+  spec.objectives = {Objective::kSpeedup, Objective::kEnergy};
+
+  Toolchain serial;
+  serial.WithThreads(1);
+  Toolchain parallel;
+  parallel.WithThreads(8);
+  const ExploreResult a = serial.Explore(spec);
+  const ExploreResult b = parallel.Explore(spec);
+  EXPECT_EQ(a.Report(), b.Report());
+  EXPECT_EQ(a.simulations_run, b.simulations_run);
+  EXPECT_EQ(a.decompilations_run, b.decompilations_run);
+  EXPECT_EQ(a.partitions_run, b.partitions_run);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+TEST(Explore, AnnealingIsDeterministicUnderAFixedSeed) {
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}, {"crc", BuildBench("crc")}};
+  spec.strategies = {"annealing"};
+  spec.strategy_options.seed = 42;
+
+  // Fresh toolchains (fresh caches) so the second sweep recomputes from
+  // scratch rather than replaying cached artifacts.
+  const ExploreResult first = Toolchain().Explore(spec);
+  const ExploreResult second = Toolchain().Explore(spec);
+  EXPECT_GT(second.partitions_run, 0u);
+  EXPECT_EQ(first.Report(), second.Report());
+}
+
+TEST(Explore, ObjectiveInsensitiveStrategySharesArtifacts) {
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = {"mips200-xc2v1000"};
+  spec.strategies = {"paper-greedy"};
+  spec.objectives = {Objective::kSpeedup, Objective::kEnergy,
+                     Objective::kEnergyDelay};
+
+  const ExploreResult result = Toolchain().Explore(spec);
+  // One partition serves all three objective points.
+  EXPECT_EQ(result.partitions_run, 1u);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_EQ(result.At(0, 0, 0, 0).speedup, result.At(0, 0, 0, 1).speedup);
+  EXPECT_EQ(result.At(0, 0, 0, 0).speedup, result.At(0, 0, 0, 2).speedup);
+}
+
+TEST(Explore, ParetoFrontierInvariants) {
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = kPaperPlatforms;
+  spec.strategies = kAllStrategies;
+
+  const ExploreResult result = Toolchain().Explore(spec);
+  std::vector<const explore::ExplorePoint*> ok_points;
+  for (const auto& point : result.points) {
+    ASSERT_TRUE(point.status.ok());
+    ok_points.push_back(&point);
+  }
+  const auto metrics_of = [](const explore::ExplorePoint& point) {
+    return ParetoMetrics{point.speedup, point.energy, point.area_gates};
+  };
+  std::size_t frontier_count = 0;
+  for (const auto* point : ok_points) {
+    if (point->on_frontier) {
+      ++frontier_count;
+      // No frontier point is dominated by any other point.
+      for (const auto* other : ok_points) {
+        EXPECT_FALSE(
+            explore::Dominates(metrics_of(*other), metrics_of(*point)));
+      }
+    } else {
+      // Every dominated point is dominated by some frontier point.
+      bool dominated_by_frontier = false;
+      for (const auto* other : ok_points) {
+        if (other->on_frontier &&
+            explore::Dominates(metrics_of(*other), metrics_of(*point))) {
+          dominated_by_frontier = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated_by_frontier);
+    }
+  }
+  EXPECT_GT(frontier_count, 0u);
+}
+
+TEST(Explore, ParetoFrontierUnitCases) {
+  // a dominates b; c trades speedup for energy; d duplicates a.
+  const std::vector<ParetoMetrics> points = {
+      {4.0, 1.0, 100.0},   // a
+      {3.0, 2.0, 100.0},   // b: dominated by a
+      {2.0, 0.5, 50.0},    // c: non-dominated trade-off
+      {4.0, 1.0, 100.0}};  // d: tie with a — both survive
+  const auto frontier = ParetoFrontier(points);
+  EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_TRUE(explore::Dominates(points[0], points[1]));
+  EXPECT_FALSE(explore::Dominates(points[0], points[2]));
+  EXPECT_FALSE(explore::Dominates(points[0], points[3]));
+}
+
+TEST(Explore, PerPointFailuresDoNotAbortTheSweep) {
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")},
+                   {"null", nullptr},
+                   {"switch01", BuildBench("switch01")}};  // CDFG failure
+  spec.platforms = {"mips200-xc2v1000", "no-such-platform"};
+  spec.strategies = {"paper-greedy", "no-such-strategy"};
+
+  Toolchain toolchain;
+  const ExploreResult result = toolchain.Explore(spec);
+  ASSERT_EQ(result.points.size(), 3u * 2u * 2u);
+  EXPECT_TRUE(result.At(0, 0, 0, 0).status.ok());
+  EXPECT_FALSE(result.At(0, 1, 0, 0).status.ok());  // unknown platform
+  EXPECT_FALSE(result.At(0, 0, 1, 0).status.ok());  // unknown strategy
+  EXPECT_FALSE(result.At(1, 0, 0, 0).status.ok());  // null binary
+  EXPECT_FALSE(result.At(2, 0, 0, 0).status.ok());  // CDFG recovery failure
+  EXPECT_EQ(result.At(2, 0, 0, 0).status.kind(), ErrorKind::kIndirectJump);
+  EXPECT_NE(result.Report().find("FAILED"), std::string::npos);
+
+  // Failures are cached artifacts too: the warm repeat performs zero work
+  // (the CDFG-failing binary is NOT re-simulated or re-decompiled) and
+  // reports identically.
+  const ExploreResult warm = toolchain.Explore(spec);
+  EXPECT_EQ(warm.simulations_run, 0u);
+  EXPECT_EQ(warm.decompilations_run, 0u);
+  EXPECT_EQ(warm.partitions_run, 0u);
+  EXPECT_EQ(result.Report(), warm.Report());
+}
+
+TEST(Explore, SeedChangesOnlyInvalidateSeedSensitiveStrategies) {
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = {"mips200-xc2v1000"};
+  spec.strategies = {"paper-greedy", "knapsack-optimal", "annealing"};
+  spec.strategy_options.seed = 1;
+
+  Toolchain toolchain;
+  const ExploreResult cold = toolchain.Explore(spec);
+  EXPECT_EQ(cold.partitions_run, 3u);
+
+  // A new seed only affects the annealing strategy's artifact key: the
+  // deterministic strategies replay from the cache.
+  spec.strategy_options.seed = 2;
+  const ExploreResult reseeded = toolchain.Explore(spec);
+  EXPECT_EQ(reseeded.decompilations_run, 0u);
+  EXPECT_EQ(reseeded.partitions_run, 1u);  // annealing only
+  EXPECT_TRUE(reseeded.At(0, 0, 0, 0).from_cache);
+  EXPECT_TRUE(reseeded.At(0, 0, 1, 0).from_cache);
+  EXPECT_FALSE(reseeded.At(0, 0, 2, 0).from_cache);
+}
+
+// Satellite: rejection reasons must be surfaced through the printed report
+// and the JSON output so strategy comparisons can explain skipped regions.
+TEST(Toolchain, ReportAndJsonSurfaceRejectedRegions) {
+  partition::Platform tiny = partition::Platform::WithCpuMhz(200.0);
+  tiny.fpga.capacity_gates = 30'000.0;
+  tiny.fpga.usable_fraction = 1.0;
+  PlatformRegistry::Global().Register("test-explore-tiny", tiny);
+
+  Toolchain toolchain;
+  auto run = toolchain.RunOn("test-explore-tiny", BuildBench("fir"), "fir");
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  ASSERT_FALSE(run.value().partition.rejected.empty());
+  EXPECT_NE(run.value().Report().find("rejected"), std::string::npos);
+  const std::string json = run.value().Json();
+  EXPECT_NE(json.find("\"rejected\":["), std::string::npos);
+  EXPECT_NE(json.find("area constraint violated"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":"), std::string::npos);
+
+  // The explore report surfaces the same reasons per point.
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = {"test-explore-tiny"};
+  spec.strategies = {"paper-greedy"};
+  const ExploreResult result = toolchain.Explore(spec);
+  ASSERT_TRUE(result.At(0, 0, 0, 0).status.ok());
+  EXPECT_FALSE(result.At(0, 0, 0, 0).rejected.empty());
+  EXPECT_NE(result.Report().find("rejected ["), std::string::npos);
+}
+
+// The knapsack strategy must agree with an exhaustive check on a small
+// program: its reported estimate equals the best EvaluateSubset score over
+// every feasible subset.
+TEST(Strategy, KnapsackMatchesExhaustiveSearchOnFir) {
+  auto flow = partition::RunFlow(BuildBench("fir"));
+  ASSERT_TRUE(flow.ok());
+  const auto& program = *flow.value().program;
+  const auto& profile = flow.value().software_run.profile;
+  const partition::Platform platform;
+  const partition::PartitionOptions options;
+
+  const auto set = partition::CandidateSet::Scan(program, profile);
+  std::vector<std::size_t> viable;
+  for (std::size_t id = 0; id < set.size(); ++id) {
+    if (set.candidates()[id].sw_cycles == 0) continue;
+    if (set.Synthesize(id, options.synth).ok()) viable.push_back(id);
+  }
+  ASSERT_LT(viable.size(), 16u);  // fir is small; exhaustive is cheap
+  double best = 1.0;
+  for (std::size_t mask = 0; mask < (1u << viable.size()); ++mask) {
+    std::vector<std::size_t> subset;
+    for (std::size_t v = 0; v < viable.size(); ++v) {
+      if (mask & (1u << v)) subset.push_back(viable[v]);
+    }
+    const auto estimate =
+        partition::EvaluateSubset(set, subset, platform, options);
+    if (estimate.has_value()) best = std::max(best, estimate->speedup);
+  }
+
+  const auto strategy =
+      partition::StrategyRegistry::Global().Create("knapsack-optimal");
+  auto result = strategy->Partition(program, profile, platform, options, {});
+  ASSERT_TRUE(result.ok());
+  const auto estimate =
+      partition::EstimatePartition(result.value(), platform);
+  EXPECT_NEAR(estimate.speedup, best, 1e-9);
+}
+
+}  // namespace
+}  // namespace b2h
