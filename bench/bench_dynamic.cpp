@@ -48,30 +48,33 @@ int main() {
     const int reps = std::max<int>(
         1, static_cast<int>(2'000'000 / std::max<std::uint64_t>(
                                             1, probe_run.instructions)));
-    // Interleaved min-of-5 sampling to shrug off scheduler noise.
-    double plain = 1e9;
-    double hooked = 1e9;
-    for (int sample = 0; sample < 5; ++sample) {
-      plain = std::min(plain, support::CpuSecondsOf([&] {
-        for (int i = 0; i < reps; ++i) {
-          mips::Simulator sim(binary);
-          (void)sim.Run();
-        }
-      }));
-      hooked = std::min(hooked, support::CpuSecondsOf([&] {
-        for (int i = 0; i < reps; ++i) {
-          mips::Simulator sim(binary);
-          dynamic::DetectionOnlyObserver detector;
-          (void)sim.RunInstrumented({}, 100'000'000, &detector);
-        }
-      }));
-    }
-    const double overhead = plain > 0.0 ? hooked / plain - 1.0 : 0.0;
+    // Same interleaved min-of-N harness the detector-overhead test asserts
+    // with (support::MeasureOverhead); the bench just records one attempt.
+    support::OverheadOptions options;
+    options.samples = 5;
+    options.attempts = 1;
+    const double measured_overhead = support::MeasureOverhead(
+        [&] {
+          for (int i = 0; i < reps; ++i) {
+            mips::Simulator sim(binary);
+            (void)sim.Run();
+          }
+        },
+        [&] {
+          for (int i = 0; i < reps; ++i) {
+            mips::Simulator sim(binary);
+            dynamic::DetectionOnlyObserver detector;
+            (void)sim.RunInstrumented({}, 100'000'000, &detector);
+          }
+        },
+        options);
+    const double overhead =
+        options.plain_seconds > 0.0 ? measured_overhead : 0.0;
     worst_overhead = std::max(worst_overhead, overhead);
     sum_overhead += overhead;
     ++measured;
-    printf("%-11s %12.3f %12.3f %9.1f%%\n", name, plain * 1e3, hooked * 1e3,
-           overhead * 100.0);
+    printf("%-11s %12.3f %12.3f %9.1f%%\n", name, options.plain_seconds * 1e3,
+           options.variant_seconds * 1e3, overhead * 100.0);
     json.Record("detector_overhead", overhead * 100.0, "%", name);
   }
   const double avg_overhead = measured > 0 ? sum_overhead / measured : 0.0;

@@ -11,6 +11,7 @@
 //   3. Sweep scalability — wall time of the full {18 benchmarks} x
 //      {3 platforms} x {3 strategies} sweep, serial vs. thread pool.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,10 @@
 using namespace b2h;
 
 int main() {
+  // Hermetic measurement: Toolchain's default constructor reads
+  // B2H_CACHE_DIR, so an exported cache dir would make the "cold" sweeps
+  // below disk-warm (and deposit bench artifacts into the user's cache).
+  unsetenv("B2H_CACHE_DIR");
   bench::JsonWriter json("explore");
 
   std::vector<NamedBinary> binaries;
@@ -103,6 +108,40 @@ int main() {
   json.Record("cache_hit_rate", hit_rate * 100.0, "%");
   json.Record("sweep_wall_warm", warm.wall_ms, "ms");
 
+  // ---- 2b. Disk tier: warm repeat from a FRESH toolchain. ----------------
+  // A fresh Toolchain has a fresh memory tier, so every artifact must come
+  // off disk — the in-process stand-in for a process restart (the CI
+  // cache-warm step checks the real cross-process case).
+  // The cache is attached explicitly (not via WithCacheDir) so an exported
+  // B2H_CACHE_DIR cannot redirect the measurement into — or the Clear()
+  // into — the user's persistent cache.
+  const std::string cache_dir = "b2h-bench-cache";
+  explore::DiskStore(explore::DiskStore::Options{cache_dir, 0}).Clear();
+  Toolchain disk_cold;
+  disk_cold.WithArtifactCache(std::make_shared<explore::ArtifactCache>(
+      explore::DiskStore::Options{cache_dir, 0}));
+  const explore::ExploreResult disk_cold_sweep = disk_cold.Explore(spec);
+  Toolchain disk_warm;
+  disk_warm.WithArtifactCache(std::make_shared<explore::ArtifactCache>(
+      explore::DiskStore::Options{cache_dir, 0}));
+  const explore::ExploreResult disk_warm_sweep = disk_warm.Explore(spec);
+  const bool disk_identical =
+      disk_cold_sweep.Report() == disk_warm_sweep.Report();
+  printf("disk-warm repeat (fresh toolchain): %zu simulations, "
+         "%zu decompilations, %zu partitions, %zu disk hits, "
+         "report %s\n",
+         disk_warm_sweep.simulations_run, disk_warm_sweep.decompilations_run,
+         disk_warm_sweep.partitions_run, disk_warm_sweep.cache_disk_hits,
+         disk_identical ? "bit-identical" : "DIVERGED");
+  json.Record("disk_warm_decompilations",
+              (double)disk_warm_sweep.decompilations_run, "runs");
+  json.Record("disk_warm_partitions", (double)disk_warm_sweep.partitions_run,
+              "runs");
+  json.Record("disk_warm_report_identical", disk_identical ? 1.0 : 0.0,
+              "bool");
+  json.Record("sweep_wall_disk_warm", disk_warm_sweep.wall_ms, "ms");
+  explore::DiskStore(explore::DiskStore::Options{cache_dir, 0}).Clear();
+
   if (regression) {
     printf("\nREGRESSION: knapsack-optimal fell below paper-greedy on at "
            "least one benchmark\n");
@@ -111,6 +150,17 @@ int main() {
   if (warm.decompilations_run != 0) {
     printf("\nREGRESSION: cache-warm sweep re-ran %zu decompilation(s)\n",
            warm.decompilations_run);
+    return 1;
+  }
+  if (disk_warm_sweep.simulations_run != 0 ||
+      disk_warm_sweep.decompilations_run != 0 ||
+      disk_warm_sweep.partitions_run != 0 || !disk_identical) {
+    printf("\nREGRESSION: disk-warm sweep was not free and identical "
+           "(%zu sims, %zu decompiles, %zu partitions, report %s)\n",
+           disk_warm_sweep.simulations_run,
+           disk_warm_sweep.decompilations_run,
+           disk_warm_sweep.partitions_run,
+           disk_identical ? "identical" : "diverged");
     return 1;
   }
   printf("\nReading: the exact selection confirms how little the paper's\n"

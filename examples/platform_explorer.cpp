@@ -10,7 +10,15 @@
 // area) a platform architect would shortlist from.
 //
 // Build & run:  ./build/examples/platform_explorer [benchmark]
+//                   [--cache-dir DIR] [--report FILE]
+//
+// With a cache dir (flag or $B2H_CACHE_DIR) the sweep runs against the
+// persistent two-tier artifact cache: re-running this binary from a fresh
+// process performs zero simulations/decompilations/partitions.  --report
+// writes the deterministic ExploreResult::Report() to FILE, which the CI
+// cache-warm gate compares byte-for-byte between a cold and a warm process.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,7 +30,19 @@
 using namespace b2h;
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "fir";
+  std::string name = "fir";
+  std::string cache_dir;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      name = arg;
+    }
+  }
   const suite::Benchmark* bench = suite::FindBenchmark(name);
   if (bench == nullptr) {
     printf("unknown benchmark '%s'; available:\n", name.c_str());
@@ -63,8 +83,10 @@ int main(int argc, char** argv) {
   }
   spec.strategies = {"paper-greedy", "knapsack-optimal", "annealing"};
 
-  // One sweep over the full matrix; one decompilation total.
+  // One sweep over the full matrix; one decompilation total (zero when a
+  // persistent cache dir is already warm).
   Toolchain toolchain;
+  if (!cache_dir.empty()) toolchain.WithCacheDir(cache_dir);
   const explore::ExploreResult result = toolchain.Explore(spec);
 
   // The classic speedup/energy matrix, for the paper heuristic.
@@ -108,5 +130,14 @@ int main(int argc, char** argv) {
          result.decompilations_run == 1 ? "" : "s", result.partitions_run,
          result.partitions_run == 1 ? "" : "s");
   printf("%s", result.StatsReport().c_str());
+  if (!report_path.empty()) {
+    std::ofstream report(report_path, std::ios::binary | std::ios::trunc);
+    report << result.Report();
+    if (!report) {
+      printf("failed to write report to %s\n", report_path.c_str());
+      return 1;
+    }
+    printf("deterministic report -> %s\n", report_path.c_str());
+  }
   return 0;
 }

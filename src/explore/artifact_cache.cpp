@@ -2,10 +2,234 @@
 
 #include <cstring>
 
+#include "support/serialize.hpp"
+
 namespace b2h::explore {
 
 namespace {
+
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+using support::BinaryReader;
+using support::BinaryWriter;
+
+// Defensive ceiling on decoded container sizes.  The store's checksum makes
+// a lying length prefix effectively impossible; this keeps a hand-crafted
+// payload from requesting a giant allocation anyway.
+constexpr std::uint64_t kMaxItems = 1u << 20;
+
+void EncodeStatus(BinaryWriter& out, const Status& status) {
+  out.U32(static_cast<std::uint32_t>(status.kind()));
+  out.Str(status.message());
+}
+
+bool DecodeStatus(BinaryReader& in, Status* status) {
+  std::uint32_t kind = 0;
+  std::string message;
+  if (!in.U32(&kind) || kind > static_cast<std::uint32_t>(ErrorKind::kParse) ||
+      !in.Str(&message)) {
+    return false;
+  }
+  *status = kind == 0 ? Status::Ok()
+                      : Status::Error(static_cast<ErrorKind>(kind),
+                                      std::move(message));
+  return true;
+}
+
+void EncodeRunResult(BinaryWriter& out, const mips::RunResult& run) {
+  out.I64(run.return_value);
+  out.U64(run.instructions);
+  out.U64(run.cycles);
+  out.U8(static_cast<std::uint8_t>(run.reason));
+  out.Str(run.fault_message);
+  out.VecU64(run.profile.instr_count);
+  out.VecU64(run.profile.cycle_count);
+  out.VecU64(run.profile.branch_taken);
+  out.VecU64(run.profile.branch_not_taken);
+  out.U64(run.profile.total_instructions);
+  out.U64(run.profile.total_cycles);
+}
+
+bool DecodeRunResult(BinaryReader& in, mips::RunResult* run) {
+  std::int64_t return_value = 0;
+  std::uint8_t reason = 0;
+  if (!in.I64(&return_value) || !in.U64(&run->instructions) ||
+      !in.U64(&run->cycles) || !in.U8(&reason) ||
+      reason > static_cast<std::uint8_t>(mips::HaltReason::kFault) ||
+      !in.Str(&run->fault_message) || !in.VecU64(&run->profile.instr_count) ||
+      !in.VecU64(&run->profile.cycle_count) ||
+      !in.VecU64(&run->profile.branch_taken) ||
+      !in.VecU64(&run->profile.branch_not_taken) ||
+      !in.U64(&run->profile.total_instructions) ||
+      !in.U64(&run->profile.total_cycles)) {
+    return false;
+  }
+  run->return_value = static_cast<std::int32_t>(return_value);
+  run->reason = static_cast<mips::HaltReason>(reason);
+  return true;
+}
+
+void EncodeEstimate(BinaryWriter& out, const partition::AppEstimate& est) {
+  out.F64(est.sw_time);
+  out.F64(est.partitioned_time);
+  out.F64(est.speedup);
+  out.F64(est.avg_kernel_speedup);
+  out.F64(est.sw_energy);
+  out.F64(est.partitioned_energy);
+  out.F64(est.energy_savings);
+  out.F64(est.area_gates);
+  out.U64(est.kernels.size());
+  for (const partition::KernelEstimate& k : est.kernels) {
+    out.Str(k.name);
+    out.U64(k.sw_cycles);
+    out.U64(k.hw_cycles);
+    out.U64(k.invocations);
+    out.U64(k.comm_words);
+    out.U64(k.mem_accesses);
+    out.Bool(k.arrays_resident);
+    out.F64(k.hw_clock_mhz);
+    out.F64(k.area_gates);
+    out.F64(k.sw_time);
+    out.F64(k.hw_time);
+    out.F64(k.kernel_speedup);
+  }
+}
+
+bool DecodeEstimate(BinaryReader& in, partition::AppEstimate* est) {
+  std::uint64_t num_kernels = 0;
+  if (!in.F64(&est->sw_time) || !in.F64(&est->partitioned_time) ||
+      !in.F64(&est->speedup) || !in.F64(&est->avg_kernel_speedup) ||
+      !in.F64(&est->sw_energy) || !in.F64(&est->partitioned_energy) ||
+      !in.F64(&est->energy_savings) || !in.F64(&est->area_gates) ||
+      !in.U64(&num_kernels) || num_kernels > kMaxItems) {
+    return false;
+  }
+  est->kernels.resize(static_cast<std::size_t>(num_kernels));
+  for (partition::KernelEstimate& k : est->kernels) {
+    if (!in.Str(&k.name) || !in.U64(&k.sw_cycles) || !in.U64(&k.hw_cycles) ||
+        !in.U64(&k.invocations) || !in.U64(&k.comm_words) ||
+        !in.U64(&k.mem_accesses) || !in.Bool(&k.arrays_resident) ||
+        !in.F64(&k.hw_clock_mhz) || !in.F64(&k.area_gates) ||
+        !in.F64(&k.sw_time) || !in.F64(&k.hw_time) ||
+        !in.F64(&k.kernel_speedup)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EncodeArea(BinaryWriter& out, const synth::AreaReport& area) {
+  out.U64(area.units.size());
+  for (const synth::FuInstance& unit : area.units) {
+    out.U8(static_cast<std::uint8_t>(unit.cls));
+    out.U32(unit.width);
+    out.U32(unit.ops_mapped);
+    out.F64(unit.gates);
+  }
+  out.U32(area.registers);
+  out.U32(area.register_bits);
+  out.U32(area.fsm_states);
+  out.U32(area.mult_blocks);
+  out.F64(area.fu_gates);
+  out.F64(area.register_gates);
+  out.F64(area.mux_gates);
+  out.F64(area.fsm_gates);
+  out.F64(area.total_gates);
+}
+
+bool DecodeArea(BinaryReader& in, synth::AreaReport* area) {
+  std::uint64_t num_units = 0;
+  if (!in.U64(&num_units) || num_units > kMaxItems) return false;
+  area->units.resize(static_cast<std::size_t>(num_units));
+  for (synth::FuInstance& unit : area->units) {
+    std::uint8_t cls = 0;
+    if (!in.U8(&cls) ||
+        cls > static_cast<std::uint8_t>(synth::FuClass::kNone) ||
+        !in.U32(&unit.width) || !in.U32(&unit.ops_mapped) ||
+        !in.F64(&unit.gates)) {
+      return false;
+    }
+    unit.cls = static_cast<synth::FuClass>(cls);
+  }
+  return in.U32(&area->registers) && in.U32(&area->register_bits) &&
+         in.U32(&area->fsm_states) && in.U32(&area->mult_blocks) &&
+         in.F64(&area->fu_gates) && in.F64(&area->register_gates) &&
+         in.F64(&area->mux_gates) && in.F64(&area->fsm_gates) &&
+         in.F64(&area->total_gates);
+}
+
+void EncodePartitionResult(BinaryWriter& out,
+                           const partition::PartitionResult& result) {
+  out.U64(result.hw.size());
+  for (const partition::SelectedRegion& region : result.hw) {
+    out.U8(static_cast<std::uint8_t>(region.selected_by));
+    out.U64(region.sw_cycles);
+    out.U64(region.invocations);
+    out.U64(region.comm_words);
+    out.U64(region.mem_accesses);
+    out.Bool(region.arrays_resident);
+    out.U64(region.alias_regions.size());
+    for (const int id : region.alias_regions) out.I64(id);
+    out.Str(region.synthesized.region.name);
+    out.U64(region.synthesized.hw_cycles);
+    out.F64(region.synthesized.clock_mhz);
+    out.Str(region.synthesized.vhdl);
+    EncodeArea(out, region.synthesized.area);
+  }
+  out.U64(result.rejected.size());
+  for (const std::string& reason : result.rejected) out.Str(reason);
+  out.F64(result.area_used_gates);
+  out.F64(result.area_budget_gates);
+  out.U64(result.total_sw_cycles);
+  out.F64(result.loop_coverage);
+}
+
+bool DecodePartitionResult(BinaryReader& in,
+                           partition::PartitionResult* result) {
+  std::uint64_t num_regions = 0;
+  if (!in.U64(&num_regions) || num_regions > kMaxItems) return false;
+  result->hw.resize(static_cast<std::size_t>(num_regions));
+  for (partition::SelectedRegion& region : result->hw) {
+    std::uint8_t selected_by = 0;
+    std::uint64_t num_alias = 0;
+    if (!in.U8(&selected_by) ||
+        selected_by >
+            static_cast<std::uint8_t>(partition::SelectedBy::kAnnealing) ||
+        !in.U64(&region.sw_cycles) || !in.U64(&region.invocations) ||
+        !in.U64(&region.comm_words) || !in.U64(&region.mem_accesses) ||
+        !in.Bool(&region.arrays_resident) || !in.U64(&num_alias) ||
+        num_alias > kMaxItems) {
+      return false;
+    }
+    region.selected_by = static_cast<partition::SelectedBy>(selected_by);
+    region.alias_regions.resize(static_cast<std::size_t>(num_alias));
+    for (int& id : region.alias_regions) {
+      std::int64_t value = 0;
+      if (!in.I64(&value)) return false;
+      id = static_cast<int>(value);
+    }
+    // Hydrated regions carry no live IR: function/loop/block pointers stay
+    // null, the schedule stays empty.  Name, metrics, area, and VHDL are
+    // everything downstream reporting consumes.
+    if (!in.Str(&region.synthesized.region.name) ||
+        !in.U64(&region.synthesized.hw_cycles) ||
+        !in.F64(&region.synthesized.clock_mhz) ||
+        !in.Str(&region.synthesized.vhdl) ||
+        !DecodeArea(in, &region.synthesized.area)) {
+      return false;
+    }
+  }
+  std::uint64_t num_rejected = 0;
+  if (!in.U64(&num_rejected) || num_rejected > kMaxItems) return false;
+  result->rejected.resize(static_cast<std::size_t>(num_rejected));
+  for (std::string& reason : result->rejected) {
+    if (!in.Str(&reason)) return false;
+  }
+  return in.F64(&result->area_used_gates) &&
+         in.F64(&result->area_budget_gates) &&
+         in.U64(&result->total_sw_cycles) && in.F64(&result->loop_coverage);
+}
+
 }  // namespace
 
 ContentHasher& ContentHasher::Bytes(const void* data, std::size_t size) {
@@ -107,42 +331,150 @@ std::string HashPartitionOptions(const partition::PartitionOptions& options) {
   return hasher.Hex();
 }
 
-std::shared_ptr<const DecompileArtifact> ArtifactCache::FindDecompile(
-    const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = decompiles_.find(key);
-  if (it == decompiles_.end()) {
-    ++stats_.misses;
+// ------------------------------------------------ artifact (de)serialization
+
+std::string EncodeDecompileArtifact(const DecompileArtifact& artifact) {
+  BinaryWriter out;
+  EncodeStatus(out, artifact.status);
+  out.Bool(artifact.software_run != nullptr);
+  if (artifact.software_run != nullptr) {
+    EncodeRunResult(out, *artifact.software_run);
+  }
+  // Deliberately no IR: see the header contract — the profile is enough to
+  // rebuild the program without re-simulating.
+  return out.Take();
+}
+
+std::shared_ptr<const DecompileArtifact> DecodeDecompileArtifact(
+    std::string_view payload) {
+  BinaryReader in(payload);
+  auto artifact = std::make_shared<DecompileArtifact>();
+  bool has_run = false;
+  if (!DecodeStatus(in, &artifact->status) || !in.Bool(&has_run)) {
     return nullptr;
   }
-  ++stats_.hits;
-  return it->second;
+  if (has_run) {
+    auto run = std::make_shared<mips::RunResult>();
+    if (!DecodeRunResult(in, run.get())) return nullptr;
+    artifact->software_run = std::move(run);
+  }
+  if (!in.AtEnd()) return nullptr;
+  return artifact;
+}
+
+std::string EncodePartitionArtifact(const PartitionArtifact& artifact) {
+  BinaryWriter out;
+  EncodeStatus(out, artifact.status);
+  EncodeEstimate(out, artifact.estimate);
+  EncodePartitionResult(out, artifact.partition);
+  return out.Take();
+}
+
+std::shared_ptr<const PartitionArtifact> DecodePartitionArtifact(
+    std::string_view payload) {
+  BinaryReader in(payload);
+  auto artifact = std::make_shared<PartitionArtifact>();
+  if (!DecodeStatus(in, &artifact->status) ||
+      !DecodeEstimate(in, &artifact->estimate) ||
+      !DecodePartitionResult(in, &artifact->partition) || !in.AtEnd()) {
+    return nullptr;
+  }
+  return artifact;
+}
+
+// --------------------------------------------------------- two-tier cache
+
+ArtifactCache::ArtifactCache(DiskStore::Options disk) {
+  if (!disk.directory.empty()) {
+    disk_ = std::make_unique<DiskStore>(std::move(disk));
+  }
+}
+
+// The disk tier is accessed OUTSIDE mutex_ throughout: DiskStore is
+// internally thread-safe, artifacts are immutable, and holding the cache
+// lock across file reads/writes (or a Store-triggered eviction scan) would
+// stall every concurrent lookup on a shared cache.  The worst a race costs
+// is decoding or encoding the same content twice.
+
+template <typename Artifact>
+std::shared_ptr<const Artifact> ArtifactCache::FindInTiers(
+    std::unordered_map<std::string, std::shared_ptr<const Artifact>>& entries,
+    std::string_view kind,
+    std::shared_ptr<const Artifact> (*decode)(std::string_view),
+    const std::string& key, HitTier* tier) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+      ++stats_.memory_hits;
+      if (tier != nullptr) *tier = HitTier::kMemory;
+      return it->second;
+    }
+  }
+  if (disk_ != nullptr) {
+    if (auto payload = disk_->Load(kind, key)) {
+      if (auto artifact = decode(*payload)) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = entries.emplace(key, artifact);
+        if (!inserted) artifact = it->second;  // racing promotion won
+        stats_.entries = decompiles_.size() + partitions_.size();
+        ++stats_.disk_hits;
+        if (tier != nullptr) *tier = HitTier::kDisk;
+        return artifact;
+      }
+      // Valid envelope, undecodable payload: a plain miss — and reclaim
+      // the file so the recomputed artifact can be persisted again.
+      disk_->Remove(kind, key);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_bad_entries;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  if (tier != nullptr) *tier = HitTier::kMiss;
+  return nullptr;
+}
+
+template <typename Artifact>
+void ArtifactCache::PutInTiers(
+    std::unordered_map<std::string, std::shared_ptr<const Artifact>>& entries,
+    std::string_view kind, std::string (*encode)(const Artifact&),
+    const std::string& key, std::shared_ptr<const Artifact> artifact) {
+  // Existence probe before encoding: re-puts of an already-persisted key
+  // (e.g. the Explorer refreshing a rehydrated artifact) skip the
+  // serialization work entirely, not just the write.
+  bool stored = false;
+  if (disk_ != nullptr && artifact != nullptr && !disk_->Contains(kind, key)) {
+    stored = disk_->Store(kind, key, encode(*artifact));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stored) ++stats_.disk_stores;
+  entries[key] = std::move(artifact);
+  stats_.entries = decompiles_.size() + partitions_.size();
+}
+
+std::shared_ptr<const DecompileArtifact> ArtifactCache::FindDecompile(
+    const std::string& key, HitTier* tier) {
+  return FindInTiers(decompiles_, kDecompileKind, &DecodeDecompileArtifact,
+                     key, tier);
 }
 
 std::shared_ptr<const PartitionArtifact> ArtifactCache::FindPartition(
-    const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = partitions_.find(key);
-  if (it == partitions_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  ++stats_.hits;
-  return it->second;
+    const std::string& key, HitTier* tier) {
+  return FindInTiers(partitions_, kPartitionKind, &DecodePartitionArtifact,
+                     key, tier);
 }
 
 void ArtifactCache::PutDecompile(
     const std::string& key, std::shared_ptr<const DecompileArtifact> artifact) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  decompiles_[key] = std::move(artifact);
-  stats_.entries = decompiles_.size() + partitions_.size();
+  PutInTiers(decompiles_, kDecompileKind, &EncodeDecompileArtifact, key,
+             std::move(artifact));
 }
 
 void ArtifactCache::PutPartition(
     const std::string& key, std::shared_ptr<const PartitionArtifact> artifact) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  partitions_[key] = std::move(artifact);
-  stats_.entries = decompiles_.size() + partitions_.size();
+  PutInTiers(partitions_, kPartitionKind, &EncodePartitionArtifact, key,
+             std::move(artifact));
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {

@@ -1,4 +1,4 @@
-// Content-addressed artifact cache for design-space sweeps.
+// Content-addressed artifact cache for design-space sweeps — two tiers.
 //
 // Both expensive stages of the flow are pure functions of their inputs:
 //
@@ -9,23 +9,48 @@
 // so each artifact is stored under a hash of exactly those inputs (FNV-1a
 // 64 over a canonical serialization).  Repeated or overlapping sweeps —
 // re-running a sweep, widening a platform grid, adding a strategy — skip
-// all work whose key already exists.  Hit/miss counters are exposed for
-// reports and asserted by the cache tests (a warm identical sweep performs
-// zero decompilations).
+// all work whose key already exists.
 //
-// The cache stores shared_ptr-owned immutable artifacts; a PartitionResult
-// points into its decompiled program's IR, so the partition artifact keeps
-// the program alive alongside it.
+// Tier 1 (memory) stores shared_ptr-owned immutable artifacts; a
+// PartitionResult points into its decompiled program's IR, so the partition
+// artifact keeps the program alive alongside it.
+//
+// Tier 2 (disk, optional — explore::DiskStore) persists a binary
+// serialization of each artifact so warm sweeps survive process restarts:
+// a sweep re-run from a fresh process against the same cache dir performs
+// zero simulations/decompilations/partitions and produces a bit-identical
+// Report().  Two deliberate limits of the serialized form:
+//
+//   * a decompile entry carries the status + full profiling RunResult but
+//     NOT the decompiled IR (serializing the CDFG is not worth it when the
+//     partition artifacts that consume it are cached next to it).  A
+//     disk-hydrated DecompileArtifact therefore has `program == nullptr`;
+//     the Explorer rebuilds the program from the cached profile — skipping
+//     the simulation — only when a partition key actually misses.
+//   * a partition entry carries the status, the full AppEstimate, and the
+//     report-relevant PartitionResult fields (region names/metrics/VHDL,
+//     rejection log, totals).  Hydrated SelectedRegions have null IR
+//     pointers and an empty schedule; everything the Explorer and its
+//     reports consume is present and bit-exact (doubles round-trip by bit
+//     pattern).
+//
+// Cached *failures* (faulting binaries, CDFG recovery) persist too —
+// `status` carries the error and the payload pointers stay null — so a
+// warm sweep never redoes known-bad work either.  Every Find/Put reports
+// its tier through Stats (memory hits vs disk hits vs misses), which the
+// Explorer splits out in StatsReport().
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "decomp/pipeline.hpp"
+#include "explore/disk_store.hpp"
 #include "mips/binary.hpp"
 #include "mips/simulator.hpp"
 #include "partition/estimate.hpp"
@@ -60,9 +85,8 @@ class ContentHasher {
     const partition::PartitionOptions& options);
 
 /// Profiling run + decompiled program for one (binary, cycle model,
-/// pipeline) key.  Failures (faulting binaries, CDFG recovery) are cached
-/// too — `status` carries the error and the payload pointers stay null —
-/// so a warm sweep never redoes known-bad work either.
+/// pipeline) key.  `program == nullptr` with an ok status marks a
+/// disk-hydrated summary: the profile is available, the IR is not.
 struct DecompileArtifact {
   Status status;
   std::shared_ptr<const mips::RunResult> software_run;
@@ -71,7 +95,9 @@ struct DecompileArtifact {
 
 /// Partition + estimate for one (decompile key, platform, strategy,
 /// objective) key.  `program` keeps the IR the partition points into
-/// alive.  As above, a failed partition is cached with its `status`.
+/// alive; on disk-hydrated artifacts it is null and `partition.hw` carries
+/// names/metrics/VHDL without live IR pointers.  As above, a failed
+/// partition is cached with its `status`.
 struct PartitionArtifact {
   Status status;
   std::shared_ptr<const decomp::DecompiledProgram> program;
@@ -80,19 +106,46 @@ struct PartitionArtifact {
   partition::AppEstimate estimate;
 };
 
+// Artifact (de)serialization for the disk tier.  Decode returns nullptr on
+// any malformed input (the store's checksum makes this rare; the decoders
+// are still fully bounds-checked).  Exposed for the cache tests.
+[[nodiscard]] std::string EncodeDecompileArtifact(
+    const DecompileArtifact& artifact);
+[[nodiscard]] std::shared_ptr<const DecompileArtifact> DecodeDecompileArtifact(
+    std::string_view payload);
+[[nodiscard]] std::string EncodePartitionArtifact(
+    const PartitionArtifact& artifact);
+[[nodiscard]] std::shared_ptr<const PartitionArtifact> DecodePartitionArtifact(
+    std::string_view payload);
+
+/// Which tier served a lookup.
+enum class HitTier { kMiss, kMemory, kDisk };
+
 class ArtifactCache {
  public:
   struct Stats {
-    std::size_t hits = 0;
+    std::size_t memory_hits = 0;
+    std::size_t disk_hits = 0;
     std::size_t misses = 0;
-    std::size_t entries = 0;
+    std::size_t disk_stores = 0;       ///< entries written to disk
+    std::size_t disk_bad_entries = 0;  ///< undecodable disk payloads seen
+    std::size_t entries = 0;           ///< memory-tier entries
+
+    [[nodiscard]] std::size_t hits() const { return memory_hits + disk_hits; }
   };
 
-  /// nullptr on miss; every call counts toward hits/misses.
+  /// Memory-only cache (the PR-3 behavior).
+  ArtifactCache() = default;
+  /// Two-tier cache persisting under `disk.directory` (empty = memory-only).
+  explicit ArtifactCache(DiskStore::Options disk);
+
+  /// nullptr on miss; every call counts toward the stats, and `tier` (when
+  /// non-null) reports which tier served it.  Disk hits are promoted into
+  /// the memory tier.
   [[nodiscard]] std::shared_ptr<const DecompileArtifact> FindDecompile(
-      const std::string& key) const;
+      const std::string& key, HitTier* tier = nullptr);
   [[nodiscard]] std::shared_ptr<const PartitionArtifact> FindPartition(
-      const std::string& key) const;
+      const std::string& key, HitTier* tier = nullptr);
 
   void PutDecompile(const std::string& key,
                     std::shared_ptr<const DecompileArtifact> artifact);
@@ -100,15 +153,38 @@ class ArtifactCache {
                     std::shared_ptr<const PartitionArtifact> artifact);
 
   [[nodiscard]] Stats stats() const;
+  /// Drop the memory tier (and reset counters); disk entries survive.
   void Clear();
 
+  /// Disk tier handle (null when memory-only) — maintenance (gc/stats/
+  /// clear) goes through it.
+  [[nodiscard]] DiskStore* disk() { return disk_ ? disk_.get() : nullptr; }
+  [[nodiscard]] bool disk_enabled() const { return disk_ != nullptr; }
+
  private:
+  // Shared two-tier lookup/insert machinery behind the typed entry points
+  // (defined in the .cpp; instantiated only there).
+  template <typename Artifact>
+  [[nodiscard]] std::shared_ptr<const Artifact> FindInTiers(
+      std::unordered_map<std::string, std::shared_ptr<const Artifact>>&
+          entries,
+      std::string_view kind,
+      std::shared_ptr<const Artifact> (*decode)(std::string_view),
+      const std::string& key, HitTier* tier);
+  template <typename Artifact>
+  void PutInTiers(
+      std::unordered_map<std::string, std::shared_ptr<const Artifact>>&
+          entries,
+      std::string_view kind, std::string (*encode)(const Artifact&),
+      const std::string& key, std::shared_ptr<const Artifact> artifact);
+
   mutable std::mutex mutex_;
   mutable Stats stats_;
   std::unordered_map<std::string, std::shared_ptr<const DecompileArtifact>>
       decompiles_;
   std::unordered_map<std::string, std::shared_ptr<const PartitionArtifact>>
       partitions_;
+  std::unique_ptr<DiskStore> disk_;
 };
 
 }  // namespace b2h::explore

@@ -160,6 +160,16 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
 
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  std::size_t cache_memory_hits = 0;
+  std::size_t cache_disk_hits = 0;
+  const auto count_hit = [&](HitTier tier) {
+    ++cache_hits;
+    if (tier == HitTier::kDisk) {
+      ++cache_disk_hits;
+    } else {
+      ++cache_memory_hits;
+    }
+  };
 
   // ---- Stage A: one profile + decompilation per unique artifact key ------
   // The key covers binary bytes, pipeline spec, and CPU cycle model: clock
@@ -176,6 +186,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   // decomp key per (binary, platform); empty when unresolvable.
   std::vector<std::string> pair_decomp_key(out.num_binaries *
                                            out.num_platforms);
+  // First binary observed per decomp key, for program rehydration of
+  // summary-only disk hits (any binary with the key works — the key covers
+  // the binary hash).
+  std::map<std::string, std::size_t> decomp_key_binary;
   for (std::size_t b = 0; b < out.num_binaries; ++b) {
     for (std::size_t p = 0; p < out.num_platforms; ++p) {
       if (spec.binaries[b].binary == nullptr || !platforms[p].has_value()) {
@@ -186,6 +200,7 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
                     platforms[p]->cpu.cycle_model,
                     config_.max_sim_instructions, config_.verify_ir);
       pair_decomp_key[b * out.num_platforms + p] = key;
+      decomp_key_binary.emplace(key, b);
       if (decomp_done.count(key) != 0 || decomp_failed.count(key) != 0) {
         continue;
       }
@@ -193,9 +208,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
                       [&](const DecompJob& job) { return job.key == key; })) {
         continue;
       }
-      auto cached = cache_->FindDecompile(key);
+      HitTier tier = HitTier::kMiss;
+      auto cached = cache_->FindDecompile(key, &tier);
       if (cached != nullptr) {
-        ++cache_hits;
+        count_hit(tier);
         if (cached->status.ok()) {
           decomp_done.emplace(key, std::move(cached));
         } else {
@@ -212,6 +228,23 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
       decomp_jobs.size());
   std::atomic<std::size_t> simulations{0};
   std::atomic<std::size_t> decompilations{0};
+  // Shared decompile tail of Stage A (fresh simulation) and Stage A'
+  // (profile served from the disk cache): run the pass pipeline over the
+  // profiled binary and finish the artifact.
+  const auto decompile_into =
+      [&](DecompileArtifact& artifact,
+          const std::shared_ptr<const mips::SoftBinary>& binary,
+          std::shared_ptr<const mips::RunResult> run) {
+        auto program = pipeline.Run(binary, &run->profile);
+        decompilations.fetch_add(1);
+        if (!program.ok()) {
+          artifact.status = program.status();
+          return;
+        }
+        artifact.software_run = std::move(run);
+        artifact.program = std::make_shared<const decomp::DecompiledProgram>(
+            std::move(program).take());
+      };
   support::ParallelFor(
       decomp_jobs.size(), config_.threads, [&](std::size_t index) {
         const DecompJob& job = decomp_jobs[index];
@@ -229,15 +262,7 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
                 "software run did not complete: " + run->fault_message);
             return;
           }
-          auto program = pipeline.Run(binary, &run->profile);
-          decompilations.fetch_add(1);
-          if (!program.ok()) {
-            artifact->status = program.status();
-            return;
-          }
-          artifact->software_run = std::move(run);
-          artifact->program = std::make_shared<const decomp::DecompiledProgram>(
-              std::move(program).take());
+          decompile_into(*artifact, binary, std::move(run));
         } catch (const std::exception& e) {
           artifact->status = Status::Error(
               ErrorKind::kUnsupported,
@@ -316,9 +341,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               partition_cached_keys.count(key) != 0) {
             continue;
           }
-          auto cached = cache_->FindPartition(key);
+          HitTier tier = HitTier::kMiss;
+          auto cached = cache_->FindPartition(key, &tier);
           if (cached != nullptr) {
-            ++cache_hits;
+            count_hit(tier);
             partition_cached_keys.insert(key);
             if (cached->status.ok()) {
               partition_done.emplace(key, std::move(cached));
@@ -334,6 +360,81 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
         }
       }
     }
+  }
+
+  // ---- Stage A': rehydrate summary-only decompile artifacts --------------
+  // A disk-hydrated DecompileArtifact carries the profile but not the IR
+  // (see artifact_cache.hpp).  That is enough for every fully-warm point;
+  // only when a partition key actually missed does its program get rebuilt
+  // here — from the cached profile, skipping the simulation.
+  struct RehydrateJob {
+    std::string key;
+    std::size_t binary = 0;
+  };
+  std::vector<RehydrateJob> rehydrate_jobs;
+  {
+    std::set<std::string> queued;
+    for (const PartitionJob& job : partition_jobs) {
+      const std::string& key =
+          pair_decomp_key[job.binary * out.num_platforms + job.platform];
+      const auto it = decomp_done.find(key);
+      if (it != decomp_done.end() && it->second->program == nullptr &&
+          queued.insert(key).second) {
+        rehydrate_jobs.push_back({key, decomp_key_binary.at(key)});
+      }
+    }
+  }
+  std::vector<std::shared_ptr<DecompileArtifact>> rehydrate_slots(
+      rehydrate_jobs.size());
+  std::atomic<std::size_t> rehydrations{0};
+  support::ParallelFor(
+      rehydrate_jobs.size(), config_.threads, [&](std::size_t index) {
+        const RehydrateJob& job = rehydrate_jobs[index];
+        auto artifact = std::make_shared<DecompileArtifact>();
+        rehydrate_slots[index] = artifact;
+        try {
+          const auto& summary = decomp_done.at(job.key);
+          decompile_into(*artifact, spec.binaries[job.binary].binary,
+                         summary->software_run);
+          // Counted after the decompile so rehydrations can never exceed
+          // decompilations_run (the documented "of decompilations_run"
+          // relationship), even on an exception path.
+          rehydrations.fetch_add(1);
+        } catch (const std::exception& e) {
+          artifact->status = Status::Error(
+              ErrorKind::kUnsupported,
+              std::string("internal error: ") + e.what());
+        }
+      });
+  for (std::size_t index = 0; index < rehydrate_jobs.size(); ++index) {
+    const std::string& key = rehydrate_jobs[index].key;
+    std::shared_ptr<const DecompileArtifact> artifact =
+        std::move(rehydrate_slots[index]);
+    if (artifact->status.ok()) {
+      decomp_done[key] = artifact;
+      cache_->PutDecompile(key, artifact);  // refresh the memory tier
+    } else {
+      // A deterministic recompute of a previously-ok artifact cannot
+      // normally fail; degrade gracefully anyway: the dependent partition
+      // jobs are dropped and their points report the failure.
+      decomp_done.erase(key);
+      decomp_failed.emplace(key, artifact->status);
+    }
+  }
+  if (!rehydrate_jobs.empty()) {
+    std::vector<PartitionJob> keep;
+    keep.reserve(partition_jobs.size());
+    for (PartitionJob& job : partition_jobs) {
+      const std::string& key =
+          pair_decomp_key[job.binary * out.num_platforms + job.platform];
+      const auto failed = decomp_failed.find(key);
+      if (failed != decomp_failed.end()) {
+        partition_failed.emplace(job.key, failed->second);
+      } else {
+        keep.push_back(std::move(job));
+      }
+    }
+    partition_jobs = std::move(keep);
   }
 
   std::vector<std::shared_ptr<PartitionArtifact>> partition_slots(
@@ -424,8 +525,11 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   out.simulations_run = simulations.load();
   out.decompilations_run = decompilations.load();
   out.partitions_run = partitions.load();
+  out.decompile_rehydrations = rehydrations.load();
   out.cache_hits = cache_hits;
   out.cache_misses = cache_misses;
+  out.cache_memory_hits = cache_memory_hits;
+  out.cache_disk_hits = cache_disk_hits;
   out.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
           .count();
@@ -510,12 +614,15 @@ std::string ExploreResult::StatsReport() const {
   std::ostringstream out;
   char line[256];
   std::snprintf(line, sizeof line,
-                "work: %zu simulations, %zu decompilations, %zu partitions\n",
-                simulations_run, decompilations_run, partitions_run);
+                "work: %zu simulations, %zu decompilations "
+                "(%zu rehydrated), %zu partitions\n",
+                simulations_run, decompilations_run, decompile_rehydrations,
+                partitions_run);
   out << line;
   std::snprintf(line, sizeof line,
-                "cache: %zu hits, %zu misses (hit rate %.0f%%)\n", cache_hits,
-                cache_misses,
+                "cache: %zu hits (%zu memory + %zu disk), %zu misses "
+                "(hit rate %.0f%%)\n",
+                cache_hits, cache_memory_hits, cache_disk_hits, cache_misses,
                 cache_hits + cache_misses > 0
                     ? 100.0 * static_cast<double>(cache_hits) /
                           static_cast<double>(cache_hits + cache_misses)

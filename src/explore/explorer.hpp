@@ -12,7 +12,12 @@
 // Determinism contract (asserted by tests): Report() is bit-identical
 // across thread counts and across cache-cold vs. cache-warm runs; work and
 // cache counters live in StatsReport() so the determinism contract and the
-// "second sweep does zero decompilations" contract can coexist.
+// "second sweep does zero decompilations" contract can coexist.  With a
+// disk-backed cache (Toolchain::WithCacheDir / B2H_CACHE_DIR) the same
+// contract holds ACROSS PROCESSES: a sweep re-run from a fresh process
+// against the same cache dir performs zero simulations/decompilations/
+// partitions and reports bit-identically (asserted in test_explore and by
+// the CI cache-warm gate).
 #pragma once
 
 #include <cstdint>
@@ -102,9 +107,16 @@ struct ExploreResult {
   std::size_t simulations_run = 0;
   std::size_t decompilations_run = 0;
   std::size_t partitions_run = 0;
-  // Unique-artifact cache traffic this sweep.
+  /// Of decompilations_run: programs rebuilt from a disk-cached profile
+  /// (no re-simulation) because a partition key missed while its decompile
+  /// entry was summary-only.  Zero on fully-warm and fully-cold sweeps.
+  std::size_t decompile_rehydrations = 0;
+  // Unique-artifact cache traffic this sweep, split by serving tier
+  // (cache_hits == cache_memory_hits + cache_disk_hits).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  std::size_t cache_memory_hits = 0;
+  std::size_t cache_disk_hits = 0;
   double wall_ms = 0.0;  ///< host wall clock for the sweep
 
   [[nodiscard]] const ExplorePoint& At(std::size_t binary,

@@ -6,6 +6,7 @@
 // cycles this process actually ran.
 #pragma once
 
+#include <algorithm>
 #include <ctime>
 #include <utility>
 
@@ -25,6 +26,57 @@ template <typename Fn>
   const double start = ProcessCpuSeconds();
   std::forward<Fn>(fn)();
   return ProcessCpuSeconds() - start;
+}
+
+/// Knobs for MeasureOverhead.  The defaults match the detector-overhead
+/// bound's needs; benches that only record a trajectory can drop
+/// `attempts` to 1 and `early_exit_below` to 0.
+struct OverheadOptions {
+  int samples = 8;    ///< interleaved min-of-N samples per attempt
+  int attempts = 3;   ///< whole-measurement retries (keeps the minimum)
+  /// Stop retrying once the measured overhead drops to/below this; an
+  /// assertion bound goes here so a passing measurement exits early.
+  double early_exit_below = 0.0;
+
+  /// Out: the samples behind the returned minimum overhead (the winning
+  /// attempt's best baseline/variant times), so callers can print times
+  /// that are consistent with the ratio.
+  double plain_seconds = 0.0;
+  double variant_seconds = 0.0;
+};
+
+/// Relative CPU-time overhead of `variant` over `baseline`:
+/// min(variant)/min(plain) - 1.
+///
+/// Measurement discipline (shared by test_detector_overhead and
+/// bench_dynamic — keep them honest with ONE harness): samples are
+/// interleaved (baseline, variant, baseline, ...) so slow drift lands on
+/// both sides, and minima are used throughout because scheduler/frequency
+/// noise only ever inflates a sample — it cannot make the variant look
+/// cheaper than it is.  More samples therefore tighten the measurement
+/// monotonically toward the true ratio.
+template <typename Baseline, typename Variant>
+[[nodiscard]] double MeasureOverhead(Baseline&& baseline, Variant&& variant,
+                                     OverheadOptions& options) {
+  double overhead = 1e9;
+  for (int attempt = 0; attempt < options.attempts &&
+                        overhead > options.early_exit_below;
+       ++attempt) {
+    double plain = 1e9;
+    double hooked = 1e9;
+    for (int sample = 0; sample < options.samples; ++sample) {
+      plain = std::min(plain, CpuSecondsOf(baseline));
+      hooked = std::min(hooked, CpuSecondsOf(variant));
+    }
+    if (plain <= 0.0) continue;  // clock quantum too coarse; retry
+    const double attempt_overhead = hooked / plain - 1.0;
+    if (attempt_overhead < overhead) {
+      overhead = attempt_overhead;
+      options.plain_seconds = plain;
+      options.variant_seconds = hooked;
+    }
+  }
+  return overhead;
 }
 
 }  // namespace b2h::support

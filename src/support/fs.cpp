@@ -1,0 +1,109 @@
+#include "support/fs.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace b2h::support {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string content;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) return std::nullopt;
+  content.resize(static_cast<std::size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!in) return std::nullopt;
+  return content;
+}
+
+bool AtomicWriteFile(const fs::path& path, std::string_view content) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path(), ec);  // ok if it exists
+  }
+  // Unique per process AND per call: concurrent writers in separate
+  // processes (or threads) each stage their own temp file, and whichever
+  // rename lands last wins with a complete file either way.
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+#else
+  const std::uint64_t pid = 0;
+#endif
+  fs::path temp = path;
+  temp += ".tmp." + std::to_string(pid) + "." +
+          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    // The final flush happens at close: check it explicitly, or a
+    // disk-full write could install a truncated file and report success.
+    out.close();
+    if (out.fail()) {
+      RemoveFileQuiet(temp);
+      return false;
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    RemoveFileQuiet(temp);
+    return false;
+  }
+  return true;
+}
+
+std::vector<FileInfo> ListFilesRecursive(const fs::path& root) {
+  std::vector<FileInfo> files;
+  std::error_code ec;
+  // Manual increment with an error_code: the range-for form throws from
+  // operator++ when the tree changes mid-walk (a concurrent process
+  // clearing the shared cache dir), and a partial listing must stay a
+  // partial listing, not an exception.
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied, ec);
+  const fs::recursive_directory_iterator end;
+  while (!ec && it != end) {
+    const fs::directory_entry& entry = *it;
+    std::error_code entry_ec;
+    if (entry.is_regular_file(entry_ec) && !entry_ec) {
+      FileInfo info;
+      info.path = entry.path();
+      info.size = static_cast<std::uint64_t>(entry.file_size(entry_ec));
+      if (!entry_ec) {
+        info.mtime = entry.last_write_time(entry_ec);
+        if (!entry_ec) files.push_back(std::move(info));
+      }
+    }
+    it.increment(ec);
+  }
+  return files;
+}
+
+void TouchNow(const fs::path& path) {
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+}
+
+bool RemoveFileQuiet(const fs::path& path) {
+  std::error_code ec;
+  return fs::remove(path, ec) && !ec;
+}
+
+std::uint64_t DirectoryBytes(const fs::path& root) {
+  std::uint64_t total = 0;
+  for (const FileInfo& info : ListFilesRecursive(root)) total += info.size;
+  return total;
+}
+
+}  // namespace b2h::support

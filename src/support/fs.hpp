@@ -1,0 +1,48 @@
+// Filesystem helpers for the on-disk artifact store.
+//
+// Everything here is failure-tolerant by design: the disk cache must treat
+// an unreadable/unwritable filesystem as a cache miss, never as an error,
+// so these helpers report failure through optionals/bools instead of
+// throwing.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace b2h::support {
+
+/// Whole file contents; nullopt when missing or unreadable.
+[[nodiscard]] std::optional<std::string> ReadFile(
+    const std::filesystem::path& path);
+
+/// Crash-safe write: the content lands in a unique temp file in the target
+/// directory, then moves into place with an atomic rename, so readers (and
+/// crashed writers) never observe a partially written file.  Parent
+/// directories are created as needed.
+bool AtomicWriteFile(const std::filesystem::path& path,
+                     std::string_view content);
+
+struct FileInfo {
+  std::filesystem::path path;
+  std::uint64_t size = 0;
+  std::filesystem::file_time_type mtime;
+};
+
+/// Every regular file under `root` (empty when root does not exist).
+[[nodiscard]] std::vector<FileInfo> ListFilesRecursive(
+    const std::filesystem::path& root);
+
+/// Set a file's mtime to now (LRU touch on cache hits).  Best effort.
+void TouchNow(const std::filesystem::path& path);
+
+/// Remove a file, ignoring errors.  Returns true when it existed.
+bool RemoveFileQuiet(const std::filesystem::path& path);
+
+/// Total bytes in regular files under `root`.
+[[nodiscard]] std::uint64_t DirectoryBytes(const std::filesystem::path& root);
+
+}  // namespace b2h::support

@@ -70,6 +70,26 @@ std::string ToolchainRun::Json() const {
 
 // -------------------------------------------------------------- Toolchain
 
+Toolchain::Toolchain() {
+  // Env-only plumbing: a process pointed at a cache dir via B2H_CACHE_DIR
+  // gets a disk-backed cache without any code changes (ResolveCacheDir
+  // returns "" when the variable is unset, which keeps the cache
+  // memory-only).
+  const std::string dir = explore::ResolveCacheDir("");
+  artifact_cache_ = dir.empty()
+                        ? std::make_shared<explore::ArtifactCache>()
+                        : std::make_shared<explore::ArtifactCache>(
+                              explore::DiskStore::Options{dir, 0});
+}
+
+Toolchain& Toolchain::WithCacheDir(std::string directory,
+                                   std::uint64_t max_bytes) {
+  const std::string dir = explore::ResolveCacheDir(std::move(directory));
+  artifact_cache_ = std::make_shared<explore::ArtifactCache>(
+      explore::DiskStore::Options{dir, max_bytes});
+  return *this;
+}
+
 Toolchain& Toolchain::WithPipeline(std::string spec) {
   pipeline_spec_ = std::move(spec);
   return *this;

@@ -93,7 +93,11 @@ struct BatchResult {
 /// Builder-configured facade over the complete flow.
 class Toolchain {
  public:
-  Toolchain() = default;
+  /// When the B2H_CACHE_DIR environment variable is set (and non-empty),
+  /// every Toolchain starts with a disk-backed artifact cache rooted there
+  /// — the CI cache-warm gate points whole processes at a persisted cache
+  /// this way.  Otherwise the cache starts memory-only.
+  Toolchain();
 
   // ------------------------------------------------- builder configuration
   /// Decompilation pipeline spec (see PassManager::FromSpec).  Invalid
@@ -118,6 +122,21 @@ class Toolchain {
   /// Share an artifact cache between toolchains (by default every Toolchain
   /// owns a private cache that persists across its Explore calls).
   Toolchain& WithArtifactCache(std::shared_ptr<explore::ArtifactCache> cache);
+  /// Persist the artifact cache under `directory` (two-tier: memory +
+  /// disk), so warm sweeps survive process restarts.  The B2H_CACHE_DIR
+  /// environment variable overrides the directory; `max_bytes` bounds the
+  /// on-disk size with LRU-by-mtime eviction (0 = unbounded).  Replaces the
+  /// current artifact cache.
+  Toolchain& WithCacheDir(std::string directory, std::uint64_t max_bytes = 0);
+
+  /// Hit/miss/store counters of the artifact cache, split by tier.
+  [[nodiscard]] explore::ArtifactCache::Stats CacheStats() const {
+    return artifact_cache_->stats();
+  }
+  [[nodiscard]] const std::shared_ptr<explore::ArtifactCache>&
+  artifact_cache() const {
+    return artifact_cache_;
+  }
 
   // --------------------------------------------------------------- running
   /// Single binary on the configured default platform.
@@ -191,8 +210,7 @@ class Toolchain {
   std::optional<partition::Platform> custom_platform_;
   partition::DynamicPolicy dynamic_policy_;
   bool dynamic_enabled_ = false;
-  std::shared_ptr<explore::ArtifactCache> artifact_cache_ =
-      std::make_shared<explore::ArtifactCache>();
+  std::shared_ptr<explore::ArtifactCache> artifact_cache_;
 };
 
 }  // namespace b2h

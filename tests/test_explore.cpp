@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "partition/candidates.hpp"
 #include "partition/strategy.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
+#include "testing_support.hpp"
 #include "toolchain/toolchain.hpp"
 
 namespace b2h {
@@ -47,6 +49,15 @@ const std::vector<std::string> kPaperPlatforms = {"mips40", "mips200-xc2v1000",
 const std::vector<std::string> kAllStrategies = {"paper-greedy",
                                                  "knapsack-optimal",
                                                  "annealing"};
+
+using testing_support::ScopedEnv;
+using TempCacheDir = testing_support::TempDir;
+
+// Hermetic for the whole binary: Toolchain's default constructor reads
+// B2H_CACHE_DIR, so a developer's exported cache dir would make every
+// "cold" sweep disk-warm and flip the work-counter assertions below.  The
+// env-override test re-sets the variable within its own scope.
+const ScopedEnv kPinnedCacheDirEnv("B2H_CACHE_DIR", nullptr);
 
 void ExpectIdenticalPartitions(const partition::PartitionResult& a,
                                const partition::PartitionResult& b) {
@@ -351,6 +362,124 @@ TEST(Toolchain, ReportAndJsonSurfaceRejectedRegions) {
   ASSERT_TRUE(result.At(0, 0, 0, 0).status.ok());
   EXPECT_FALSE(result.At(0, 0, 0, 0).rejected.empty());
   EXPECT_NE(result.Report().find("rejected ["), std::string::npos);
+}
+
+// Acceptance criterion (PR 4): the same sweep run twice from two separate
+// "processes" — emulated by two Toolchains with fresh memory tiers sharing
+// one cache dir — performs 0 simulations/decompilations/partitions on the
+// second run and produces a bit-identical Report().  Failures (the
+// CDFG-failing switch01) replay from disk too.  The CI cache-warm step
+// enforces the same invariant across real processes.
+TEST(Explore, DiskCacheMakesProcessRestartedSweepsFree) {
+  TempCacheDir dir;
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")},
+                   {"crc", BuildBench("crc")},
+                   {"switch01", BuildBench("switch01")}};  // CDFG failure
+  spec.platforms = kPaperPlatforms;
+  spec.strategies = kAllStrategies;
+
+  Toolchain cold;
+  cold.WithCacheDir(dir.path);
+  ASSERT_TRUE(cold.artifact_cache()->disk_enabled());
+  const ExploreResult first = cold.Explore(spec);
+  EXPECT_EQ(first.simulations_run, 3u);
+  EXPECT_GT(first.decompilations_run, 0u);
+  EXPECT_GT(first.partitions_run, 0u);
+  EXPECT_GT(cold.CacheStats().disk_stores, 0u);
+
+  // Fresh Toolchain = fresh memory tier: every artifact must come off disk.
+  Toolchain warm;
+  warm.WithCacheDir(dir.path);
+  const ExploreResult second = warm.Explore(spec);
+  EXPECT_EQ(second.simulations_run, 0u);
+  EXPECT_EQ(second.decompilations_run, 0u);
+  EXPECT_EQ(second.partitions_run, 0u);
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_EQ(second.cache_memory_hits, 0u);
+  EXPECT_GT(second.cache_disk_hits, 0u);
+  EXPECT_EQ(first.Report(), second.Report());
+  for (const auto& point : second.points) {
+    if (point.status.ok()) EXPECT_TRUE(point.from_cache);
+  }
+}
+
+// Partial warmth across a restart: adding a strategy to a disk-warm sweep
+// re-runs only the new partitions.  The decompiled program is rebuilt from
+// the cached profile (a "rehydration") without re-simulating — disk
+// decompile entries deliberately carry the profile, not the IR.
+TEST(Explore, DiskCacheRehydratesOnlyWhatNewWorkNeeds) {
+  TempCacheDir dir;
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = {"mips200-xc2v1000"};
+  spec.strategies = {"paper-greedy"};
+
+  Toolchain first;
+  first.WithCacheDir(dir.path);
+  (void)first.Explore(spec);
+
+  spec.strategies = {"paper-greedy", "knapsack-optimal"};
+  Toolchain second;
+  second.WithCacheDir(dir.path);
+  const ExploreResult partial = second.Explore(spec);
+  EXPECT_EQ(partial.simulations_run, 0u);  // profile came off disk
+  EXPECT_EQ(partial.decompilations_run, 1u);
+  EXPECT_EQ(partial.decompile_rehydrations, 1u);
+  EXPECT_EQ(partial.partitions_run, 1u);  // knapsack only
+  ASSERT_TRUE(partial.At(0, 0, 0, 0).status.ok());
+  ASSERT_TRUE(partial.At(0, 0, 1, 0).status.ok());
+  EXPECT_TRUE(partial.At(0, 0, 0, 0).from_cache);
+  EXPECT_FALSE(partial.At(0, 0, 1, 0).from_cache);
+  EXPECT_GE(partial.At(0, 0, 1, 0).speedup, partial.At(0, 0, 0, 0).speedup);
+
+  // And a third restart replays the widened sweep entirely from disk,
+  // identically.
+  Toolchain third;
+  third.WithCacheDir(dir.path);
+  const ExploreResult replay = third.Explore(spec);
+  EXPECT_EQ(replay.simulations_run + replay.decompilations_run +
+                replay.partitions_run,
+            0u);
+  EXPECT_EQ(partial.Report(), replay.Report());
+}
+
+// B2H_CACHE_DIR plumbing: the environment variable gives every Toolchain a
+// disk-backed cache and overrides WithCacheDir's configured directory.
+TEST(Explore, CacheDirEnvironmentOverride) {
+  TempCacheDir env_dir;
+  TempCacheDir other_dir;
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = {"mips200-xc2v1000"};
+  spec.strategies = {"paper-greedy"};
+
+  ExploreResult cold;
+  ExploreResult replay;
+  {
+    ScopedEnv env("B2H_CACHE_DIR", env_dir.path.c_str());
+
+    Toolchain from_env;  // constructor picks the env dir up
+    ASSERT_TRUE(from_env.artifact_cache()->disk_enabled());
+    EXPECT_EQ(from_env.artifact_cache()->disk()->directory(), env_dir.path);
+
+    Toolchain overridden;  // env wins over the configured directory
+    overridden.WithCacheDir(other_dir.path);
+    EXPECT_EQ(overridden.artifact_cache()->disk()->directory(), env_dir.path);
+
+    cold = from_env.Explore(spec);
+    EXPECT_EQ(cold.decompilations_run, 1u);
+
+    Toolchain warm;  // fresh process stand-in, also via env
+    replay = warm.Explore(spec);
+  }
+  EXPECT_EQ(replay.simulations_run + replay.decompilations_run +
+                replay.partitions_run,
+            0u);
+  EXPECT_EQ(cold.Report(), replay.Report());
+
+  Toolchain memory_only;  // env gone: back to the memory-only default
+  EXPECT_FALSE(memory_only.artifact_cache()->disk_enabled());
 }
 
 // The knapsack strategy must agree with an exhaustive check on a small

@@ -1,0 +1,104 @@
+// b2h-cache — maintenance CLI for the persistent artifact cache.
+//
+//   b2h-cache [--dir DIR] stats                  entry counts, bytes, schema
+//   b2h-cache [--dir DIR] gc [--max-bytes N]     LRU eviction + stale trees
+//   b2h-cache [--dir DIR] clear                  remove everything
+//
+// DIR defaults to $B2H_CACHE_DIR.  `gc` always reclaims trees left by older
+// schema versions and temp junk; with --max-bytes it additionally evicts
+// least-recently-used entries until the store fits the budget.  Exit code:
+// 0 on success, 1 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "explore/disk_store.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: b2h-cache [--dir DIR] <stats|gc|clear> [--max-bytes N]\n"
+      "  DIR defaults to $B2H_CACHE_DIR (an explicit --dir always wins)\n"
+      "  stats               entry counts, bytes, schema version\n"
+      "  gc [--max-bytes N]  drop stale-schema trees and temp junk; with\n"
+      "                      N > 0, also evict LRU entries until the store\n"
+      "                      fits N bytes (to drop everything, use clear)\n"
+      "  clear               remove every cache entry, all schema versions\n"
+      "                      (foreign files in the directory are kept)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string command;
+  std::uint64_t max_bytes = 0;
+  bool have_max_bytes = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--max-bytes" && i + 1 < argc) {
+      max_bytes = std::strtoull(argv[++i], nullptr, 10);
+      have_max_bytes = true;
+    } else if (arg == "stats" || arg == "gc" || arg == "clear") {
+      if (!command.empty()) return Usage();
+      command = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (command.empty()) return Usage();
+  // An explicit --dir wins here, unlike Toolchain's env-first precedence:
+  // gc/clear are destructive, and a maintenance command must operate on
+  // exactly the directory the user named.  $B2H_CACHE_DIR is only the
+  // fallback when no --dir is given.
+  if (dir.empty()) dir = b2h::explore::ResolveCacheDir("");
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "b2h-cache: no cache directory (pass --dir or set "
+                 "B2H_CACHE_DIR)\n");
+    return 1;
+  }
+
+  b2h::explore::DiskStore store({dir, 0});
+  if (command == "stats") {
+    const auto stats = store.ComputeStats();
+    std::printf("cache dir: %s (schema v%u)\n", dir.c_str(),
+                b2h::explore::kCacheSchemaVersion);
+    std::printf("  decompile entries: %zu\n", stats.decompile_entries);
+    std::printf("  partition entries: %zu\n", stats.partition_entries);
+    std::printf("  entry bytes:       %llu\n",
+                static_cast<unsigned long long>(stats.entry_bytes));
+    std::printf("  stale files:       %zu (%llu bytes)\n", stats.stale_files,
+                static_cast<unsigned long long>(stats.stale_bytes));
+    std::printf("  total bytes:       %llu\n",
+                static_cast<unsigned long long>(stats.total_bytes));
+    return 0;
+  }
+  if (command == "gc") {
+    if (have_max_bytes && max_bytes == 0) {
+      std::fprintf(stderr,
+                   "b2h-cache: --max-bytes 0 would mean 'no eviction' — to "
+                   "remove every entry, use `b2h-cache clear`\n");
+      return 1;
+    }
+    const std::size_t removed = store.Gc(max_bytes);
+    const auto stats = store.ComputeStats();
+    std::printf("gc: removed %zu file(s); %zu entr%s, %llu bytes remain\n",
+                removed, stats.decompile_entries + stats.partition_entries,
+                stats.decompile_entries + stats.partition_entries == 1 ? "y"
+                                                                       : "ies",
+                static_cast<unsigned long long>(stats.total_bytes));
+    return 0;
+  }
+  // clear
+  store.Clear();
+  std::printf("cleared %s\n", dir.c_str());
+  return 0;
+}
