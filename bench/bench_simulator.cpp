@@ -1,0 +1,181 @@
+// Simulator throughput bench: instructions/second of the block-compiled
+// engine (plain and instrumented) versus the retained per-instruction
+// reference interpreter, per suite benchmark and suite-aggregated.
+//
+// Writes BENCH_simulator.json (see bench_json.hpp):
+//   instr_per_sec               block engine, plain Run           [per bench + suite_avg]
+//   instr_per_sec_instrumented  block engine + detection observer [per bench + suite_avg]
+//   ref_instr_per_sec           reference engine, plain Run       [per bench + suite_avg]
+//   block_speedup               block vs reference                [per bench + suite_avg]
+//
+// block_speedup is a ratio of two measurements taken on the same host
+// seconds apart, so unlike the raw rates it is comparable across CI
+// runners; the perf-trajectory gate (ci/perf_trajectory.py) tracks it with
+// a direction rule and enforces the release floor below.
+//
+// Measurement discipline: one warm Simulator per engine, repeated Run()s
+// sized to a few million instructions per sample, best-of-N rates (noise
+// only ever slows a sample down), CPU time not wall time.
+//
+// In Release builds the bench itself enforces the tentpole floor: suite
+// average block_speedup >= 3x (override/disable with B2H_SIM_SPEEDUP_GATE,
+// e.g. "2.5" or "0" to disable) — a throughput regression fails the bench
+// run, not just the trajectory diff.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dynamic/hot_region.hpp"
+#include "mips/simulator.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+#include "support/cpu_time.hpp"
+
+namespace {
+
+using namespace b2h;
+
+constexpr int kSamples = 5;
+constexpr std::uint64_t kTargetInstrsPerSample = 2'000'000;
+
+struct Rates {
+  double plain = 0.0;         ///< instr/sec, Run()
+  double instrumented = 0.0;  ///< instr/sec, RunInstrumented + detector
+};
+
+/// Best-of-N instructions/second for repeated runs of `sim`.
+template <typename RunOnce>
+double BestRate(int reps, RunOnce&& run_once) {
+  double best = 0.0;
+  for (int s = 0; s < kSamples; ++s) {
+    std::uint64_t executed = 0;
+    const double seconds = support::CpuSecondsOf([&] {
+      for (int r = 0; r < reps; ++r) executed += run_once();
+    });
+    if (seconds > 0.0) {
+      best = std::max(best, static_cast<double>(executed) / seconds);
+    }
+  }
+  return best;
+}
+
+Rates MeasureEngine(const mips::SoftBinary& binary, mips::ExecEngine engine,
+                    int reps, bool measure_instrumented) {
+  Rates rates;
+  mips::Simulator sim(binary, {}, engine);
+  rates.plain = BestRate(reps, [&] { return sim.Run().instructions; });
+  if (measure_instrumented) {
+    rates.instrumented = BestRate(reps, [&] {
+      dynamic::DetectionOnlyObserver detector;
+      return sim.RunInstrumented({}, 100'000'000, &detector).instructions;
+    });
+  }
+  return rates;
+}
+
+double SpeedupGate() {
+  if (const char* env = std::getenv("B2H_SIM_SPEEDUP_GATE")) {
+    return std::atof(env);  // "0" disables
+  }
+#ifdef B2H_BUILD_TYPE
+  if (std::string_view(B2H_BUILD_TYPE) == "Release") return 3.0;
+#endif
+  return 0.0;  // informational outside Release unless explicitly requested
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonWriter json("simulator");
+
+  std::printf("Simulator throughput: block-compiled engine vs reference\n");
+  std::printf("%-12s %12s %12s %12s %9s\n", "benchmark", "block i/s",
+              "instrum i/s", "ref i/s", "speedup");
+
+  // Suite aggregation: harmonic weighting by each benchmark's per-run
+  // instruction count, i.e. total instructions / total time — the rate a
+  // profiling pass over the whole suite actually experiences.
+  double total_weight = 0.0;
+  double block_time = 0.0;
+  double instrumented_time = 0.0;
+  double reference_time = 0.0;
+
+  for (const suite::Benchmark& bench : suite::AllBenchmarks()) {
+    auto built = suite::BuildBinary(bench, 1);
+    if (!built.ok()) {
+      std::printf("%-12s skipped (%s)\n", bench.name.c_str(),
+                  built.status().message().c_str());
+      continue;
+    }
+    const mips::SoftBinary binary = std::move(built).take();
+    mips::Simulator probe(binary);
+    const auto probe_run = probe.Run();
+    if (probe_run.reason != mips::HaltReason::kReturned ||
+        probe_run.instructions == 0) {
+      std::printf("%-12s skipped (did not return)\n", bench.name.c_str());
+      continue;
+    }
+    const int reps = std::max<int>(
+        1, static_cast<int>(kTargetInstrsPerSample / probe_run.instructions));
+
+    const Rates block =
+        MeasureEngine(binary, mips::ExecEngine::kBlock, reps, true);
+    const Rates reference =
+        MeasureEngine(binary, mips::ExecEngine::kReference, reps, false);
+    if (block.plain <= 0.0 || block.instrumented <= 0.0 ||
+        reference.plain <= 0.0) {
+      std::printf("%-12s skipped (clock quantum too coarse)\n",
+                  bench.name.c_str());
+      continue;
+    }
+    const double speedup = block.plain / reference.plain;
+
+    json.Record("instr_per_sec", block.plain, "instr/s", bench.name);
+    json.Record("instr_per_sec_instrumented", block.instrumented, "instr/s",
+                bench.name);
+    json.Record("ref_instr_per_sec", reference.plain, "instr/s", bench.name);
+    json.Record("block_speedup", speedup, "x", bench.name);
+    std::printf("%-12s %12.3g %12.3g %12.3g %8.2fx\n", bench.name.c_str(),
+                block.plain, block.instrumented, reference.plain, speedup);
+
+    const auto weight = static_cast<double>(probe_run.instructions);
+    total_weight += weight;
+    block_time += weight / block.plain;
+    instrumented_time += weight / block.instrumented;
+    reference_time += weight / reference.plain;
+  }
+
+  if (total_weight <= 0.0 || block_time <= 0.0) {
+    std::fprintf(stderr, "bench_simulator: no benchmark produced a rate\n");
+    return 1;
+  }
+
+  const double avg_block = total_weight / block_time;
+  const double avg_instrumented = total_weight / instrumented_time;
+  const double avg_reference = total_weight / reference_time;
+  const double avg_speedup = reference_time / block_time;
+  json.Record("instr_per_sec", avg_block, "instr/s", "suite_avg");
+  json.Record("instr_per_sec_instrumented", avg_instrumented, "instr/s",
+              "suite_avg");
+  json.Record("ref_instr_per_sec", avg_reference, "instr/s", "suite_avg");
+  json.Record("block_speedup", avg_speedup, "x", "suite_avg");
+  std::printf("%-12s %12.3g %12.3g %12.3g %8.2fx\n", "suite_avg", avg_block,
+              avg_instrumented, avg_reference, avg_speedup);
+
+  const double gate = SpeedupGate();
+  if (gate > 0.0 && avg_speedup < gate) {
+    std::fprintf(stderr,
+                 "FAIL: suite-average block-engine speedup %.2fx is below "
+                 "the %.2fx floor (B2H_SIM_SPEEDUP_GATE overrides)\n",
+                 avg_speedup, gate);
+    return 1;
+  }
+  if (gate > 0.0) {
+    std::printf("throughput gate: %.2fx >= %.2fx floor OK\n", avg_speedup,
+                gate);
+  }
+  return 0;
+}

@@ -10,17 +10,26 @@ summary).
 Usage:
   python3 ci/perf_trajectory.py --old PREV_DIR --new NEW_DIR [--summary FILE]
 
-Two kinds of checks:
+PREV_DIR may hold BENCH_*.json files directly (a single baseline run) or
+one subdirectory per previous run (e.g. prev-bench/run-<id>/BENCH_*.json,
+as the CI workflow downloads them).  With several runs the baseline for
+each metric is the MEDIAN across the runs that recorded it — a rolling
+window that a single noisy runner cannot drag around.
+
+Three kinds of checks:
 
   * absolute gates: invariants of the current run alone (warm sweeps do
     zero work, the disk-warm report is bit-identical) — these fail even
     when no baseline artifact exists;
+  * absolute minimum gates: floors the current run must clear on its own
+    (the block-engine simulator speedup stays >= its release target);
   * trajectory gates: metric-by-metric comparison against the baseline,
     with direction and tolerance chosen per metric family.  Deterministic
     quality metrics (speedups, convergence, hit rates) get tight gates;
-    host-time metrics (wall/ms/overhead) are tracked in the table but not
-    gated, since successive shared CI runners differ too much for a
-    single-run baseline (see RULES).
+    same-host measurement *ratios* (block_speedup) get a loose gate; raw
+    host-time metrics (wall/ms/overhead, instr/sec) are tracked in the
+    table but not gated, since successive shared CI runners differ too
+    much even for a median baseline (see RULES).
 
 A missing baseline directory or metric is reported but never fails the
 gate (first run, renamed metric, new benchmark).
@@ -29,6 +38,7 @@ import argparse
 import glob
 import json
 import os
+import statistics
 import sys
 
 # --- absolute gates: (metric, expected value) on the NEW run ----------------
@@ -38,6 +48,15 @@ ABSOLUTE_GATES = [
     ("disk_warm_decompilations", 0.0),
     ("disk_warm_partitions", 0.0),
     ("disk_warm_report_identical", 1.0),
+]
+
+# --- absolute minimum gates: (bench, metric, label, floor) on the NEW run ---
+# The block-compiled engine's tentpole: suite-average speedup over the
+# reference interpreter must hold its 3x Release floor.  Like the equality
+# gates above, a missing record fails — renaming the metric must not
+# silently disable the invariant.
+ABSOLUTE_MIN_GATES = [
+    ("simulator", "block_speedup", "suite_avg", 3.0),
 ]
 
 # --- trajectory gate rules, first match wins --------------------------------
@@ -56,6 +75,11 @@ RULES = [
     ("time_to_first_kernel", "lower", None, False),
     ("overhead", "lower", None, False),         # ratio of two host times
     ("gap", None, None, False),                 # informational either way
+    ("instr_per_sec", "higher", None, False),   # raw host throughput
+    # Same-host measurement ratio (block engine vs reference interpreter,
+    # measured seconds apart on one runner): stable across CPU generations,
+    # so it IS gated, with headroom for scheduler noise on shared runners.
+    ("block_speedup", "higher", 0.25, True),
     ("speedup", "higher", 0.02, True),          # deterministic model outputs
     ("convergence", "higher", 0.02, True),
     ("hit_rate", "higher", 0.02, True),
@@ -92,6 +116,33 @@ def load_records(directory):
     return records
 
 
+def load_baseline(directory):
+    """Baseline records from PREV_DIR: BENCH_*.json directly (one run)
+    and/or one run per subdirectory.  Returns ({key: median-value}, runs)."""
+    if not os.path.isdir(directory):
+        return {}, 0
+    runs = []
+    direct = load_records(directory)
+    if direct:
+        runs.append(direct)
+    for entry in sorted(os.listdir(directory)):
+        sub = os.path.join(directory, entry)
+        if os.path.isdir(sub):
+            records = load_records(sub)
+            if records:
+                runs.append(records)
+    if not runs:
+        return {}, 0
+    merged = {}
+    all_keys = set()
+    for records in runs:
+        all_keys.update(records)
+    for key in all_keys:
+        merged[key] = statistics.median(
+            records[key] for records in runs if key in records)
+    return merged, len(runs)
+
+
 def fmt(value):
     return f"{value:.4g}"
 
@@ -110,7 +161,7 @@ def main():
     if not new:
         print(f"ERROR: no schema-1 BENCH_*.json records under {args.new}")
         return 1
-    old = load_records(args.old) if os.path.isdir(args.old) else {}
+    old, old_runs = load_baseline(args.old)
 
     failures = []
     rows = []
@@ -138,11 +189,31 @@ def main():
                 f"gated metric '{metric}' is absent from the new bench "
                 "records — the invariant is no longer being measured")
 
+    for gate_bench, gate_metric, gate_label, floor in ABSOLUTE_MIN_GATES:
+        key = (gate_bench, gate_metric, gate_label)
+        if key not in new:
+            rows.append((gate_bench, gate_metric, gate_label, "—", "missing",
+                         "—", "**FAIL**"))
+            failures.append(
+                f"gated metric '{gate_metric}[{gate_label}]' is absent from "
+                "the new bench records — the floor is no longer being "
+                "measured")
+            continue
+        ok = new[key] >= floor
+        rows.append((gate_bench, gate_metric, gate_label,
+                     f">={fmt(floor)}", fmt(new[key]), "—",
+                     "ok" if ok else "**FAIL**"))
+        if not ok:
+            failures.append(
+                f"{gate_bench}/{gate_metric}[{gate_label}] = "
+                f"{fmt(new[key])} is below the {fmt(floor)} floor")
+
     if not old:
         note = (f"no baseline bench-json under '{args.old}' — "
                 "trajectory comparison skipped (first run?)")
         print(note)
     else:
+        print(f"baseline: median of {old_runs} previous run(s)")
         for key in sorted(new):
             bench, metric, label = key
             if any(metric == gate for gate, _ in ABSOLUTE_GATES):
@@ -187,6 +258,10 @@ def main():
         lines.append("")
         lines.append("_No baseline artifact — trajectory comparison "
                      "skipped._")
+    else:
+        lines.append("")
+        lines.append(f"_Baseline: median of {old_runs} previous successful "
+                     "main run(s)._")
     if failures:
         lines.append("")
         lines.append("### Regressions")

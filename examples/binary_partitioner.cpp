@@ -10,8 +10,10 @@
 //   ./build/examples/binary_partitioner crc --platform mips400
 //   ./build/examples/binary_partitioner crc --cpu-mhz 400 --fpga-kgates 50
 //   ./build/examples/binary_partitioner crc --pipeline default,-reroll-loops
+//   ./build/examples/binary_partitioner crc --out-dir build/vhdl
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -53,7 +55,8 @@ std::string SafeFileName(std::string name) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     printf("usage: %s <program.s | benchmark-name> [--platform NAME] "
-           "[--cpu-mhz N] [--fpga-kgates N] [--pipeline SPEC]\n", argv[0]);
+           "[--cpu-mhz N] [--fpga-kgates N] [--pipeline SPEC] "
+           "[--out-dir DIR]\n", argv[0]);
     printf("registered platforms:");
     for (const auto& name : PlatformRegistry::Global().Names()) {
       printf(" %s", name.c_str());
@@ -67,6 +70,9 @@ int main(int argc, char** argv) {
       *PlatformRegistry::Global().Find("mips200-xc2v1000");
   std::string platform_label = "mips200-xc2v1000";
   const std::string input = argv[1];
+  // Generated VHDL lands under the build tree by default, not in whatever
+  // directory the tool happens to run from (keeps source checkouts clean).
+  std::string out_dir = "build/vhdl";
   // Pass 1: pick the base platform, so --cpu-mhz/--fpga-kgates compose on
   // top of it regardless of flag order.
   for (int i = 2; i + 1 < argc; i += 2) {
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
       platform_label += "+custom";
     } else if (std::strcmp(argv[i], "--pipeline") == 0) {
       toolchain.WithPipeline(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--out-dir") == 0) {
+      out_dir = argv[i + 1];
     }
   }
   toolchain.WithPlatform(platform, platform_label);
@@ -117,9 +125,18 @@ int main(int argc, char** argv) {
 
   printf("\n%s\n", run.value().Report().c_str());
 
+  std::error_code mkdir_error;
+  std::filesystem::create_directories(out_dir, mkdir_error);
+  if (mkdir_error) {
+    printf("cannot create --out-dir '%s': %s\n", out_dir.c_str(),
+           mkdir_error.message().c_str());
+    return 1;
+  }
   for (const auto& kernel : run.value().partition.hw) {
     const std::string path =
-        "hw_" + SafeFileName(kernel.synthesized.region.name) + ".vhd";
+        (std::filesystem::path(out_dir) /
+         ("hw_" + SafeFileName(kernel.synthesized.region.name) + ".vhd"))
+            .string();
     std::ofstream out(path);
     out << kernel.synthesized.vhdl;
     printf("wrote %s (%.0f gates, %s)\n", path.c_str(),

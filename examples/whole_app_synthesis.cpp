@@ -8,8 +8,10 @@
 //
 // Build & run:  ./build/examples/whole_app_synthesis [out.vhd]
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <string>
 
 #include "decomp/pass_manager.hpp"
 #include "mips/simulator.hpp"
@@ -86,10 +88,22 @@ int main(int argc, char** argv) {
          result.return_value == run.return_value ? "MATCHES software"
                                                  : "MISMATCH!");
 
-  const char* path = argc > 1 ? argv[1] : "hw_brev_main.vhd";
+  // Default under the build tree so ad-hoc runs don't litter the checkout.
+  std::string path = argc > 1 ? argv[1] : "build/vhdl/hw_brev_main.vhd";
+  std::error_code mkdir_error;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, mkdir_error);
+  }
   std::ofstream out(path);
+  if (mkdir_error || !out) {
+    printf("cannot write %s%s%s\n", path.c_str(),
+           mkdir_error ? ": " : "",
+           mkdir_error ? mkdir_error.message().c_str() : "");
+    return 1;
+  }
   out << synthesized.value().vhdl;
-  printf("VHDL written to %s (%zu bytes)\n", path,
+  printf("VHDL written to %s (%zu bytes)\n", path.c_str(),
          synthesized.value().vhdl.size());
   return result.return_value == run.return_value ? 0 : 1;
 }

@@ -1,0 +1,144 @@
+#include "mips/block_cache.hpp"
+
+#include "mips/binary.hpp"
+
+namespace b2h::mips {
+
+std::uint64_t CycleModel::CyclesFor(Op op, bool taken) const noexcept {
+  std::uint64_t cycles = base;
+  if (IsLoad(op)) cycles += load_extra;
+  if (op == Op::kMult || op == Op::kMultu) cycles += mult_extra;
+  if (op == Op::kDiv || op == Op::kDivu) cycles += div_extra;
+  if ((IsBranch(op) && taken) || IsDirectJump(op) || IsIndirectJump(op)) {
+    cycles += taken_extra;
+  }
+  return cycles;
+}
+
+namespace {
+
+std::uint8_t DestRegister(const Instr& in) {
+  switch (in.op) {
+    // R-type writers.
+    case Op::kSll: case Op::kSrl: case Op::kSra:
+    case Op::kSllv: case Op::kSrlv: case Op::kSrav:
+    case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kSlt: case Op::kSltu:
+    case Op::kMfhi: case Op::kMflo:
+    case Op::kJalr:
+      return in.rd;
+    // I-type writers.
+    case Op::kAddi: case Op::kAddiu: case Op::kSlti: case Op::kSltiu:
+    case Op::kAndi: case Op::kOri: case Op::kXori: case Op::kLui:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      return in.rt;
+    case Op::kJal:
+      return kRa;
+    default:
+      return 0;
+  }
+}
+
+std::uint8_t MemSize(Op op) {
+  switch (op) {
+    case Op::kLw: case Op::kSw: return 4;
+    case Op::kLh: case Op::kLhu: case Op::kSh: return 2;
+    case Op::kLb: case Op::kLbu: case Op::kSb: return 1;
+    default: return 0;
+  }
+}
+
+TermKind TermKindOf(Op op) {
+  if (IsBranch(op)) return TermKind::kBranch;
+  switch (op) {
+    case Op::kJ: return TermKind::kJump;
+    case Op::kJal: return TermKind::kJal;
+    case Op::kJr: return TermKind::kJr;
+    case Op::kJalr: return TermKind::kJalr;
+    default: return TermKind::kFallthrough;
+  }
+}
+
+}  // namespace
+
+BlockCache::BlockCache(std::span<const Instr> decoded,
+                       const std::vector<bool>& decode_ok,
+                       const CycleModel& model) {
+  const std::size_t n = decoded.size();
+  instrs_.resize(n);
+  spans_.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!decode_ok[i]) continue;  // span stays {len=0}: fault on entry
+    const Instr& in = decoded[i];
+    const std::uint32_t pc = kTextBase + static_cast<std::uint32_t>(i) * 4u;
+    PreInstr& m = instrs_[i];
+    m.op = in.op;
+    m.rs = in.rs;
+    m.rt = in.rt;
+    m.dest = DestRegister(in);
+    m.shamt = in.shamt;
+    m.mem_size = MemSize(in.op);
+    m.imm = in.imm;
+    if (IsBranch(in.op)) {
+      m.target = BranchTarget(pc, in);
+    } else if (IsDirectJump(in.op)) {
+      m.target = JumpTarget(pc, in);
+    }
+    // Static cost: everything CyclesFor charges except a conditional
+    // branch's taken_extra (jumps always pay it, so it folds in here).
+    m.cycles = static_cast<std::uint32_t>(
+        model.CyclesFor(in.op, /*taken=*/false));
+  }
+
+  // Spans, by backward walk: a control instruction or the word before an
+  // undecodable one / the end of text terminates the straight-line run.
+  for (std::size_t ri = n; ri > 0; --ri) {
+    const std::size_t i = ri - 1;
+    if (!decode_ok[i]) continue;
+    const PreInstr& m = instrs_[i];
+    BlockSpan& span = spans_[i];
+    const TermKind kind = TermKindOf(m.op);
+    if (kind != TermKind::kFallthrough) {
+      span.len = 1;
+      span.cycles = m.cycles;
+      span.term = kind;
+      const std::uint32_t pc = kTextBase + static_cast<std::uint32_t>(i) * 4u;
+      span.backward_latch = (kind == TermKind::kBranch ||
+                             kind == TermKind::kJump) &&
+                            m.target < pc;
+    } else if (i + 1 < n && decode_ok[i + 1]) {
+      const BlockSpan& next = spans_[i + 1];
+      span.len = next.len + 1;
+      span.cycles = next.cycles + m.cycles;
+      span.term = next.term;
+      span.backward_latch = next.backward_latch;
+    } else {
+      // Runs off the decodable text: executes alone, then the fall-through
+      // pc faults ("undecodable instruction" / "pc outside text segment").
+      span.len = 1;
+      span.cycles = m.cycles;
+    }
+  }
+
+  // Leader census (reporting only): entry 0, control successors, and static
+  // branch/jump targets.
+  std::vector<bool> leader(n, false);
+  if (n > 0) leader[0] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!decode_ok[i]) continue;
+    const PreInstr& m = instrs_[i];
+    if (TermKindOf(m.op) == TermKind::kFallthrough) continue;
+    if (i + 1 < n) leader[i + 1] = true;
+    if ((IsBranch(m.op) || IsDirectJump(m.op)) && m.target >= kTextBase &&
+        (m.target - kTextBase) / 4u < n) {
+      leader[(m.target - kTextBase) / 4u] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i] && decode_ok[i]) ++leader_blocks_;
+  }
+}
+
+}  // namespace b2h::mips

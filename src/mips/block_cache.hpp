@@ -1,0 +1,119 @@
+// Superblock pre-decode for the block-compiled execution engine.
+//
+// The per-instruction interpreter pays a decode lookup, a CyclesFor() call,
+// a branch-target computation, and four profile-vector increments for every
+// executed instruction.  All of that is static: it depends only on the text
+// image and the cycle model, never on run-time state.  BlockCache hoists it
+// to Simulator construction:
+//
+//   * every decodable word becomes a PreInstr with its destination register
+//     resolved (rd vs rt vs $ra), its branch/jump byte target precomputed,
+//     and its *static* cycle cost folded in (base + load/mult/div extras;
+//     taken_extra is included for jumps, which always pay it — only a
+//     conditional branch's taken_extra is left to run time);
+//
+//   * every word index gets a BlockSpan: the superblock starting there —
+//     the maximal straight-line run up to and including the first control
+//     instruction (or up to an undecodable word / the end of text).  Spans
+//     are keyed by *entry index*, not by leader, so overlapping runs from
+//     different entries (join points, jr/jump-table targets, jal return
+//     addresses) each get their own full-length trace without needing the
+//     entry set to be statically derivable.  A span carries its length, its
+//     summed static cycles, its terminator kind, and whether the terminator
+//     is a loop-latch candidate (conditional branch or direct `j` whose
+//     target precedes it — the event RunInstrumented reports).
+//
+// The engine then executes block-at-a-time: one span lookup, one profile
+// counter, one cycle add per block, with per-index profile vectors
+// reconstructed from block counters only at observer flush points and at
+// halt (see simulator.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mips/isa.hpp"
+
+namespace b2h::mips {
+
+/// Per-instruction-class cycle costs (single-issue in-order core).
+struct CycleModel {
+  unsigned base = 1;          ///< all instructions
+  unsigned load_extra = 1;    ///< additional cycles for loads
+  unsigned mult_extra = 2;    ///< additional cycles for mult/multu
+  unsigned div_extra = 15;    ///< additional cycles for div/divu
+  unsigned taken_extra = 1;   ///< additional cycles for taken branches/jumps
+
+  [[nodiscard]] std::uint64_t CyclesFor(Op op, bool taken) const noexcept;
+};
+
+/// A pre-decoded, pre-costed instruction.  Unlike Instr, the fields here are
+/// *resolved for execution*: `dest` is the register the instruction writes
+/// (0 = none), `target` is the byte address a branch/j/jal transfers to, and
+/// `cycles` is the instruction's static cost under the simulator's cycle
+/// model (everything except a conditional branch's taken_extra).
+struct PreInstr {
+  Op op = Op::kInvalid;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t dest = 0;      ///< resolved write register; 0 = no GPR write
+  std::uint8_t shamt = 0;
+  std::uint8_t mem_size = 0;  ///< access width for loads/stores (1/2/4)
+  std::int32_t imm = 0;
+  std::uint32_t target = 0;   ///< branch/jump byte target (beq.., j, jal)
+  std::uint32_t cycles = 0;   ///< static cycles (see struct comment)
+};
+
+/// How the straight-line run starting at an index ends.
+enum class TermKind : std::uint8_t {
+  kFallthrough,  ///< no control instruction (undecodable word or text end)
+  kBranch,       ///< conditional branch
+  kJump,         ///< j
+  kJal,          ///< jal (writes $ra)
+  kJr,           ///< jr (target from rs at run time)
+  kJalr,         ///< jalr (writes dest, target from rs)
+};
+
+/// The superblock starting at a given text-word index.
+struct BlockSpan {
+  std::uint32_t len = 0;      ///< instructions incl. terminator; 0 = entry
+                              ///< word is undecodable (fault on entry)
+  TermKind term = TermKind::kFallthrough;
+  /// Terminator is a latch-event candidate: a conditional branch or direct
+  /// `j` whose (static) target precedes it.  For kBranch the event fires
+  /// only when taken; for kJump it always fires.
+  bool backward_latch = false;
+  std::uint64_t cycles = 0;   ///< summed static cycles over the span
+};
+
+class BlockCache {
+ public:
+  BlockCache() = default;
+
+  /// Pre-decode `decoded` (text words based at kTextBase; `decode_ok[i]`
+  /// marks words Decode() accepted) under `model`.
+  BlockCache(std::span<const Instr> decoded, const std::vector<bool>& decode_ok,
+             const CycleModel& model);
+
+  [[nodiscard]] const PreInstr* instrs() const noexcept {
+    return instrs_.data();
+  }
+  [[nodiscard]] const BlockSpan* spans() const noexcept {
+    return spans_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+
+  /// Number of distinct maximal blocks (spans whose entry is a leader:
+  /// index 0, control-successor, or branch/jump target).  Reporting only.
+  [[nodiscard]] std::size_t leader_blocks() const noexcept {
+    return leader_blocks_;
+  }
+
+ private:
+  std::vector<PreInstr> instrs_;
+  std::vector<BlockSpan> spans_;
+  std::size_t leader_blocks_ = 0;
+};
+
+}  // namespace b2h::mips

@@ -9,19 +9,9 @@
 
 namespace b2h::mips {
 
-std::uint64_t CycleModel::CyclesFor(Op op, bool taken) const noexcept {
-  std::uint64_t cycles = base;
-  if (IsLoad(op)) cycles += load_extra;
-  if (op == Op::kMult || op == Op::kMultu) cycles += mult_extra;
-  if (op == Op::kDiv || op == Op::kDivu) cycles += div_extra;
-  if ((IsBranch(op) && taken) || IsDirectJump(op) || IsIndirectJump(op)) {
-    cycles += taken_extra;
-  }
-  return cycles;
-}
-
-Simulator::Simulator(const SoftBinary& binary, CycleModel model)
-    : binary_(binary), model_(model) {
+Simulator::Simulator(const SoftBinary& binary, CycleModel model,
+                     ExecEngine engine)
+    : binary_(binary), model_(model), engine_(engine) {
   decoded_.resize(binary.text.size());
   decode_ok_.resize(binary.text.size(), false);
   for (std::size_t i = 0; i < binary.text.size(); ++i) {
@@ -30,6 +20,7 @@ Simulator::Simulator(const SoftBinary& binary, CycleModel model)
       decode_ok_[i] = true;
     }
   }
+  blocks_ = BlockCache(decoded_, decode_ok_, model_);
   data_mem_.resize(kDataSegmentSize, 0);
   if (!binary.data.empty()) {
     std::memcpy(data_mem_.data(), binary.data.data(),
@@ -44,12 +35,22 @@ const std::uint8_t* Simulator::MemPtr(std::uint32_t addr,
 }
 
 std::uint8_t* Simulator::MemPtr(std::uint32_t addr, unsigned size) {
-  if (addr >= kDataBase && addr + size <= kDataBase + data_mem_.size()) {
-    return data_mem_.data() + (addr - kDataBase);
+  // End-exclusive, wrap-safe bounds: `addr + size` overflows 32 bits for
+  // addr near UINT32_MAX and would pass a naive `addr + size <= end` check,
+  // so compare the offset into the segment against the segment size
+  // instead — neither subtraction can wrap once `addr >= base` holds.
+  if (addr >= kDataBase) {
+    const std::uint32_t offset = addr - kDataBase;
+    if (offset < data_mem_.size() && size <= data_mem_.size() - offset) {
+      return data_mem_.data() + offset;
+    }
   }
   const std::uint32_t stack_base = kStackTop - kStackSize;
-  if (addr >= stack_base && addr + size <= kStackTop) {
-    return stack_mem_.data() + (addr - stack_base);
+  if (addr >= stack_base) {
+    const std::uint32_t offset = addr - stack_base;
+    if (offset < kStackSize && size <= kStackSize - offset) {
+      return stack_mem_.data() + offset;
+    }
   }
   return nullptr;
 }
@@ -70,20 +71,30 @@ void Simulator::PokeWord(std::uint32_t addr, std::uint32_t value) {
 
 RunResult Simulator::Run(std::span<const std::int32_t> args,
                          std::uint64_t max_instructions) {
-  return Exec<false>(args, max_instructions, nullptr);
+  if (engine_ == ExecEngine::kReference) {
+    return ExecReference<false>(args, max_instructions, nullptr);
+  }
+  return ExecBlock<false>(args, max_instructions, nullptr);
 }
 
 RunResult Simulator::RunInstrumented(std::span<const std::int32_t> args,
                                      std::uint64_t max_instructions,
                                      RunObserver* observer) {
-  if (observer == nullptr) return Exec<false>(args, max_instructions, nullptr);
-  return Exec<true>(args, max_instructions, observer);
+  if (engine_ == ExecEngine::kReference) {
+    if (observer == nullptr) {
+      return ExecReference<false>(args, max_instructions, nullptr);
+    }
+    return ExecReference<true>(args, max_instructions, observer);
+  }
+  if (observer == nullptr) return ExecBlock<false>(args, max_instructions,
+                                                   nullptr);
+  return ExecBlock<true>(args, max_instructions, observer);
 }
 
 template <bool kInstrumented>
-RunResult Simulator::Exec(std::span<const std::int32_t> args,
-                          std::uint64_t max_instructions,
-                          RunObserver* observer) {
+RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
+                                   std::uint64_t max_instructions,
+                                   RunObserver* observer) {
   RunResult result;
   result.profile.instr_count.assign(binary_.text.size(), 0);
   result.profile.cycle_count.assign(binary_.text.size(), 0);
@@ -305,6 +316,332 @@ RunResult Simulator::Exec(std::span<const std::int32_t> args,
   result.profile.total_instructions = result.instructions;
   result.profile.total_cycles = result.cycles;
   return result;
+}
+
+// Block-compiled engine: one superblock per outer iteration.  The
+// per-instruction interpreter's fixed costs — halt/bounds/decode checks,
+// CyclesFor, branch-target computation, and four profile-vector increments —
+// are either hoisted into the BlockCache at construction or amortized to one
+// block-execution counter + one cycle add per block.  The per-index
+// ExecProfile vectors are reconstructed from the block counters lazily: at
+// every observer flush point (so RunInstrumented callbacks see exactly the
+// live profile the reference engine would show) and at halt.  Bit-identical
+// results are maintained by dropping to per-instruction accounting for the
+// partial block whenever a fault or the instruction budget lands mid-block.
+template <bool kInstrumented>
+RunResult Simulator::ExecBlock(std::span<const std::int32_t> args,
+                               std::uint64_t max_instructions,
+                               RunObserver* observer) {
+  RunResult result;
+  const std::size_t text_words = binary_.text.size();
+  result.profile.instr_count.assign(text_words, 0);
+  result.profile.cycle_count.assign(text_words, 0);
+  result.profile.branch_taken.assign(text_words, 0);
+  result.profile.branch_not_taken.assign(text_words, 0);
+
+  std::array<std::int32_t, 32> regs{};
+  std::int32_t hi = 0;
+  std::int32_t lo = 0;
+  regs[kSp] = static_cast<std::int32_t>(kStackTop - 64);
+  regs[kRa] = static_cast<std::int32_t>(kHaltAddress);
+  for (std::size_t i = 0; i < args.size() && i < 4; ++i) {
+    regs[kA0 + i] = args[i];
+  }
+
+  const PreInstr* const mops = blocks_.instrs();
+  const BlockSpan* const spans = blocks_.spans();
+
+  // Block-level profile accumulation: executions of the span entered at
+  // each index, expanded into the per-index vectors only at flush points
+  // and at halt.  `touched` keeps expansion proportional to the number of
+  // distinct entries since the last expansion, not to the text size.
+  std::vector<std::uint64_t> block_count(text_words, 0);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(64);
+  const auto expand_pending = [&] {
+    for (const std::uint32_t entry : touched) {
+      const std::uint64_t count = block_count[entry];
+      block_count[entry] = 0;
+      const std::uint32_t len = spans[entry].len;
+      for (std::uint32_t k = 0; k < len; ++k) {
+        result.profile.instr_count[entry + k] += count;
+        result.profile.cycle_count[entry + k] += count * mops[entry + k].cycles;
+      }
+    }
+    touched.clear();
+  };
+  // Per-instruction accounting for a partial block (fault / budget
+  // mid-block): the first `completed` instructions of the span at `entry`
+  // ran exactly once; the instruction that stopped the block is not charged,
+  // matching the reference engine.
+  const auto account_partial = [&](std::uint32_t entry,
+                                   std::uint32_t completed) {
+    for (std::uint32_t k = 0; k < completed; ++k) {
+      const std::uint32_t cycles = mops[entry + k].cycles;
+      result.profile.instr_count[entry + k] += 1;
+      result.profile.cycle_count[entry + k] += cycles;
+      result.cycles += cycles;
+    }
+    result.instructions += completed;
+  };
+
+  std::uint32_t pc = binary_.entry;
+  [[maybe_unused]] std::array<BranchEvent, kBranchBatch> events;
+  [[maybe_unused]] std::size_t event_count = 0;
+  [[maybe_unused]] std::uint64_t next_flush_at = kFlushIntervalInstrs;
+  const auto flush_events = [&] {
+    if constexpr (kInstrumented) {
+      if (event_count > 0) {
+        expand_pending();  // observers may snapshot the live profile
+        result.profile.total_instructions = result.instructions;
+        result.profile.total_cycles = result.cycles;
+        observer->OnBackwardBranches({events.data(), event_count}, result);
+        event_count = 0;
+      }
+      next_flush_at = result.instructions + kFlushIntervalInstrs;
+    }
+  };
+  const auto fault = [&](std::uint32_t fault_pc, const char* message) {
+    flush_events();
+    expand_pending();
+    result.reason = HaltReason::kFault;
+    std::ostringstream out;
+    out << "fault at pc=0x" << std::hex << fault_pc << ": " << message;
+    result.fault_message = out.str();
+    result.profile.total_instructions = result.instructions;
+    result.profile.total_cycles = result.cycles;
+    return result;
+  };
+
+  while (true) {
+    if (result.instructions >= max_instructions) {
+      flush_events();
+      expand_pending();
+      result.reason = HaltReason::kMaxInstructions;
+      result.fault_message = "instruction budget exhausted";
+      result.profile.total_instructions = result.instructions;
+      result.profile.total_cycles = result.cycles;
+      return result;
+    }
+    if (pc == kHaltAddress) {
+      flush_events();
+      expand_pending();
+      result.reason = HaltReason::kReturned;
+      result.return_value = regs[kV0];
+      result.profile.total_instructions = result.instructions;
+      result.profile.total_cycles = result.cycles;
+      return result;
+    }
+    if (!binary_.ContainsText(pc)) return fault(pc, "pc outside text segment");
+    const std::uint32_t index = (pc - kTextBase) / 4u;
+    const BlockSpan span = spans[index];
+    if (span.len == 0) return fault(pc, "undecodable instruction");
+
+    const std::uint64_t remaining = max_instructions - result.instructions;
+    const std::uint32_t run_len =
+        remaining < span.len ? static_cast<std::uint32_t>(remaining)
+                             : span.len;
+
+    bool taken = false;
+    std::uint32_t indirect_target = 0;
+    const PreInstr* const block_begin = mops + index;
+    const PreInstr* const block_end = block_begin + run_len;
+    for (const PreInstr* m = block_begin; m != block_end; ++m) {
+      const auto rs = static_cast<std::uint32_t>(regs[m->rs]);
+      const auto rt = static_cast<std::uint32_t>(regs[m->rt]);
+      const auto srs = regs[m->rs];
+      const auto srt = regs[m->rt];
+      std::int32_t write_value = 0;
+
+      switch (m->op) {
+        case Op::kSll:  write_value = static_cast<std::int32_t>(rt << m->shamt); break;
+        case Op::kSrl:  write_value = static_cast<std::int32_t>(rt >> m->shamt); break;
+        case Op::kSra:  write_value = srt >> m->shamt; break;
+        case Op::kSllv: write_value = static_cast<std::int32_t>(rt << (rs & 31u)); break;
+        case Op::kSrlv: write_value = static_cast<std::int32_t>(rt >> (rs & 31u)); break;
+        case Op::kSrav: write_value = srt >> (rs & 31u); break;
+        case Op::kAdd: case Op::kAddu:
+          write_value = static_cast<std::int32_t>(rs + rt); break;
+        case Op::kSub: case Op::kSubu:
+          write_value = static_cast<std::int32_t>(rs - rt); break;
+        case Op::kAnd:  write_value = static_cast<std::int32_t>(rs & rt); break;
+        case Op::kOr:   write_value = static_cast<std::int32_t>(rs | rt); break;
+        case Op::kXor:  write_value = static_cast<std::int32_t>(rs ^ rt); break;
+        case Op::kNor:  write_value = static_cast<std::int32_t>(~(rs | rt)); break;
+        case Op::kSlt:  write_value = srs < srt ? 1 : 0; break;
+        case Op::kSltu: write_value = rs < rt ? 1 : 0; break;
+        case Op::kMfhi: write_value = hi; break;
+        case Op::kMflo: write_value = lo; break;
+        case Op::kMthi: hi = srs; break;
+        case Op::kMtlo: lo = srs; break;
+        case Op::kMult: {
+          const std::int64_t product =
+              static_cast<std::int64_t>(srs) * static_cast<std::int64_t>(srt);
+          lo = static_cast<std::int32_t>(product & 0xFFFF'FFFF);
+          hi = static_cast<std::int32_t>(product >> 32);
+          break;
+        }
+        case Op::kMultu: {
+          const std::uint64_t product =
+              static_cast<std::uint64_t>(rs) * static_cast<std::uint64_t>(rt);
+          lo = static_cast<std::int32_t>(product & 0xFFFF'FFFF);
+          hi = static_cast<std::int32_t>(product >> 32);
+          break;
+        }
+        case Op::kDiv:
+          if (srt == 0) {
+            lo = 0; hi = srs;
+          } else if (srs == INT32_MIN && srt == -1) {
+            lo = INT32_MIN; hi = 0;
+          } else {
+            lo = srs / srt; hi = srs % srt;
+          }
+          break;
+        case Op::kDivu:
+          if (rt == 0) {
+            lo = 0; hi = srs;
+          } else {
+            lo = static_cast<std::int32_t>(rs / rt);
+            hi = static_cast<std::int32_t>(rs % rt);
+          }
+          break;
+        case Op::kAddi: case Op::kAddiu:
+          write_value =
+              static_cast<std::int32_t>(rs + static_cast<std::uint32_t>(m->imm));
+          break;
+        case Op::kSlti:  write_value = srs < m->imm ? 1 : 0; break;
+        case Op::kSltiu:
+          write_value = rs < static_cast<std::uint32_t>(m->imm) ? 1 : 0;
+          break;
+        case Op::kAndi: write_value = static_cast<std::int32_t>(rs & static_cast<std::uint32_t>(m->imm)); break;
+        case Op::kOri:  write_value = static_cast<std::int32_t>(rs | static_cast<std::uint32_t>(m->imm)); break;
+        case Op::kXori: write_value = static_cast<std::int32_t>(rs ^ static_cast<std::uint32_t>(m->imm)); break;
+        case Op::kLui:  write_value = static_cast<std::int32_t>(static_cast<std::uint32_t>(m->imm) << 16); break;
+        case Op::kLb: case Op::kLbu: case Op::kLh: case Op::kLhu: case Op::kLw: {
+          const std::uint32_t addr = rs + static_cast<std::uint32_t>(m->imm);
+          const unsigned size = m->mem_size;
+          const auto offset = static_cast<std::uint32_t>(m - block_begin);
+          if ((addr & (size - 1)) != 0) {
+            account_partial(index, offset);
+            return fault(pc + 4u * offset, "unaligned load");
+          }
+          // Word loads from .text are allowed (jump tables / constant pools).
+          std::uint32_t raw = 0;
+          if (m->op == Op::kLw && binary_.ContainsText(addr)) {
+            raw = binary_.WordAt(addr);
+          } else {
+            const std::uint8_t* p = MemPtr(addr, size);
+            if (p == nullptr) {
+              account_partial(index, offset);
+              return fault(pc + 4u * offset, "load outside memory");
+            }
+            for (unsigned b = 0; b < size; ++b) raw |= static_cast<std::uint32_t>(p[b]) << (8 * b);
+          }
+          switch (m->op) {
+            case Op::kLb:  write_value = SignExtend(raw, 8); break;
+            case Op::kLbu: write_value = static_cast<std::int32_t>(raw & 0xFFu); break;
+            case Op::kLh:  write_value = SignExtend(raw, 16); break;
+            case Op::kLhu: write_value = static_cast<std::int32_t>(raw & 0xFFFFu); break;
+            default:       write_value = static_cast<std::int32_t>(raw); break;
+          }
+          break;
+        }
+        case Op::kSb: case Op::kSh: case Op::kSw: {
+          const std::uint32_t addr = rs + static_cast<std::uint32_t>(m->imm);
+          const unsigned size = m->mem_size;
+          const auto offset = static_cast<std::uint32_t>(m - block_begin);
+          if ((addr & (size - 1)) != 0) {
+            account_partial(index, offset);
+            return fault(pc + 4u * offset, "unaligned store");
+          }
+          std::uint8_t* p = MemPtr(addr, size);
+          if (p == nullptr) {
+            account_partial(index, offset);
+            return fault(pc + 4u * offset, "store outside memory");
+          }
+          for (unsigned b = 0; b < size; ++b) p[b] = static_cast<std::uint8_t>((rt >> (8 * b)) & 0xFFu);
+          break;
+        }
+        case Op::kBeq:  taken = srs == srt; break;
+        case Op::kBne:  taken = srs != srt; break;
+        case Op::kBlez: taken = srs <= 0; break;
+        case Op::kBgtz: taken = srs > 0; break;
+        case Op::kBltz: taken = srs < 0; break;
+        case Op::kBgez: taken = srs >= 0; break;
+        case Op::kJ:    break;  // target handled in the terminator postlude
+        case Op::kJal:
+          write_value = static_cast<std::int32_t>(
+              pc + 4u * static_cast<std::uint32_t>(m - block_begin) + 4u);
+          break;
+        case Op::kJr:   indirect_target = rs; break;
+        case Op::kJalr:
+          write_value = static_cast<std::int32_t>(
+              pc + 4u * static_cast<std::uint32_t>(m - block_begin) + 4u);
+          indirect_target = rs;
+          break;
+        case Op::kInvalid: {
+          const auto offset = static_cast<std::uint32_t>(m - block_begin);
+          account_partial(index, offset);
+          return fault(pc + 4u * offset, "invalid instruction");
+        }
+      }
+      if (m->dest != 0) regs[m->dest] = write_value;
+    }
+
+    if (run_len < span.len) {
+      // Budget exhausted mid-block: charge the straight-line prefix
+      // per-instruction and let the top-of-loop check report it.
+      account_partial(index, run_len);
+      continue;
+    }
+
+    // Full block: batched accounting plus the terminator's dynamic part.
+    if (block_count[index]++ == 0) touched.push_back(index);
+    result.instructions += span.len;
+    result.cycles += span.cycles;
+    const std::uint32_t term_index = index + span.len - 1;
+    const std::uint32_t term_pc = pc + 4u * (span.len - 1);
+    std::uint32_t next_pc = 0;
+    switch (span.term) {
+      case TermKind::kFallthrough:
+        next_pc = term_pc + 4;
+        break;
+      case TermKind::kBranch:
+        if (taken) {
+          ++result.profile.branch_taken[term_index];
+          result.profile.cycle_count[term_index] += model_.taken_extra;
+          result.cycles += model_.taken_extra;
+          next_pc = mops[term_index].target;
+        } else {
+          ++result.profile.branch_not_taken[term_index];
+          next_pc = term_pc + 4;
+        }
+        break;
+      case TermKind::kJump:
+      case TermKind::kJal:
+        next_pc = mops[term_index].target;
+        break;
+      case TermKind::kJr:
+      case TermKind::kJalr:
+        next_pc = indirect_target;
+        break;
+    }
+    if constexpr (kInstrumented) {
+      // Loop-latch observation, block-grained: the latch candidate is the
+      // terminator, pre-classified at construction (backward conditional
+      // branch, firing when taken, or backward direct j, firing always) —
+      // same events, same order, same flush points as the reference engine.
+      if (span.backward_latch &&
+          (taken || span.term == TermKind::kJump)) [[unlikely]] {
+        events[event_count++] = {next_pc, term_pc};
+        if (event_count == kBranchBatch ||
+            result.instructions >= next_flush_at) {
+          flush_events();
+        }
+      }
+    }
+    pc = next_pc;
+  }
 }
 
 }  // namespace b2h::mips

@@ -20,6 +20,14 @@
 // so the interpreter hot path carries no extra per-instruction work, and
 // the plain Run() path compiles without even the hook check.
 //
+// Execution engines: the default interpreter is block-compiled — text is
+// pre-decoded into superblocks at construction (mips/block_cache.hpp) and
+// executed block-at-a-time, with profile accounting kept as per-block
+// counters that are expanded into the per-index ExecProfile vectors at
+// observer flush points and at halt.  The original per-instruction
+// interpreter is retained (ExecEngine::kReference) as a differential oracle;
+// both engines produce bit-identical RunResults and observer event streams.
+//
 // Semantics notes (documented platform definition, see DESIGN.md §6):
 //   - no branch delay slots;
 //   - add/addi/sub do not trap on overflow (wrap like their -u forms);
@@ -32,20 +40,10 @@
 #include <vector>
 
 #include "mips/binary.hpp"
+#include "mips/block_cache.hpp"
 #include "mips/isa.hpp"
 
 namespace b2h::mips {
-
-/// Per-instruction-class cycle costs (single-issue in-order core).
-struct CycleModel {
-  unsigned base = 1;          ///< all instructions
-  unsigned load_extra = 1;    ///< additional cycles for loads
-  unsigned mult_extra = 2;    ///< additional cycles for mult/multu
-  unsigned div_extra = 15;    ///< additional cycles for div/divu
-  unsigned taken_extra = 1;   ///< additional cycles for taken branches/jumps
-
-  [[nodiscard]] std::uint64_t CyclesFor(Op op, bool taken) const noexcept;
-};
 
 /// Execution counts indexed by text-word index ((pc - kTextBase) / 4).
 struct ExecProfile {
@@ -98,9 +96,31 @@ class RunObserver {
                                   const RunResult& so_far) = 0;
 };
 
+/// Which interpreter Run()/RunInstrumented() use.  Both produce bit-identical
+/// RunResults (profiles included) and identical observer event streams; the
+/// reference path is retained as the differential-testing oracle and as the
+/// pre-block-engine baseline the throughput bench measures speedup against.
+enum class ExecEngine {
+  /// Block-compiled engine (default): superblocks pre-decoded at
+  /// construction (see BlockCache), executed straight-line with block-level
+  /// profile accounting expanded into the per-index vectors at observer
+  /// flush points and at halt.
+  kBlock,
+  /// The original one-instruction-at-a-time interpreter.
+  kReference,
+};
+
 class Simulator {
  public:
-  explicit Simulator(const SoftBinary& binary, CycleModel model = {});
+  explicit Simulator(const SoftBinary& binary, CycleModel model = {},
+                     ExecEngine engine = ExecEngine::kBlock);
+
+  /// Switch interpreters between runs (testing/benchmarking).
+  void SetEngine(ExecEngine engine) noexcept { engine_ = engine; }
+  [[nodiscard]] ExecEngine engine() const noexcept { return engine_; }
+
+  /// The pre-decoded superblock cache backing the block engine.
+  [[nodiscard]] const BlockCache& blocks() const noexcept { return blocks_; }
 
   /// Run from the entry point; `args` fill $a0..$a3.
   [[nodiscard]] RunResult Run(std::span<const std::int32_t> args = {},
@@ -129,12 +149,22 @@ class Simulator {
   static constexpr std::uint64_t kFlushIntervalInstrs = 2048;
 
  private:
-  /// The interpreter loop.  kInstrumented=false compiles the exact pre-hook
+  /// Block-compiled interpreter loop (ExecEngine::kBlock): executes one
+  /// superblock per iteration with block-level accounting; a fault or an
+  /// exhausted instruction budget mid-block drops to per-instruction
+  /// accounting for the partial block so results stay bit-identical with
+  /// the reference path.  kInstrumented=false compiles the exact pre-hook
   /// hot path (no observer checks at all) for static flows.
   template <bool kInstrumented>
-  [[nodiscard]] RunResult Exec(std::span<const std::int32_t> args,
-                               std::uint64_t max_instructions,
-                               RunObserver* observer);
+  [[nodiscard]] RunResult ExecBlock(std::span<const std::int32_t> args,
+                                    std::uint64_t max_instructions,
+                                    RunObserver* observer);
+
+  /// Reference per-instruction interpreter loop (ExecEngine::kReference).
+  template <bool kInstrumented>
+  [[nodiscard]] RunResult ExecReference(std::span<const std::int32_t> args,
+                                        std::uint64_t max_instructions,
+                                        RunObserver* observer);
 
   [[nodiscard]] const std::uint8_t* MemPtr(std::uint32_t addr,
                                            unsigned size) const;
@@ -142,8 +172,10 @@ class Simulator {
 
   const SoftBinary& binary_;
   CycleModel model_;
+  ExecEngine engine_;
   std::vector<Instr> decoded_;     // predecoded text
   std::vector<bool> decode_ok_;
+  BlockCache blocks_;              // superblock pre-decode (block engine)
   std::vector<std::uint8_t> data_mem_;
   std::vector<std::uint8_t> stack_mem_;
 };

@@ -1,0 +1,362 @@
+// Differential tests for the block-compiled execution engine.
+//
+// The block engine (ExecEngine::kBlock, the default) must be observationally
+// indistinguishable from the retained per-instruction reference interpreter
+// (ExecEngine::kReference): bit-identical RunResult — return value,
+// instruction/cycle totals, halt reason, fault message, and all four
+// per-index profile vectors — plus, for RunInstrumented, an identical
+// observer event stream: same events, same batch boundaries, and the same
+// live profile visible inside every callback (observers snapshot the
+// profile mid-run, so expansion points are part of the contract).
+//
+// Coverage: the whole benchmark suite (plain + instrumented), faults landing
+// mid-block (with and without pending block counters), instruction budgets
+// landing mid-block (exhaustive small-budget sweep), and randomized
+// assembler-generated programs mixing loops, calls, wild/unaligned memory
+// access, and every ALU class.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "mips/assembler.hpp"
+#include "mips/simulator.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+
+namespace b2h::mips {
+namespace {
+
+std::uint64_t HashU64(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the value's bytes.
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t ProfileHash(const ExecProfile& profile) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& vec : {profile.instr_count, profile.cycle_count,
+                          profile.branch_taken, profile.branch_not_taken}) {
+    for (std::uint64_t v : vec) h = HashU64(h, v);
+  }
+  h = HashU64(h, profile.total_instructions);
+  h = HashU64(h, profile.total_cycles);
+  return h;
+}
+
+void ExpectIdentical(const RunResult& block, const RunResult& reference) {
+  EXPECT_EQ(block.return_value, reference.return_value);
+  EXPECT_EQ(block.instructions, reference.instructions);
+  EXPECT_EQ(block.cycles, reference.cycles);
+  EXPECT_EQ(block.reason, reference.reason);
+  EXPECT_EQ(block.fault_message, reference.fault_message);
+  EXPECT_EQ(block.profile.total_instructions,
+            reference.profile.total_instructions);
+  EXPECT_EQ(block.profile.total_cycles, reference.profile.total_cycles);
+  EXPECT_EQ(block.profile.instr_count, reference.profile.instr_count);
+  EXPECT_EQ(block.profile.cycle_count, reference.profile.cycle_count);
+  EXPECT_EQ(block.profile.branch_taken, reference.profile.branch_taken);
+  EXPECT_EQ(block.profile.branch_not_taken,
+            reference.profile.branch_not_taken);
+}
+
+/// Records everything an observer can see: the events of each batch, the
+/// batch boundaries, and a digest of the live so-far state (cumulative
+/// counters and the full profile) at each callback.
+class RecordingObserver final : public RunObserver {
+ public:
+  struct Batch {
+    std::vector<BranchEvent> events;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t profile_hash = 0;
+  };
+
+  void OnBackwardBranches(std::span<const BranchEvent> events,
+                          const RunResult& so_far) override {
+    Batch batch;
+    batch.events.assign(events.begin(), events.end());
+    batch.instructions = so_far.instructions;
+    batch.cycles = so_far.cycles;
+    batch.profile_hash = ProfileHash(so_far.profile);
+    batches.push_back(std::move(batch));
+  }
+
+  std::vector<Batch> batches;
+};
+
+void ExpectSameObservations(const RecordingObserver& block,
+                            const RecordingObserver& reference) {
+  ASSERT_EQ(block.batches.size(), reference.batches.size());
+  for (std::size_t i = 0; i < block.batches.size(); ++i) {
+    const auto& a = block.batches[i];
+    const auto& b = reference.batches[i];
+    SCOPED_TRACE("batch " + std::to_string(i));
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t e = 0; e < a.events.size(); ++e) {
+      EXPECT_EQ(a.events[e].target_pc, b.events[e].target_pc) << "event " << e;
+      EXPECT_EQ(a.events[e].from_pc, b.events[e].from_pc) << "event " << e;
+    }
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.profile_hash, b.profile_hash);
+  }
+}
+
+/// Runs the binary on both engines, plain and instrumented, and expects
+/// bit-identical results and observations throughout.
+void ExpectEnginesAgree(const SoftBinary& binary,
+                        std::uint64_t max_instructions = 100'000'000) {
+  Simulator block(binary, {}, ExecEngine::kBlock);
+  Simulator reference(binary, {}, ExecEngine::kReference);
+  {
+    SCOPED_TRACE("plain Run");
+    ExpectIdentical(block.Run({}, max_instructions),
+                    reference.Run({}, max_instructions));
+  }
+  {
+    SCOPED_TRACE("RunInstrumented");
+    RecordingObserver block_obs;
+    RecordingObserver reference_obs;
+    ExpectIdentical(
+        block.RunInstrumented({}, max_instructions, &block_obs),
+        reference.RunInstrumented({}, max_instructions, &reference_obs));
+    ExpectSameObservations(block_obs, reference_obs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole suite, plain + instrumented.
+
+TEST(BlockEngine, WholeSuiteBitIdentical) {
+  for (const suite::Benchmark& bench : suite::AllBenchmarks()) {
+    SCOPED_TRACE(bench.name);
+    auto built = suite::BuildBinary(bench, 1);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    ExpectEnginesAgree(built.value());
+  }
+}
+
+TEST(BlockEngine, InstrumentedMatchesPlainRun) {
+  // The engine contract from PR 2, re-verified on the block engine: the
+  // hook changes callbacks only, never the result.
+  const suite::Benchmark* bench = suite::FindBenchmark("fir");
+  ASSERT_NE(bench, nullptr);
+  auto built = suite::BuildBinary(*bench, 1);
+  ASSERT_TRUE(built.ok());
+  Simulator sim(built.value());
+  const RunResult plain = sim.Run();
+  RecordingObserver observer;
+  const RunResult hooked = sim.RunInstrumented({}, 100'000'000, &observer);
+  ExpectIdentical(hooked, plain);
+  EXPECT_FALSE(observer.batches.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Faults mid-block.
+
+TEST(BlockEngine, FaultMidBlockIsBitIdentical) {
+  // The sw faults in the middle of a straight-line block: the block engine
+  // must charge exactly the completed prefix, like the reference does.
+  auto binary = Assemble(R"(
+    main:
+      li $t0, 0x200
+      addiu $t1, $zero, 7
+      sw $t1, 0($t0)
+      addiu $t2, $zero, 9
+      jr $ra
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+  ExpectEnginesAgree(binary.value());
+  Simulator sim(binary.value());
+  const RunResult run = sim.Run();
+  EXPECT_EQ(run.reason, HaltReason::kFault);
+  EXPECT_NE(run.fault_message.find("store outside memory"), std::string::npos);
+}
+
+TEST(BlockEngine, FaultWithPendingBlockCountersIsBitIdentical) {
+  // A hot loop runs first, so block counters are pending when the fault
+  // expansion happens.
+  auto binary = Assemble(R"(
+    main:
+      li $t0, 5
+    loop:
+      addiu $t0, $t0, -1
+      bgtz $t0, loop
+      li $t1, 0x200
+      lw $v0, 0($t1)
+      jr $ra
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+  ExpectEnginesAgree(binary.value());
+}
+
+TEST(BlockEngine, UnalignedFaultMidBlockIsBitIdentical) {
+  auto binary = Assemble(R"(
+    main:
+      la $t0, buf
+      lw $v0, 1($t0)
+      addiu $v0, $v0, 1
+      jr $ra
+    .data
+    buf: .word 1, 2
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+  ExpectEnginesAgree(binary.value());
+}
+
+TEST(BlockEngine, FallthroughOffTextEndIsBitIdentical) {
+  // No terminator at all: the straight-line run falls off the end of text.
+  auto binary = Assemble("main:\n addiu $v0, $zero, 3\n addiu $v0, $v0, 4\n");
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+  ExpectEnginesAgree(binary.value());
+  Simulator sim(binary.value());
+  const RunResult run = sim.Run();
+  EXPECT_EQ(run.reason, HaltReason::kFault);
+  EXPECT_NE(run.fault_message.find("pc outside text"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Instruction budgets landing mid-block.
+
+TEST(BlockEngine, BudgetSweepLandsMidBlockBitIdentical) {
+  const suite::Benchmark* bench = suite::FindBenchmark("crc");
+  ASSERT_NE(bench, nullptr);
+  auto built = suite::BuildBinary(*bench, 1);
+  ASSERT_TRUE(built.ok());
+  // Every small budget in turn: this walks the budget boundary through
+  // every offset of the early blocks, including 0 and exact block ends.
+  for (std::uint64_t budget = 0; budget <= 96; ++budget) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectEnginesAgree(built.value(), budget);
+  }
+  // A few larger budgets land mid-run inside hot loops.
+  for (std::uint64_t budget : {997u, 4999u, 20011u}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectEnginesAgree(built.value(), budget);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized programs.
+
+std::string RandomProgram(std::mt19937& rng) {
+  const auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+  std::ostringstream s;
+  const int blocks = 4 + pick(6);
+  s << "main:\n";
+  s << "  move $s7, $ra\n";
+  s << "  la $s0, buf\n";
+  s << "  li $s1, " << (4 + pick(24)) << "\n";  // branch fuel: bounds loops
+  for (int r = 0; r < 4; ++r) {
+    s << "  li $t" << r << ", " << static_cast<std::int32_t>(rng()) << "\n";
+  }
+  for (int b = 0; b < blocks; ++b) {
+    s << "L" << b << ":\n";
+    const int body = 2 + pick(7);
+    for (int i = 0; i < body; ++i) {
+      const int a = pick(8);
+      const int c = pick(8);
+      const int d = pick(8);
+      switch (pick(14)) {
+        case 0: s << "  addu $t" << d << ", $t" << a << ", $t" << c << "\n"; break;
+        case 1: s << "  subu $t" << d << ", $t" << a << ", $t" << c << "\n"; break;
+        case 2: s << "  and $t" << d << ", $t" << a << ", $t" << c << "\n"; break;
+        case 3: s << "  xor $t" << d << ", $t" << a << ", $t" << c << "\n"; break;
+        case 4: s << "  sll $t" << d << ", $t" << a << ", " << pick(32) << "\n"; break;
+        case 5: s << "  srav $t" << d << ", $t" << a << ", $t" << c << "\n"; break;
+        case 6: s << "  addiu $t" << d << ", $t" << a << ", " << (pick(4096) - 2048) << "\n"; break;
+        case 7: s << "  slti $t" << d << ", $t" << a << ", " << (pick(200) - 100) << "\n"; break;
+        case 8: s << "  mult $t" << a << ", $t" << c << "\n  mflo $t" << d << "\n"; break;
+        case 9: s << "  div $t" << a << ", $t" << c << "\n  mfhi $t" << d << "\n"; break;
+        case 10: s << "  sw $t" << a << ", " << 4 * pick(60) << "($s0)\n"; break;
+        case 11: s << "  lw $t" << d << ", " << 4 * pick(60) << "($s0)\n"; break;
+        case 12: s << "  sb $t" << a << ", " << pick(250) << "($s0)\n"; break;
+        case 13:
+          if (pick(4) == 0) {
+            // Wild access: address comes from a scrambled register, so this
+            // usually faults mid-block (and occasionally doesn't — both
+            // engines must simply agree).
+            s << "  lw $t" << d << ", " << 4 * pick(8) << "($t" << a << ")\n";
+          } else {
+            s << "  lhu $t" << d << ", " << 2 * pick(120) << "($s0)\n";
+          }
+          break;
+      }
+    }
+    // Terminator: fall through, a fuel-guarded branch (any direction), a
+    // forward jump, or a call to the leaf helper.
+    switch (pick(4)) {
+      case 0:
+        break;
+      case 1:
+        s << "  addiu $s1, $s1, -1\n";
+        s << "  bgtz $s1, L" << pick(blocks) << "\n";
+        break;
+      case 2:
+        if (b + 1 < blocks) s << "  j L" << (b + 1 + pick(blocks - b - 1)) << "\n";
+        break;
+      case 3:
+        s << "  jal helper\n";
+        break;
+    }
+  }
+  s << "  move $ra, $s7\n";
+  s << "  jr $ra\n";
+  s << "helper:\n";
+  s << "  addu $t9, $t9, $a0\n";
+  s << "  jr $ra\n";
+  s << ".data\n";
+  s << "buf: .space 256\n";
+  return s.str();
+}
+
+TEST(BlockEngine, RandomizedProgramsBitIdentical) {
+  for (std::uint32_t seed = 1; seed <= 40; ++seed) {
+    std::mt19937 rng(seed);
+    const std::string source = RandomProgram(rng);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + source);
+    auto binary = Assemble(source);
+    ASSERT_TRUE(binary.ok()) << binary.status().message();
+    // A tight budget makes non-terminating shapes deterministic and lands
+    // mid-block often; a larger one lets most programs halt normally.
+    ExpectEnginesAgree(binary.value(), 30'000);
+    ExpectEnginesAgree(binary.value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block-cache structure sanity.
+
+TEST(BlockEngine, BlockCacheSpansCoverText) {
+  const suite::Benchmark* bench = suite::FindBenchmark("fir");
+  ASSERT_NE(bench, nullptr);
+  auto built = suite::BuildBinary(*bench, 1);
+  ASSERT_TRUE(built.ok());
+  Simulator sim(built.value());
+  const BlockCache& cache = sim.blocks();
+  ASSERT_EQ(cache.size(), built.value().text.size());
+  EXPECT_GT(cache.leader_blocks(), 0u);
+  const BlockSpan* spans = cache.spans();
+  const PreInstr* instrs = cache.instrs();
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    ASSERT_GE(spans[i].len, 1u) << i;  // suite text decodes fully
+    ASSERT_LE(i + spans[i].len, cache.size()) << i;
+    // Straight-line interior: only the terminator may be a control op.
+    std::uint64_t cycles = 0;
+    for (std::uint32_t k = 0; k + 1 < spans[i].len; ++k) {
+      EXPECT_FALSE(IsControl(instrs[i + k].op)) << i << "+" << k;
+      cycles += instrs[i + k].cycles;
+    }
+    cycles += instrs[i + spans[i].len - 1].cycles;
+    EXPECT_EQ(spans[i].cycles, cycles) << i;
+  }
+}
+
+}  // namespace
+}  // namespace b2h::mips

@@ -10,15 +10,20 @@
 // the perf trajectory through the SAME support::MeasureOverhead harness;
 // this asserts the bound.
 //
-// The bound is per build type: under the default RelWithDebInfo the hook
-// measures ~8-10%; under -O3 Release the same measurement reads ~18% in
-// THIS gtest-linked binary while a standalone probe of the identical code
-// reads 5-8% — residual layout sensitivity (relative placement of the two
-// interpreter-loop instantiations) that -falign-loops does not fully pin.
-// Release therefore gets a layout-headroom bound rather than a flaky gate;
-// a real hook regression moves both builds.  Min-of-N sampling with
-// attempt-level retries does the rest: noise only ever inflates a sample,
-// so the minimum converges toward the true ratio from above.
+// The bound is per build type, and its constants are calibrated against the
+// *block-compiled* engine (the default since the superblock rewrite): the
+// hook plumbing itself — latch check, event batching, profile expansion at
+// flush — measures ~0% against a null observer, so what this ratio now
+// mostly captures is the DetectionOnlyObserver's own per-event cache update,
+// whose absolute cost is unchanged but whose relative share grew when the
+// baseline interpreter got 3-5x faster.  RelWithDebInfo measures ~10%
+// (bound 15%); under -O3 Release the measurement carries extra layout
+// sensitivity (relative placement of the two interpreter-loop
+// instantiations) that -falign-loops does not fully pin, so it keeps a
+// layout-headroom bound (25%); a real hook regression moves both builds.
+// Min-of-N sampling with attempt-level retries does the rest: noise only
+// ever inflates a sample, so the minimum converges toward the true ratio
+// from above.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -37,7 +42,7 @@ constexpr double DetectorOverheadBound() {
 #ifdef B2H_BUILD_TYPE
   if (std::string_view(B2H_BUILD_TYPE) == "Release") return 0.25;
 #endif
-  return 0.10;
+  return 0.15;
 }
 
 TEST(DetectorOverhead, StaysWithinPerBuildTypeBound) {

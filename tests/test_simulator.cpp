@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "mips/assembler.hpp"
 
 namespace b2h::mips {
@@ -146,6 +148,55 @@ TEST(Simulator, FaultsOnUnalignedAccess) {
   const auto run = sim.Run();
   EXPECT_EQ(run.reason, HaltReason::kFault);
   EXPECT_NE(run.fault_message.find("unaligned"), std::string::npos);
+}
+
+TEST(Simulator, AddressWrapAroundFaults) {
+  // Regression: `addr + size` overflowed 32 bits for addresses near
+  // UINT32_MAX, so `addr >= kDataBase && addr + size <= end` accepted the
+  // access and handed out a pointer ~3.7 GiB past the 1 MiB data segment.
+  // The bounds checks are now end-exclusive offset comparisons that cannot
+  // wrap; every such access must fault cleanly on both engines.
+  for (const char* body : {
+           "li $t0, -4\n lw $v0, 0($t0)",   // 0xFFFFFFFC: aligned word
+           "li $t0, -4\n sw $t0, 0($t0)",
+           "li $t0, -1\n lbu $v0, 0($t0)",  // 0xFFFFFFFF: byte, +1 wraps to 0
+           "li $t0, -1\n sb $t0, 0($t0)",
+           "li $t0, -2\n lhu $v0, 0($t0)",  // 0xFFFFFFFE: aligned half
+       }) {
+    SCOPED_TRACE(body);
+    auto binary = Assemble("main:\n" + std::string(body) + "\n jr $ra\n");
+    ASSERT_TRUE(binary.ok()) << binary.status().message();
+    for (ExecEngine engine : {ExecEngine::kBlock, ExecEngine::kReference}) {
+      Simulator sim(binary.value(), {}, engine);
+      const auto run = sim.Run();
+      EXPECT_EQ(run.reason, HaltReason::kFault);
+      EXPECT_NE(run.fault_message.find("outside memory"), std::string::npos);
+    }
+  }
+}
+
+TEST(Simulator, SegmentBoundariesStayEndExclusive) {
+  // The wrap-safe checks must not shrink the valid range: the last aligned
+  // word of the data segment is accessible, one byte past it is not.
+  const std::uint32_t last_word =
+      kDataBase + Simulator::kDataSegmentSize - 4;
+  {
+    std::ostringstream src;
+    src << "main:\n li $t0, " << last_word << "\n lw $v0, 0($t0)\n jr $ra\n";
+    auto binary = Assemble(src.str());
+    ASSERT_TRUE(binary.ok()) << binary.status().message();
+    Simulator sim(binary.value());
+    EXPECT_EQ(sim.Run().reason, HaltReason::kReturned);
+  }
+  {
+    std::ostringstream src;
+    src << "main:\n li $t0, " << (last_word + 4)
+        << "\n lbu $v0, 0($t0)\n jr $ra\n";
+    auto binary = Assemble(src.str());
+    ASSERT_TRUE(binary.ok()) << binary.status().message();
+    Simulator sim(binary.value());
+    EXPECT_EQ(sim.Run().reason, HaltReason::kFault);
+  }
 }
 
 TEST(Simulator, FaultsOnWildAddress) {
