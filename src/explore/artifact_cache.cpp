@@ -483,10 +483,16 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 }
 
 void ArtifactCache::Clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  decompiles_.clear();
-  partitions_.clear();
-  stats_ = Stats{};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    decompiles_.clear();
+    partitions_.clear();
+    stats_ = Stats{};
+  }
+  // Pooled candidate sets point into programs owned by the memory tier;
+  // dropping the tier must drop the pool too (its own mutex, so outside
+  // ours).  Cumulative pool counters survive by design.
+  candidate_pool_->Clear();
 }
 
 }  // namespace b2h::explore

@@ -53,6 +53,7 @@
 #include "explore/disk_store.hpp"
 #include "mips/binary.hpp"
 #include "mips/simulator.hpp"
+#include "partition/candidates.hpp"
 #include "partition/estimate.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/platform.hpp"
@@ -161,6 +162,16 @@ class ArtifactCache {
   [[nodiscard]] DiskStore* disk() { return disk_ ? disk_.get() : nullptr; }
   [[nodiscard]] bool disk_enabled() const { return disk_ != nullptr; }
 
+  /// Pool of pre-scanned candidate sets keyed on (decompile key,
+  /// partition-options hash); lives beside the artifact tiers so every
+  /// tenant of a shared cache — all points of a sweep, all requests of a
+  /// serve daemon — also shares candidate scans and synthesis memos.
+  /// Never null.
+  [[nodiscard]] const std::shared_ptr<partition::CandidateSetPool>&
+  candidate_pool() const {
+    return candidate_pool_;
+  }
+
  private:
   // Shared two-tier lookup/insert machinery behind the typed entry points
   // (defined in the .cpp; instantiated only there).
@@ -185,6 +196,8 @@ class ArtifactCache {
   std::unordered_map<std::string, std::shared_ptr<const PartitionArtifact>>
       partitions_;
   std::unique_ptr<DiskStore> disk_;
+  std::shared_ptr<partition::CandidateSetPool> candidate_pool_ =
+      std::make_shared<partition::CandidateSetPool>();
 };
 
 }  // namespace b2h::explore

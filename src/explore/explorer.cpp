@@ -9,7 +9,9 @@
 
 #include "decomp/pass_manager.hpp"
 #include "mips/simulator.hpp"
+#include "support/json.hpp"
 #include "support/parallel_for.hpp"
+#include "support/schema.hpp"
 
 namespace b2h::explore {
 
@@ -446,10 +448,17 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
         auto artifact = std::make_shared<PartitionArtifact>();
         partition_slots[index] = artifact;
         try {
-          const auto& base = decomp_done.at(
-              pair_decomp_key[job.binary * out.num_platforms + job.platform]);
+          const std::string& decomp_key =
+              pair_decomp_key[job.binary * out.num_platforms + job.platform];
+          const auto& base = decomp_done.at(decomp_key);
           partition::StrategyOptions strategy_options = spec.strategy_options;
           strategy_options.objective = job.objective;
+          // Every job on the same (program, partition options) pair shares
+          // one pooled CandidateSet, so a strategy/objective/seed sweep
+          // scans once and synthesizes each candidate once total.
+          strategy_options.candidates = cache_->candidate_pool()->Obtain(
+              decomp_key + ":" + options_hash, base->program,
+              base->software_run->profile);
           auto partitioned = strategies[job.strategy]->Partition(
               *base->program, base->software_run->profile,
               *platforms[job.platform], config_.partition, strategy_options);
@@ -500,6 +509,11 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
         artifact.estimate.partitioned_energy * artifact.estimate.partitioned_time;
     point.area_gates = artifact.estimate.area_gates;
     point.hw_regions = artifact.partition.hw.size();
+    point.hw_names.clear();
+    point.hw_names.reserve(artifact.partition.hw.size());
+    for (const auto& region : artifact.partition.hw) {
+      point.hw_names.push_back(region.synthesized.region.name);
+    }
     point.rejected = artifact.partition.rejected;
     point.from_cache = partition_cached_keys.count(point_keys[i]) != 0;
   }
@@ -607,6 +621,52 @@ std::string ExploreResult::Report() const {
       }
     }
   }
+  return out.str();
+}
+
+std::string ExploreResult::Json() const {
+  std::ostringstream out;
+  char number[64];
+  const auto emit_double = [&](const char* name, double value) {
+    std::snprintf(number, sizeof number, "%.9g", value);
+    out << ",\"" << name << "\":" << number;
+  };
+  const auto emit_strings = [&](const char* name,
+                                const std::vector<std::string>& values) {
+    out << ",\"" << name << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "\"" << support::JsonEscape(values[i]) << "\"";
+    }
+    out << "]";
+  };
+  out << "{\"schema\":" << kReportSchemaVersion << ",\"binaries\":"
+      << num_binaries << ",\"platforms\":" << num_platforms
+      << ",\"strategies\":" << num_strategies << ",\"objectives\":"
+      << num_objectives << ",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ExplorePoint& point = points[i];
+    if (i != 0) out << ",";
+    out << "{\"binary\":\"" << support::JsonEscape(point.binary_name)
+        << "\",\"platform\":\"" << support::JsonEscape(point.platform_name)
+        << "\",\"strategy\":\"" << support::JsonEscape(point.strategy_name)
+        << "\",\"objective\":\""
+        << partition::ObjectiveName(point.objective) << "\"";
+    if (!point.status.ok()) {
+      out << ",\"error\":\"" << support::JsonEscape(point.status.message())
+          << "\"}";
+      continue;
+    }
+    emit_double("speedup", point.speedup);
+    emit_double("energy", point.energy);
+    emit_double("energy_savings", point.energy_savings);
+    emit_double("edp", point.edp);
+    emit_double("area_gates", point.area_gates);
+    emit_strings("hw_regions", point.hw_names);
+    emit_strings("rejected", point.rejected);
+    out << ",\"pareto\":" << (point.on_frontier ? "true" : "false") << "}";
+  }
+  out << "]}";
   return out.str();
 }
 

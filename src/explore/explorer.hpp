@@ -73,6 +73,7 @@ struct ExplorePoint {
   double edp = 0.0;                ///< energy x delay, joule-seconds
   double area_gates = 0.0;
   std::size_t hw_regions = 0;
+  std::vector<std::string> hw_names;  ///< selected region names, report order
   std::vector<std::string> rejected;  ///< why regions were skipped
 
   bool on_frontier = false;   ///< Pareto-optimal within its binary
@@ -129,6 +130,12 @@ struct ExploreResult {
   [[nodiscard]] std::string Report() const;
   /// Work/cache counters and wall time (varies between runs by design).
   [[nodiscard]] std::string StatsReport() const;
+  /// Deterministic JSON report, stamped with kReportSchemaVersion: every
+  /// point (metrics, hw region names, rejections, frontier flag) plus the
+  /// grid shape.  Deliberately excludes from_cache and all work counters so
+  /// warm/cold and serial/concurrent runs serialize bit-identically — the
+  /// serve daemon's `explore` responses embed this object.
+  [[nodiscard]] std::string Json() const;
 };
 
 struct ExplorerConfig {

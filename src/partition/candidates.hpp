@@ -14,13 +14,25 @@
 //                    the original three-step partitioner's try_select.
 //   EvaluateSubset — score an arbitrary overlap-free candidate subset the
 //                    way EstimatePartition would, for search strategies.
+//
+// Synthesis sharing (the seed-sweep fix): candidate synthesis is memoized
+// at the CandidateSet level, *beneath* the strategy layer — so strategies
+// that receive the same CandidateSet instance (via
+// StrategyOptions::candidates, populated from a CandidateSetPool) share
+// every synthesis result.  A seed sweep over the annealing strategy — the
+// exact repeated-request shape the b2h-serve daemon sees — synthesizes
+// each candidate once total instead of once per seed.  The memo is
+// mutex-guarded so pooled sets are safe under the Explorer's and the
+// server's concurrent strategy invocations.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "decomp/alias.hpp"
@@ -74,12 +86,21 @@ class CandidateSet {
       const ir::Function* function) const;
 
   /// Memoized synthesis of candidate `id`: the first call synthesizes, later
-  /// calls return the cached result (synthesis is deterministic).
+  /// calls return the cached result (synthesis is deterministic, so the
+  /// memo ignores `options` after the first call — sets shared through a
+  /// CandidateSetPool are keyed on the partition-options hash to keep that
+  /// sound).  Thread-safe: concurrent strategy invocations on a shared set
+  /// serialize per call but compute each candidate exactly once.
   [[nodiscard]] const Result<synth::SynthesizedRegion>& Synthesize(
       std::size_t id, const synth::SynthOptions& options) const;
 
+  /// Number of synthesis computations actually performed (memo misses) —
+  /// the seed-sweep sharing tests key on this staying flat across seeds.
+  [[nodiscard]] std::size_t synthesis_runs() const;
+
   /// True when candidates `a` and `b` share at least one block (nested or
-  /// otherwise overlapping loop regions).
+  /// otherwise overlapping loop regions).  Thread-safe (lazy block-set
+  /// build is guarded by the memo mutex).
   [[nodiscard]] bool Overlaps(std::size_t a, std::size_t b) const;
 
  private:
@@ -97,9 +118,66 @@ class CandidateSet {
   };
   std::vector<FunctionAnalyses> analyses_;
 
+  // Guards the lazy memos below; owned through a pointer so CandidateSet
+  // stays movable (Scan returns by value).
+  mutable std::unique_ptr<std::mutex> memo_mutex_ =
+      std::make_unique<std::mutex>();
+  mutable std::size_t synthesis_runs_ = 0;
   mutable std::vector<std::optional<Result<synth::SynthesizedRegion>>>
       synth_memo_;
   mutable std::vector<std::set<const ir::Block*>> block_sets_;  // lazy
+};
+
+/// Shared candidate set for one Partition call: the pre-scanned set handed
+/// down through StrategyOptions::candidates when the caller pools scans
+/// (the exploration engine, the b2h-serve daemon), or a fresh scan
+/// otherwise.  Every strategy obtains its set through this helper, which
+/// is what moves synthesis memoization beneath the strategy layer.
+[[nodiscard]] std::shared_ptr<const CandidateSet> ObtainCandidates(
+    const decomp::DecompiledProgram& program, const mips::ExecProfile& profile,
+    std::shared_ptr<const CandidateSet> shared);
+
+/// Process-lifetime pool of CandidateSets keyed by (decompile artifact key,
+/// partition-options hash).  Entries pin the decompiled program they point
+/// into; a key is only served when the caller presents the SAME program
+/// instance (a rehydrated program is a different instance and rebuilds the
+/// entry), so pooled candidates can never dangle into a replaced program.
+/// Bounded LRU so a long-lived server cannot accumulate unbounded IR.
+class CandidateSetPool {
+ public:
+  struct Stats {
+    std::size_t scans = 0;    ///< candidate scans actually performed
+    std::size_t hits = 0;     ///< Obtain calls served by an existing entry
+    std::size_t entries = 0;  ///< live entries
+    /// Total synthesis computations across live + evicted entries — flat
+    /// across a seed sweep when sharing works.
+    std::size_t synthesis_runs = 0;
+  };
+
+  explicit CandidateSetPool(std::size_t max_entries = 16);
+
+  [[nodiscard]] std::shared_ptr<const CandidateSet> Obtain(
+      const std::string& key,
+      std::shared_ptr<const decomp::DecompiledProgram> program,
+      const mips::ExecProfile& profile);
+
+  [[nodiscard]] Stats stats() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CandidateSet> set;
+    std::shared_ptr<const decomp::DecompiledProgram> program;
+    std::uint64_t last_use = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t scans_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t retired_synthesis_runs_ = 0;  ///< from evicted entries
+  std::unordered_map<std::string, Entry> entries_;
 };
 
 /// Commit-side selection bookkeeping.  TrySelect reproduces the original

@@ -36,6 +36,8 @@
 
 namespace b2h::partition {
 
+class CandidateSet;  // candidates.hpp
+
 /// What an objective-driven strategy maximizes.  Every strategy still
 /// reports all metrics (the estimate carries time, energy, and area); the
 /// objective only steers the search.
@@ -61,6 +63,14 @@ struct StrategyOptions {
   /// Candidate-count ceiling for the exact search; above it the knapsack
   /// strategy keeps the highest-cycle candidates only (noted in `rejected`).
   std::size_t exact_candidate_cap = 20;
+  /// Pre-scanned candidate machinery for the (program, profile) pair this
+  /// call partitions, normally served from a CandidateSetPool keyed on the
+  /// decompile artifact + partition-options hash.  Strategies sharing one
+  /// set share its synthesis memo, so e.g. an annealing seed sweep
+  /// synthesizes each candidate once total.  Null = scan fresh (the
+  /// legacy PartitionProgram path).  NOT part of any artifact key or
+  /// OptionsFingerprint: it changes where work happens, never results.
+  std::shared_ptr<const CandidateSet> candidates;
 };
 
 class Strategy {

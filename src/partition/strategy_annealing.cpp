@@ -28,7 +28,9 @@ class AnnealingStrategy final : public Strategy {
       const mips::ExecProfile& profile, const Platform& platform,
       const PartitionOptions& options,
       const StrategyOptions& strategy_options) const override {
-    const CandidateSet set = CandidateSet::Scan(program, profile);
+    const std::shared_ptr<const CandidateSet> shared =
+        ObtainCandidates(program, profile, strategy_options.candidates);
+    const CandidateSet& set = *shared;
     const ViableCandidates viable_set =
         FilterViableCandidates(set, platform, options);
     const std::vector<std::size_t>& viable = viable_set.ids;

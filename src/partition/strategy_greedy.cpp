@@ -83,8 +83,10 @@ class PaperGreedyStrategy final : public Strategy {
       const decomp::DecompiledProgram& program,
       const mips::ExecProfile& profile, const Platform& platform,
       const PartitionOptions& options,
-      const StrategyOptions& /*strategy_options*/) const override {
-    const CandidateSet set = CandidateSet::Scan(program, profile);
+      const StrategyOptions& strategy_options) const override {
+    const std::shared_ptr<const CandidateSet> shared =
+        ObtainCandidates(program, profile, strategy_options.candidates);
+    const CandidateSet& set = *shared;
     SelectionState state(set, platform, options);
     PaperGreedySelect(set, state, options);
     return state.Take();

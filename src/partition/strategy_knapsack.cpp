@@ -39,7 +39,9 @@ class KnapsackStrategy final : public Strategy {
       const mips::ExecProfile& profile, const Platform& platform,
       const PartitionOptions& options,
       const StrategyOptions& strategy_options) const override {
-    const CandidateSet set = CandidateSet::Scan(program, profile);
+    const std::shared_ptr<const CandidateSet> shared =
+        ObtainCandidates(program, profile, strategy_options.candidates);
+    const CandidateSet& set = *shared;
     const std::vector<Candidate>& candidates = set.candidates();
     const double budget = platform.fpga.budget_gates();
 

@@ -1,0 +1,91 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace b2h::serve {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), max_frame_bytes_(other.max_frame_bytes_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    max_frame_bytes_ = other.max_frame_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  std::string error;
+  const int fd = support::ConnectUnix(socket_path, &error);
+  if (fd < 0) {
+    return Status::Error(ErrorKind::kResource, "b2h-serve client: " + error);
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status Client::Call(std::string_view request, std::string* response,
+                    int timeout_ms) {
+  if (const Status sent = Send(request); !sent.ok()) return sent;
+  return Receive(response, timeout_ms);
+}
+
+Status Client::Send(std::string_view request) {
+  if (fd_ < 0) {
+    return Status::Error(ErrorKind::kResource, "client is not connected");
+  }
+  if (!support::WriteFrame(fd_, request, max_frame_bytes_)) {
+    return Status::Error(ErrorKind::kResource,
+                         "failed to send request frame");
+  }
+  return Status::Ok();
+}
+
+Status Client::Receive(std::string* response, int timeout_ms) {
+  if (fd_ < 0) {
+    return Status::Error(ErrorKind::kResource, "client is not connected");
+  }
+  const support::FrameStatus status =
+      support::ReadFrame(fd_, response, max_frame_bytes_, timeout_ms);
+  if (status == support::FrameStatus::kOk) return Status::Ok();
+  return Status::Error(ErrorKind::kResource,
+                       std::string("response read failed: ") +
+                           support::ToString(status));
+}
+
+bool Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace b2h::serve

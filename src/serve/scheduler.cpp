@@ -1,0 +1,122 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace b2h::serve {
+
+Scheduler::Scheduler(Options options) : options_(options) {
+  const unsigned workers = std::max(1u, options_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() { Stop(); }
+
+Scheduler::Outcome Scheduler::Run(const std::string& key,
+                                  std::function<JobResult()> work,
+                                  int deadline_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) return {OutcomeCode::kShuttingDown, nullptr, false};
+
+  std::shared_ptr<Job> job;
+  bool coalesced = false;
+  const auto it = in_flight_.find(key);
+  if (it != in_flight_.end()) {
+    // Single-flight: identical work is already queued or running — attach.
+    job = it->second;
+    coalesced = true;
+    ++stats_.coalesced;
+  } else {
+    if (queue_.size() >= options_.max_queue) {
+      ++stats_.rejected_overload;
+      return {OutcomeCode::kOverloaded, nullptr, false};
+    }
+    job = std::make_shared<Job>();
+    job->key = key;
+    job->work = std::move(work);
+    in_flight_.emplace(key, job);
+    queue_.push_back(job);
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    queue_cv_.notify_one();
+  }
+  ++stats_.submitted;
+
+  const auto finished = [&job] { return job->done; };
+  if (deadline_ms < 0) {
+    done_cv_.wait(lock, finished);
+  } else if (!done_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                                finished)) {
+    // The waiter gives up; the job object stays queued/running and will
+    // complete into the caches for the next identical request.
+    ++stats_.deadline_expired;
+    return {OutcomeCode::kDeadline, nullptr, coalesced};
+  }
+  return {OutcomeCode::kDone, job->result, coalesced};
+}
+
+void Scheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;  // Stop() already failed everything queued
+    const std::shared_ptr<Job> job = queue_.front();
+    queue_.pop_front();
+    lock.unlock();
+
+    JobResult result;
+    try {
+      result = job->work();
+    } catch (const std::exception& e) {
+      result = {false, kErrInternal,
+                std::string("work closure threw: ") + e.what(), ""};
+    } catch (...) {
+      result = {false, kErrInternal, "work closure threw", ""};
+    }
+
+    lock.lock();
+    job->result = std::make_shared<const JobResult>(std::move(result));
+    job->done = true;
+    in_flight_.erase(job->key);
+    ++stats_.executed;
+    done_cv_.notify_all();
+  }
+}
+
+void Scheduler::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Second Stop(): workers already told to exit; fall through to join.
+    } else {
+      stopping_ = true;
+      // Fail everything admitted but not yet started; running jobs finish
+      // normally (their waiters get real results even during shutdown).
+      for (const std::shared_ptr<Job>& job : queue_) {
+        job->result = std::make_shared<const JobResult>(JobResult{
+            false, kErrShuttingDown, "server is shutting down", ""});
+        job->done = true;
+        in_flight_.erase(job->key);
+      }
+      queue_.clear();
+    }
+    queue_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace b2h::serve

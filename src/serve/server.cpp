@@ -1,0 +1,371 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "partition/strategy.hpp"
+#include "suite/runner.hpp"
+#include "suite/suite.hpp"
+#include "support/json.hpp"
+#include "support/schema.hpp"
+
+namespace b2h::serve {
+
+namespace {
+
+using support::JsonEscape;
+
+/// How often blocked loops re-check the stop flag (accept poll, idle
+/// connection reads).  Bounds shutdown latency without busy-waiting.
+constexpr int kStopPollMs = 100;
+
+/// ToolchainRun::Json()-shaped report for one explore point — same fields,
+/// same order, same %.9g formatting, so a served `partition` report is
+/// bit-identical to what a local Toolchain::RunOn + Json() produces for
+/// the same request (asserted in test_serve).
+std::string PartitionReportJson(const explore::ExplorePoint& point) {
+  std::ostringstream out;
+  char number[64];
+  out << "{\"schema\":" << kReportSchemaVersion << ",\"binary\":\""
+      << JsonEscape(point.binary_name) << "\",\"platform\":\""
+      << JsonEscape(point.platform_name) << "\"";
+  std::snprintf(number, sizeof number, "%.9g", point.speedup);
+  out << ",\"speedup\":" << number;
+  std::snprintf(number, sizeof number, "%.9g", point.energy_savings);
+  out << ",\"energy_savings\":" << number;
+  std::snprintf(number, sizeof number, "%.9g", point.area_gates);
+  out << ",\"area_gates\":" << number;
+  out << ",\"hw_regions\":[";
+  for (std::size_t i = 0; i < point.hw_names.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << JsonEscape(point.hw_names[i]) << "\"";
+  }
+  out << "],\"rejected\":[";
+  for (std::size_t i = 0; i < point.rejected.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << JsonEscape(point.rejected[i]) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      scheduler_(Scheduler::Options{options_.workers, options_.max_queue}) {
+  toolchain_.WithThreads(options_.toolchain_threads);
+  if (!options_.cache_dir.empty()) {
+    toolchain_.WithCacheDir(options_.cache_dir);
+  }
+}
+
+Server::~Server() {
+  RequestShutdown();
+  if (accept_thread_.joinable()) Wait();
+}
+
+Status Server::Start() {
+  std::string error;
+  listen_fd_ = support::ListenUnix(options_.socket_path, 64, &error);
+  if (listen_fd_ < 0) {
+    return Status::Error(ErrorKind::kResource, "b2h-serve: " + error);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Wait() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kStopPollMs / 2));
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain order matters: failing queued jobs / finishing running ones
+  // unblocks any connection thread parked in Scheduler::Run, after which
+  // every connection loop observes the stop flag and exits.
+  scheduler_.Stop();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) {
+    if (connection.joinable()) connection.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // The daemon owns its socket path; leaving the file behind would make a
+  // later `connect` hang instead of failing fast.
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int polled = ::poll(&pfd, 1, kStopPollMs);
+    if (polled <= 0) continue;  // timeout or EINTR: re-check stop flag
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  connections_served_.fetch_add(1);
+  std::string payload;
+  while (!stopping_.load()) {
+    const support::FrameStatus status = support::ReadFrame(
+        fd, &payload, options_.max_frame_bytes, kStopPollMs);
+    if (status == support::FrameStatus::kTimeout) continue;  // idle tick
+    if (status == support::FrameStatus::kClosed) break;
+    if (status == support::FrameStatus::kOversized) {
+      // The prefix was consumed but the payload not; the stream is out of
+      // sync, so answer structurally and close THIS connection only.
+      protocol_errors_.fetch_add(1);
+      (void)support::WriteFrame(
+          fd,
+          ErrorResponse("", kErrBadFrame,
+                        "frame exceeds the " +
+                            std::to_string(options_.max_frame_bytes) +
+                            "-byte cap"),
+          options_.max_frame_bytes);
+      break;
+    }
+    if (status != support::FrameStatus::kOk) break;  // truncated / error
+
+    const std::string response = HandleRequest(payload);
+    if (!support::WriteFrame(fd, response, options_.max_frame_bytes)) break;
+  }
+  ::close(fd);
+}
+
+std::string Server::HandleRequest(std::string_view payload) {
+  requests_.fetch_add(1);
+  ParseError error;
+  const std::optional<Request> request = ParseRequest(payload, &error);
+  if (!request.has_value()) {
+    protocol_errors_.fetch_add(1);
+    return ErrorResponse("", error.code, error.message);
+  }
+  switch (request->kind) {
+    case RequestKind::kPing:
+      return OkResponse(request->id, "{\"pong\":true}", "{}");
+    case RequestKind::kStats:
+      // Stats are volatile by definition, so they ride in "served", never
+      // in the deterministic "report" slot.
+      return OkResponse(request->id, "{}", StatsJson());
+    case RequestKind::kShutdown:
+      RequestShutdown();
+      return OkResponse(request->id, "{}", "{\"stopping\":true}");
+    case RequestKind::kPartition:
+    case RequestKind::kExplore:
+      return HandleWork(*request);
+  }
+  return ErrorResponse(request->id, kErrInternal, "unreachable request kind");
+}
+
+std::string Server::HandleWork(const Request& request) {
+  const ParseError invalid = ValidateNames(request);
+  if (!invalid.code.empty()) {
+    protocol_errors_.fetch_add(1);
+    return ErrorResponse(request.id, invalid.code, invalid.message);
+  }
+
+  const std::string key = RequestKey(request);
+  Request job_request = request;  // owned copy; outlives this frame
+  const Scheduler::Outcome outcome = scheduler_.Run(
+      key,
+      [this, job_request = std::move(job_request)]() -> JobResult {
+        return job_request.kind == RequestKind::kPartition
+                   ? DoPartition(job_request)
+                   : DoExplore(job_request);
+      },
+      request.deadline_ms);
+
+  switch (outcome.code) {
+    case Scheduler::OutcomeCode::kOverloaded:
+      return ErrorResponse(request.id, kErrOverloaded,
+                           "admission queue is full; retry later");
+    case Scheduler::OutcomeCode::kDeadline:
+      return ErrorResponse(request.id, kErrDeadline,
+                           "deadline of " +
+                               std::to_string(request.deadline_ms) +
+                               " ms expired (the computation continues and "
+                               "will be served warm)");
+    case Scheduler::OutcomeCode::kShuttingDown:
+      return ErrorResponse(request.id, kErrShuttingDown,
+                           "server is shutting down");
+    case Scheduler::OutcomeCode::kDone:
+      break;
+  }
+  const JobResult& result = *outcome.result;
+  if (!result.ok) {
+    return ErrorResponse(request.id, result.error_code, result.error_message);
+  }
+  return OkResponse(request.id, result.report,
+                    outcome.coalesced ? "{\"coalesced\":true}"
+                                      : "{\"coalesced\":false}");
+}
+
+JobResult Server::DoPartition(Request request) {
+  auto binary = ObtainBinary(request.benchmark, request.opt_level);
+  if (!binary.ok()) {
+    return {false, kErrInternal, binary.status().message(), ""};
+  }
+  explore::ExploreSpec spec;
+  spec.binaries = {{request.benchmark, binary.value()}};
+  spec.platforms = {request.platform};
+  spec.strategies = {request.strategy};
+  spec.objectives = {*partition::ParseObjective(request.objective)};
+  spec.strategy_options.seed = request.seed;
+  spec.strategy_options.annealing_iterations = request.annealing_iterations;
+
+  // Through Explore — not Run — so the request hits the shared artifact
+  // cache and candidate pool; a repeat of this request does zero work.
+  const explore::ExploreResult result = toolchain_.Explore(spec);
+  AccumulateWork(result);
+  const explore::ExplorePoint& point = result.At(0, 0, 0, 0);
+  if (!point.status.ok()) {
+    return {false, kErrFlowFailed, point.status.message(), ""};
+  }
+  return {true, "", "", PartitionReportJson(point)};
+}
+
+JobResult Server::DoExplore(Request request) {
+  explore::ExploreSpec spec;
+  spec.binaries.reserve(request.benchmarks.size());
+  for (const std::string& benchmark : request.benchmarks) {
+    auto binary = ObtainBinary(benchmark, request.opt_level);
+    if (!binary.ok()) {
+      return {false, kErrInternal, binary.status().message(), ""};
+    }
+    spec.binaries.push_back({benchmark, binary.value()});
+  }
+  spec.platforms = request.platforms;
+  spec.strategies = request.strategies;
+  spec.objectives.clear();
+  for (const std::string& objective : request.objectives) {
+    spec.objectives.push_back(*partition::ParseObjective(objective));
+  }
+  spec.strategy_options.seed = request.seed;
+  spec.strategy_options.annealing_iterations = request.annealing_iterations;
+
+  const explore::ExploreResult result = toolchain_.Explore(spec);
+  AccumulateWork(result);
+  return {true, "", "", result.Json()};
+}
+
+Result<std::shared_ptr<const mips::SoftBinary>> Server::ObtainBinary(
+    const std::string& benchmark, int opt_level) {
+  const std::string key = benchmark + "@O" + std::to_string(opt_level);
+  {
+    const std::lock_guard<std::mutex> lock(binaries_mutex_);
+    const auto it = binaries_.find(key);
+    if (it != binaries_.end()) return it->second;
+  }
+  const suite::Benchmark* bench = suite::FindBenchmark(benchmark);
+  if (bench == nullptr) {
+    return Status::Error(ErrorKind::kUnsupported,
+                         "unknown benchmark: " + benchmark);
+  }
+  Result<mips::SoftBinary> built = suite::BuildBinary(*bench, opt_level);
+  if (!built.ok()) return built.status();
+  auto binary = std::make_shared<const mips::SoftBinary>(
+      std::move(built).take());
+  const std::lock_guard<std::mutex> lock(binaries_mutex_);
+  // First insert wins so concurrent compiles of one benchmark stay
+  // deterministic (identical content either way).
+  return binaries_.try_emplace(key, std::move(binary)).first->second;
+}
+
+ParseError Server::ValidateNames(const Request& request) const {
+  const auto check_benchmark = [](const std::string& name) -> ParseError {
+    if (suite::FindBenchmark(name) == nullptr) {
+      return {kErrUnknownBenchmark, "unknown benchmark \"" + name + "\""};
+    }
+    return {};
+  };
+  const auto check_platform = [](const std::string& name) -> ParseError {
+    if (!partition::PlatformRegistry::Global().Find(name).has_value()) {
+      return {kErrUnknownPlatform, "unknown platform \"" + name + "\""};
+    }
+    return {};
+  };
+  const auto check_strategy = [](const std::string& name) -> ParseError {
+    if (partition::StrategyRegistry::Global().Create(name) == nullptr) {
+      return {kErrUnknownStrategy, "unknown strategy \"" + name + "\""};
+    }
+    return {};
+  };
+
+  ParseError error;
+  if (request.kind == RequestKind::kPartition) {
+    if (error = check_benchmark(request.benchmark); !error.code.empty()) {
+      return error;
+    }
+    if (error = check_platform(request.platform); !error.code.empty()) {
+      return error;
+    }
+    return check_strategy(request.strategy);
+  }
+  for (const std::string& name : request.benchmarks) {
+    if (error = check_benchmark(name); !error.code.empty()) return error;
+  }
+  for (const std::string& name : request.platforms) {
+    if (error = check_platform(name); !error.code.empty()) return error;
+  }
+  for (const std::string& name : request.strategies) {
+    if (error = check_strategy(name); !error.code.empty()) return error;
+  }
+  return {};
+}
+
+void Server::AccumulateWork(const explore::ExploreResult& result) {
+  simulations_run_.fetch_add(result.simulations_run);
+  decompilations_run_.fetch_add(result.decompilations_run);
+  partitions_run_.fetch_add(result.partitions_run);
+}
+
+std::string Server::StatsJson() const {
+  const Scheduler::Stats scheduler = scheduler_.stats();
+  const explore::ArtifactCache::Stats cache = toolchain_.CacheStats();
+  const partition::CandidateSetPool::Stats pool =
+      toolchain_.artifact_cache()->candidate_pool()->stats();
+  std::ostringstream out;
+  out << "{\"schema\":" << kWireSchemaVersion
+      << ",\"requests\":" << requests_.load()
+      << ",\"protocol_errors\":" << protocol_errors_.load()
+      << ",\"connections\":" << connections_served_.load()
+      << ",\"scheduler\":{\"submitted\":" << scheduler.submitted
+      << ",\"executed\":" << scheduler.executed
+      << ",\"coalesced\":" << scheduler.coalesced
+      << ",\"rejected_overload\":" << scheduler.rejected_overload
+      << ",\"deadline_expired\":" << scheduler.deadline_expired
+      << ",\"max_queue_depth\":" << scheduler.max_queue_depth
+      << "},\"work\":{\"simulations_run\":" << simulations_run_.load()
+      << ",\"decompilations_run\":" << decompilations_run_.load()
+      << ",\"partitions_run\":" << partitions_run_.load()
+      << "},\"cache\":{\"memory_hits\":" << cache.memory_hits
+      << ",\"disk_hits\":" << cache.disk_hits
+      << ",\"misses\":" << cache.misses
+      << ",\"entries\":" << cache.entries
+      << "},\"candidate_pool\":{\"scans\":" << pool.scans
+      << ",\"hits\":" << pool.hits << ",\"entries\":" << pool.entries
+      << ",\"synthesis_runs\":" << pool.synthesis_runs << "}}";
+  return out.str();
+}
+
+}  // namespace b2h::serve

@@ -1,0 +1,129 @@
+// The b2h-serve daemon core: partitioning-as-a-service over a unix socket.
+//
+// A design-space exploration service keeps answering the same questions —
+// the same benchmarks against overlapping platform/strategy grids — so the
+// economics are those of a WARM server: one process owns one Toolchain
+// with one two-tier ArtifactCache (and its CandidateSetPool), and every
+// connection shares them.  A request that names already-computed work is
+// answered from cache with zero simulations/decompilations/partitions; the
+// loadgen bench and the CI serve smoke assert exactly that.
+//
+// Concurrency model:
+//
+//   accept thread  — owns the listening socket, spawns one thread per
+//                    connection (the suite's request shapes are few and
+//                    long-lived; a thread per connection is the simple
+//                    correct choice at this scale).
+//   connection threads — frame/parse/validate requests, answer cheap kinds
+//                    (ping/stats/shutdown) inline, and block on the
+//                    Scheduler for heavy kinds (partition/explore).
+//   scheduler workers — run the toolchain work, bounded and coalesced
+//                    (serve/scheduler.hpp).
+//
+// Robustness contract (regression-tested): malformed JSON, an unknown
+// kind, a schema mismatch, or an oversized/truncated frame yields a
+// structured error on THAT connection only — other connections keep being
+// served, and the daemon never aborts on request input.  Oversized frames
+// additionally close the connection (the stream is no longer in sync).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "support/error.hpp"
+#include "support/socket.hpp"
+#include "toolchain/toolchain.hpp"
+
+namespace b2h::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;
+    /// Disk tier for the shared artifact cache ("" = memory-only; the
+    /// B2H_CACHE_DIR environment variable still applies to the toolchain
+    /// when set).
+    std::string cache_dir;
+    unsigned workers = 2;        ///< scheduler worker threads
+    std::size_t max_queue = 64;  ///< bounded admission queue
+    unsigned toolchain_threads = 1;  ///< intra-request fan-out
+    std::uint32_t max_frame_bytes = support::kDefaultMaxFrameBytes;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept thread.  On error the server is
+  /// unusable (nothing to clean up beyond the destructor).
+  [[nodiscard]] Status Start();
+
+  /// Block until shutdown is requested (shutdown request, RequestShutdown,
+  /// or a signal handler calling it), then tear everything down: stop
+  /// accepting, join connections, drain the scheduler, close and unlink
+  /// the socket.
+  void Wait();
+
+  /// Async-signal-safe shutdown trigger (sets a flag; Wait() acts on it).
+  void RequestShutdown() noexcept { stopping_.store(true); }
+  [[nodiscard]] bool stopping() const noexcept { return stopping_.load(); }
+
+  /// Volatile server statistics as a JSON object (the `stats` response
+  /// body): request/error counters, scheduler stats, cumulative toolchain
+  /// work counters, artifact-cache and candidate-pool stats.
+  [[nodiscard]] std::string StatsJson() const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  [[nodiscard]] std::string HandleRequest(std::string_view payload);
+  [[nodiscard]] std::string HandleWork(const Request& request);
+  [[nodiscard]] JobResult DoPartition(Request request);
+  [[nodiscard]] JobResult DoExplore(Request request);
+
+  /// Compile-once benchmark binary cache (keyed bench + opt level).
+  [[nodiscard]] Result<std::shared_ptr<const mips::SoftBinary>> ObtainBinary(
+      const std::string& benchmark, int opt_level);
+
+  /// Registry-existence validation shared by partition and explore
+  /// requests; empty code on success.
+  [[nodiscard]] ParseError ValidateNames(const Request& request) const;
+
+  void AccumulateWork(const explore::ExploreResult& result);
+
+  const Options options_;
+  Toolchain toolchain_;
+  Scheduler scheduler_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+
+  std::mutex binaries_mutex_;
+  std::map<std::string, std::shared_ptr<const mips::SoftBinary>> binaries_;
+
+  // Request/traffic counters (volatile; exposed through StatsJson only).
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> protocol_errors_{0};
+  std::atomic<std::size_t> connections_served_{0};
+  // Cumulative toolchain work this process actually performed.
+  std::atomic<std::size_t> simulations_run_{0};
+  std::atomic<std::size_t> decompilations_run_{0};
+  std::atomic<std::size_t> partitions_run_{0};
+};
+
+}  // namespace b2h::serve

@@ -1,0 +1,24 @@
+// Schema versions for every machine-readable JSON the repo emits beyond
+// the bench records (those carry bench::kSchemaVersion — same discipline,
+// separate lifecycle):
+//
+//   * report JSON: ToolchainRun::Json() and explore::ExploreResult::Json().
+//     Bump whenever a field is added, removed, or reinterpreted, so
+//     downstream consumers can detect format changes instead of silently
+//     misreading them.
+//   * wire JSON: the b2h-serve length-prefixed request/response protocol
+//     (src/serve/protocol.*).  Every request must carry the matching
+//     "schema"; a mismatch yields a structured `bad-schema` error, never a
+//     guessed interpretation.  Responses embed report JSON, so a wire bump
+//     is required whenever the report schema bumps.
+#pragma once
+
+namespace b2h {
+
+/// Version stamped into ToolchainRun::Json() and ExploreResult::Json().
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Version of the b2h-serve request/response wire format.
+inline constexpr int kWireSchemaVersion = 1;
+
+}  // namespace b2h

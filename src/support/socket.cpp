@@ -1,0 +1,191 @@
+#include "support/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace b2h::support {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool FillSockaddr(const std::string& path, sockaddr_un* addr,
+                  std::string* error) {
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr->sun_path) {
+    *error = "socket path empty or too long (max " +
+             std::to_string(sizeof addr->sun_path - 1) +
+             " bytes): " + path;
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+enum class IoStatus { kOk, kEof, kTimeout, kError };
+
+/// Read exactly `size` bytes; respects an optional absolute deadline.
+IoStatus ReadExact(int fd, void* buffer, std::size_t size,
+                   const Clock::time_point* deadline) {
+  auto* out = static_cast<char*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    int timeout_ms = -1;
+    if (deadline != nullptr) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(*deadline - Clock::now()).count();
+      if (remaining <= 0) return IoStatus::kTimeout;
+      timeout_ms = static_cast<int>(remaining);
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int polled = ::poll(&pfd, 1, timeout_ms);
+    if (polled == 0) return IoStatus::kTimeout;
+    if (polled < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    const ssize_t n = ::recv(fd, out + done, size - done, 0);
+    if (n == 0) return IoStatus::kEof;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return IoStatus::kError;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+bool WriteExact(int fd, const void* buffer, std::size_t size) {
+  const auto* in = static_cast<const char*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ToString(FrameStatus status) noexcept {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kTimeout: return "timeout";
+    case FrameStatus::kError: return "error";
+  }
+  return "error";
+}
+
+int ListenUnix(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr;
+  if (!FillSockaddr(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  // A stale socket file from a crashed predecessor would make bind fail
+  // with EADDRINUSE forever; the daemon owns its path, so reclaim it.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    *error = Errno("bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    *error = Errno("listen");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!FillSockaddr(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) < 0) {
+    if (errno == EINTR) continue;
+    *error = Errno("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+FrameStatus ReadFrame(int fd, std::string* payload,
+                      std::uint32_t max_frame_bytes, int timeout_ms) {
+  Clock::time_point deadline_storage;
+  const Clock::time_point* deadline = nullptr;
+  if (timeout_ms >= 0) {
+    deadline_storage = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    deadline = &deadline_storage;
+  }
+
+  unsigned char prefix[4];
+  switch (ReadExact(fd, prefix, sizeof prefix, deadline)) {
+    case IoStatus::kOk: break;
+    case IoStatus::kEof:
+      // EOF exactly on a frame boundary is a clean close; mid-prefix is a
+      // truncation.  ReadExact cannot distinguish, so probe: a zero `done`
+      // is indistinguishable here — treat any EOF in the prefix as kClosed
+      // (the peer sent no usable frame either way).
+      return FrameStatus::kClosed;
+    case IoStatus::kTimeout: return FrameStatus::kTimeout;
+    case IoStatus::kError: return FrameStatus::kError;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(prefix[0]) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (length > max_frame_bytes) return FrameStatus::kOversized;
+  payload->resize(length);
+  if (length == 0) return FrameStatus::kOk;
+  switch (ReadExact(fd, payload->data(), length, deadline)) {
+    case IoStatus::kOk: return FrameStatus::kOk;
+    case IoStatus::kEof: return FrameStatus::kTruncated;
+    case IoStatus::kTimeout: return FrameStatus::kTimeout;
+    case IoStatus::kError: return FrameStatus::kError;
+  }
+  return FrameStatus::kError;
+}
+
+bool WriteFrame(int fd, std::string_view payload,
+                std::uint32_t max_frame_bytes) {
+  if (payload.size() > max_frame_bytes) return false;
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(length & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 24) & 0xFF),
+  };
+  if (!WriteExact(fd, prefix, sizeof prefix)) return false;
+  return payload.empty() || WriteExact(fd, payload.data(), payload.size());
+}
+
+}  // namespace b2h::support

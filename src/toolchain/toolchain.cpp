@@ -7,6 +7,7 @@
 #include "partition/partitioner.hpp"
 #include "support/json.hpp"
 #include "support/parallel_for.hpp"
+#include "support/schema.hpp"
 
 namespace b2h {
 
@@ -45,7 +46,8 @@ std::string ToolchainRun::Report() const {
 std::string ToolchainRun::Json() const {
   std::ostringstream out;
   char number[64];
-  out << "{\"binary\":\"" << JsonEscape(binary_name) << "\",\"platform\":\""
+  out << "{\"schema\":" << kReportSchemaVersion << ",\"binary\":\""
+      << JsonEscape(binary_name) << "\",\"platform\":\""
       << JsonEscape(platform_name) << "\"";
   std::snprintf(number, sizeof number, "%.9g", estimate.speedup);
   out << ",\"speedup\":" << number;

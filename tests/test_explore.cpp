@@ -214,6 +214,39 @@ TEST(Explore, AnnealingIsDeterministicUnderAFixedSeed) {
   EXPECT_EQ(first.Report(), second.Report());
 }
 
+TEST(Explore, SeedSweepSharesSynthesisThroughTheCandidatePool) {
+  // The repeated-request shape the serve daemon sees: the same benchmark
+  // partitioned under the annealing strategy with different seeds.  Each
+  // seed is a distinct partition artifact, but the candidate scan and every
+  // synthesis result are shared through the toolchain cache's
+  // CandidateSetPool — synthesis work stays flat across the sweep.
+  Toolchain toolchain;
+  toolchain.WithThreads(1);
+  ExploreSpec spec;
+  spec.binaries = {{"fir", BuildBench("fir")}};
+  spec.platforms = {"mips200-xc2v1000"};
+  spec.strategies = {"annealing"};
+
+  spec.strategy_options.seed = 1;
+  const ExploreResult first = toolchain.Explore(spec);
+  EXPECT_EQ(first.partitions_run, 1u);
+  const auto& pool = *toolchain.artifact_cache()->candidate_pool();
+  const auto after_first = pool.stats();
+  EXPECT_EQ(after_first.scans, 1u);
+  EXPECT_GT(after_first.synthesis_runs, 0u);
+
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    spec.strategy_options.seed = seed;
+    const ExploreResult next = toolchain.Explore(spec);
+    EXPECT_EQ(next.partitions_run, 1u) << seed;  // new artifact per seed
+  }
+  const auto after_sweep = pool.stats();
+  EXPECT_EQ(after_sweep.scans, 1u);
+  EXPECT_EQ(after_sweep.hits, 3u);
+  // The sharing contract: later seeds synthesized NOTHING new.
+  EXPECT_EQ(after_sweep.synthesis_runs, after_first.synthesis_runs);
+}
+
 TEST(Explore, ObjectiveInsensitiveStrategySharesArtifacts) {
   ExploreSpec spec;
   spec.binaries = {{"fir", BuildBench("fir")}};

@@ -1,0 +1,85 @@
+// b2h-serve — the partitioning-as-a-service daemon.
+//
+//   b2h-serve --socket PATH [--cache-dir DIR] [--workers N]
+//             [--max-queue N] [--threads N]
+//
+// Listens on a unix-domain socket for length-prefixed JSON requests
+// (partition / explore / stats / ping / shutdown — src/serve/protocol.hpp)
+// and serves them from one warm Toolchain with a shared two-tier artifact
+// cache.  Runs in the foreground; SIGINT/SIGTERM or a `shutdown` request
+// stop it cleanly (connections drained, socket file removed).  Exit code 0
+// on clean shutdown, 1 on startup errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+b2h::serve::Server* g_server = nullptr;
+
+void OnSignal(int /*signum*/) {
+  // Only an atomic flag store — async-signal-safe; Wait() does the work.
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: b2h-serve --socket PATH [--cache-dir DIR] [--workers N]\n"
+      "                 [--max-queue N] [--threads N]\n"
+      "  --socket PATH    unix socket to listen on (required)\n"
+      "  --cache-dir DIR  persist the artifact cache under DIR\n"
+      "  --workers N      concurrent heavy computations (default 2)\n"
+      "  --max-queue N    bounded admission queue (default 64)\n"
+      "  --threads N      toolchain threads per computation (default 1)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  b2h::serve::Server::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--max-queue" && i + 1 < argc) {
+      options.max_queue = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.toolchain_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+  if (options.socket_path.empty()) return Usage();
+
+  b2h::serve::Server server(options);
+  const b2h::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "b2h-serve: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::printf("b2h-serve: listening on %s (workers=%u, queue=%zu%s%s)\n",
+              server.options().socket_path.c_str(), server.options().workers,
+              server.options().max_queue,
+              server.options().cache_dir.empty() ? "" : ", cache-dir=",
+              server.options().cache_dir.c_str());
+  std::fflush(stdout);
+
+  server.Wait();
+  std::printf("b2h-serve: shut down cleanly\n");
+  return 0;
+}
