@@ -59,6 +59,14 @@ ABSOLUTE_GATES = [
     ("serve_burst_executed", 1.0),
     ("serve_report_identical", 1.0),
     ("serve_shutdown_clean", 1.0),
+    # The serve daemon's `metrics` endpoint returned a schema-stamped
+    # registry snapshot consistent with the generated load
+    # (tools/b2h_loadgen.cpp).
+    ("serve_metrics_ok", 1.0),
+    # The observability layer held its overhead budget on the simulator and
+    # scheduler hot paths (bench/bench_obs.cpp self-gate; the raw overhead
+    # percentages are host times and stay informational under RULES).
+    ("obs_overhead_ok", 1.0),
 ]
 
 # --- absolute minimum gates: (bench, metric, label, floor) on the NEW run ---

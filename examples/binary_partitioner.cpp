@@ -11,6 +11,7 @@
 //   ./build/examples/binary_partitioner crc --cpu-mhz 400 --fpga-kgates 50
 //   ./build/examples/binary_partitioner crc --pipeline default,-reroll-loops
 //   ./build/examples/binary_partitioner crc --out-dir build/vhdl
+//   ./build/examples/binary_partitioner crc --trace-out build/crc.trace.json
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     printf("usage: %s <program.s | benchmark-name> [--platform NAME] "
            "[--cpu-mhz N] [--fpga-kgates N] [--pipeline SPEC] "
-           "[--out-dir DIR]\n", argv[0]);
+           "[--out-dir DIR] [--trace-out FILE]\n", argv[0]);
     printf("registered platforms:");
     for (const auto& name : PlatformRegistry::Global().Names()) {
       printf(" %s", name.c_str());
@@ -99,6 +100,10 @@ int main(int argc, char** argv) {
       toolchain.WithPipeline(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--out-dir") == 0) {
       out_dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      // Destructor-flushed: the trace file appears even on the early-exit
+      // failure paths below.
+      toolchain.WithTrace(argv[i + 1]);
     }
   }
   toolchain.WithPlatform(platform, platform_label);

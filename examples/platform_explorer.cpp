@@ -10,13 +10,16 @@
 // area) a platform architect would shortlist from.
 //
 // Build & run:  ./build/examples/platform_explorer [benchmark]
-//                   [--cache-dir DIR] [--report FILE]
+//                   [--cache-dir DIR] [--report FILE] [--trace-out FILE]
 //
 // With a cache dir (flag or $B2H_CACHE_DIR) the sweep runs against the
 // persistent two-tier artifact cache: re-running this binary from a fresh
 // process performs zero simulations/decompilations/partitions.  --report
 // writes the deterministic ExploreResult::Report() to FILE, which the CI
 // cache-warm gate compares byte-for-byte between a cold and a warm process.
+// --trace-out records structured spans for the whole sweep (decompile,
+// partition, cache, explore stages) and writes Chrome/Perfetto trace JSON
+// to FILE; it never affects the deterministic report.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -33,12 +36,15 @@ int main(int argc, char** argv) {
   std::string name = "fir";
   std::string cache_dir;
   std::string report_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cache-dir" && i + 1 < argc) {
       cache_dir = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       name = arg;
     }
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
   // persistent cache dir is already warm).
   Toolchain toolchain;
   if (!cache_dir.empty()) toolchain.WithCacheDir(cache_dir);
+  if (!trace_path.empty()) toolchain.WithTrace(trace_path);
   const explore::ExploreResult result = toolchain.Explore(spec);
 
   // The classic speedup/energy matrix, for the paper heuristic.
@@ -138,6 +145,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     printf("deterministic report -> %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty() && toolchain.FlushTrace()) {
+    printf("trace -> %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -1,12 +1,12 @@
 #include "decomp/pass_manager.hpp"
 
-#include <chrono>
 #include <functional>
 #include <mutex>
 
 #include "decomp/lifter.hpp"
 #include "decomp/passes.hpp"
 #include "ir/verifier.hpp"
+#include "obs/obs.hpp"
 
 namespace b2h::decomp {
 
@@ -314,17 +314,17 @@ PassManager& PassManager::Disable(std::string_view name) {
 
 void PassManager::RunOnModule(ir::Module& module, DecompileStats& stats,
                               std::vector<PassRunStats>& pass_runs) const {
-  using Clock = std::chrono::steady_clock;
+  obs::ScopedSpan pipeline_span("decomp.pipeline", "decomp");
   for (const Pass* pass : pipeline_) {
     PassRunStats run;
     run.pass = pass->name();
-    const auto start = Clock::now();
+    obs::ScopedSpan span(pass->name(), "decomp");
+    const obs::Stopwatch watch;
     pass->Run(module, run, stats);
-    run.millis =
-        std::chrono::duration<double, std::milli>(Clock::now() - start)
-            .count();
+    run.millis = watch.Millis();
     pass_runs.push_back(std::move(run));
   }
+  pipeline_span.Arg("passes", static_cast<std::uint64_t>(pipeline_.size()));
 }
 
 Result<DecompiledProgram> PassManager::Run(

@@ -1,7 +1,6 @@
 #include "dynamic/dynamic_partitioner.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -14,18 +13,12 @@
 #include "ir/dominators.hpp"
 #include "ir/loops.hpp"
 #include "mips/isa.hpp"
+#include "obs/obs.hpp"
 #include "synth/hw_region.hpp"
 
 namespace b2h::dynamic {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MillisSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 std::string Hex(std::uint32_t value) {
   char buffer[16];
@@ -169,10 +162,11 @@ class OnlinePartitioner final : public mips::RunObserver {
     return cad_ms_to_first_kernel_;
   }
 
-  void StartWallClock() { wall_start_ = Clock::now(); }
+  void StartWallClock() { wall_.Reset(); }
 
  private:
   void Reject(std::uint32_t header_pc, const std::string& reason) {
+    obs::Registry::Global().counter("dynamic.rejections").Add();
     rejected_.push_back(Hex(header_pc) + ": " + reason);
   }
 
@@ -203,7 +197,7 @@ class OnlinePartitioner final : public mips::RunObserver {
     if (!attempted_.insert(header).second) return;  // one decision per header
 
     // --- Incremental decompilation: just the enclosing function. ---------
-    const auto cad_start = Clock::now();
+    const obs::Stopwatch cad_watch;
     auto entry_it = std::upper_bound(function_entries_.begin(),
                                      function_entries_.end(), header);
     if (entry_it == function_entries_.begin()) {
@@ -211,8 +205,14 @@ class OnlinePartitioner final : public mips::RunObserver {
       return;
     }
     const std::uint32_t root_entry = *std::prev(entry_it);
-    auto program = pipeline_.RunAt(binary_, root_entry, &so_far.profile);
-    const double decompile_ms = MillisSince(cad_start);
+    double decompile_ms = 0.0;
+    auto program = [&] {
+      obs::ScopedSpan span("dynamic.decompile", "dynamic");
+      span.Arg("header_pc", static_cast<std::uint64_t>(header));
+      auto result = pipeline_.RunAt(binary_, root_entry, &so_far.profile);
+      decompile_ms = cad_watch.Millis();
+      return result;
+    }();
     online_cad_ms_ += decompile_ms;
     if (!program.ok()) {
       Reject(header, "decompilation failed: " + program.status().message());
@@ -237,11 +237,14 @@ class OnlinePartitioner final : public mips::RunObserver {
     }
 
     // --- Synthesize the region. ------------------------------------------
-    const auto synth_start = Clock::now();
+    const obs::Stopwatch synth_watch;
+    obs::ScopedSpan synth_span("dynamic.synth", "dynamic");
+    synth_span.Arg("header_pc", static_cast<std::uint64_t>(header));
     synth::HwRegion region = synth::ExtractLoopRegion(root, *loop);
     decomp::AliasAnalysis alias(root, &binary_->symbols);
     auto synthesized = synth::Synthesize(region, &alias, options_.synth);
-    const double synth_ms = MillisSince(synth_start);
+    const double synth_ms = synth_watch.Millis();
+    synth_span.Close();
     online_cad_ms_ += synth_ms;
     if (!synthesized.ok()) {
       Reject(header, "synthesis failed: " + synthesized.status().message());
@@ -355,6 +358,10 @@ class OnlinePartitioner final : public mips::RunObserver {
     }
 
     // --- Commit: evict, map, record. --------------------------------------
+    obs::ScopedSpan swap_span("dynamic.swap", "dynamic");
+    swap_span.Arg("header_pc", static_cast<std::uint64_t>(header))
+        .Arg("area_gates", kernel.area.total_gates)
+        .Arg("projected_speedup", projected);
     SwapEvent swap;
     const auto evict = [&](std::size_t i) {
       mapped_[i].evicted = true;
@@ -390,8 +397,9 @@ class OnlinePartitioner final : public mips::RunObserver {
     swap.decompile_ms = decompile_ms;
     swap.synth_ms = synth_ms;
     swaps_.push_back(std::move(swap));
+    obs::Registry::Global().counter("dynamic.swaps").Add();
     if (swaps_.size() == 1) {
-      time_to_first_kernel_ms_ = MillisSince(wall_start_);
+      time_to_first_kernel_ms_ = wall_.Millis();
       cad_ms_to_first_kernel_ = online_cad_ms_;
     }
   }
@@ -409,7 +417,7 @@ class OnlinePartitioner final : public mips::RunObserver {
   double online_cad_ms_ = 0.0;
   double time_to_first_kernel_ms_ = 0.0;
   double cad_ms_to_first_kernel_ = 0.0;
-  Clock::time_point wall_start_ = Clock::now();
+  obs::Stopwatch wall_;
 };
 
 }  // namespace
@@ -432,6 +440,8 @@ Result<DynamicRun> DynamicPartitioner::Run(
 
   mips::Simulator sim(*binary, platform_.cpu.cycle_model);
   OnlinePartitioner online(binary, platform_, options_, pipeline);
+  obs::ScopedSpan span("dynamic.run", "dynamic");
+  span.Arg("binary", binary_name).Arg("platform", platform_name_);
   online.StartWallClock();
   mips::RunResult run =
       sim.RunInstrumented({}, options_.max_instructions, &online);

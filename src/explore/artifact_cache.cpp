@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "support/serialize.hpp"
 
 namespace b2h::explore {
@@ -9,6 +10,37 @@ namespace b2h::explore {
 namespace {
 
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Process-wide cache tier counters, resolved once (instruments are
+/// never destroyed, see obs::Registry).  Mirrors the per-cache Stats so
+/// the serve `metrics` endpoint and traced sweeps see tier traffic
+/// without plumbing a cache handle around.
+struct TierMetrics {
+  obs::Counter& memory_hits;
+  obs::Counter& disk_hits;
+  obs::Counter& misses;
+  obs::Counter& disk_stores;
+  obs::Counter& disk_bad_entries;
+
+  static TierMetrics& Get() {
+    auto& registry = obs::Registry::Global();
+    static TierMetrics metrics{registry.counter("cache.memory_hits"),
+                               registry.counter("cache.disk_hits"),
+                               registry.counter("cache.misses"),
+                               registry.counter("cache.disk_stores"),
+                               registry.counter("cache.disk_bad_entries")};
+    return metrics;
+  }
+};
+
+const char* TierName(HitTier tier) {
+  switch (tier) {
+    case HitTier::kMemory: return "memory";
+    case HitTier::kDisk: return "disk";
+    case HitTier::kMiss: break;
+  }
+  return "miss";
+}
 
 using support::BinaryReader;
 using support::BinaryWriter;
@@ -402,11 +434,16 @@ std::shared_ptr<const Artifact> ArtifactCache::FindInTiers(
     std::string_view kind,
     std::shared_ptr<const Artifact> (*decode)(std::string_view),
     const std::string& key, HitTier* tier) {
+  TierMetrics& metrics = TierMetrics::Get();
+  obs::ScopedSpan span("cache.find", "cache");
+  span.Arg("kind", kind);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries.find(key);
     if (it != entries.end()) {
       ++stats_.memory_hits;
+      metrics.memory_hits.Add();
+      span.Arg("tier", TierName(HitTier::kMemory));
       if (tier != nullptr) *tier = HitTier::kMemory;
       return it->second;
     }
@@ -419,6 +456,8 @@ std::shared_ptr<const Artifact> ArtifactCache::FindInTiers(
         if (!inserted) artifact = it->second;  // racing promotion won
         stats_.entries = decompiles_.size() + partitions_.size();
         ++stats_.disk_hits;
+        metrics.disk_hits.Add();
+        span.Arg("tier", TierName(HitTier::kDisk));
         if (tier != nullptr) *tier = HitTier::kDisk;
         return artifact;
       }
@@ -427,10 +466,13 @@ std::shared_ptr<const Artifact> ArtifactCache::FindInTiers(
       disk_->Remove(kind, key);
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.disk_bad_entries;
+      metrics.disk_bad_entries.Add();
     }
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  metrics.misses.Add();
+  span.Arg("tier", TierName(HitTier::kMiss));
   if (tier != nullptr) *tier = HitTier::kMiss;
   return nullptr;
 }
@@ -445,10 +487,15 @@ void ArtifactCache::PutInTiers(
   // serialization work entirely, not just the write.
   bool stored = false;
   if (disk_ != nullptr && artifact != nullptr && !disk_->Contains(kind, key)) {
+    obs::ScopedSpan span("cache.store", "cache");
+    span.Arg("kind", kind);
     stored = disk_->Store(kind, key, encode(*artifact));
   }
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (stored) ++stats_.disk_stores;
+  if (stored) {
+    ++stats_.disk_stores;
+    TierMetrics::Get().disk_stores.Add();
+  }
   entries[key] = std::move(artifact);
   stats_.entries = decompiles_.size() + partitions_.size();
 }

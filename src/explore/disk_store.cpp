@@ -5,6 +5,7 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/fs.hpp"
 #include "support/serialize.hpp"
 
@@ -179,12 +180,17 @@ std::size_t DiskStore::Gc(std::uint64_t max_bytes) {
                 if (a.mtime != b.mtime) return a.mtime < b.mtime;
                 return a.path < b.path;  // deterministic tie-break
               });
+    std::size_t evicted = 0;
     for (const support::FileInfo& info : files) {
       if (total <= max_bytes) break;
       if (support::RemoveFileQuiet(info.path)) {
         total -= info.size;
         ++removed;
+        ++evicted;
       }
+    }
+    if (evicted > 0) {
+      obs::Registry::Global().counter("cache.disk_evictions").Add(evicted);
     }
   }
   approx_bytes_ = total;

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "decomp/pass_manager.hpp"
 #include "mips/simulator.hpp"
+#include "obs/obs.hpp"
 #include "support/json.hpp"
 #include "support/parallel_for.hpp"
 #include "support/schema.hpp"
@@ -16,8 +16,6 @@
 namespace b2h::explore {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 std::string DecompKey(const std::string& binary_hash,
                       const std::string& pipeline,
@@ -92,7 +90,8 @@ Explorer::Explorer(ExplorerConfig config, std::shared_ptr<ArtifactCache> cache)
                               : std::make_shared<ArtifactCache>()) {}
 
 ExploreResult Explorer::Run(const ExploreSpec& spec) const {
-  const auto wall_start = Clock::now();
+  const obs::Stopwatch wall;
+  obs::ScopedSpan sweep_span("explore.sweep", "explore");
   ExploreResult out;
   out.num_binaries = spec.binaries.size();
   out.num_platforms = spec.platforms.size();
@@ -121,10 +120,11 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
       }
     }
   }
+  sweep_span.Arg("binaries", static_cast<std::uint64_t>(out.num_binaries))
+      .Arg("platforms", static_cast<std::uint64_t>(out.num_platforms))
+      .Arg("points", static_cast<std::uint64_t>(num_points));
   if (num_points == 0) {
-    out.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
-                                                            wall_start)
-                      .count();
+    out.wall_ms = wall.Millis();
     return out;
   }
 
@@ -228,6 +228,7 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
 
   std::vector<std::shared_ptr<DecompileArtifact>> decomp_slots(
       decomp_jobs.size());
+  std::vector<double> decomp_job_ms(decomp_jobs.size(), 0.0);
   std::atomic<std::size_t> simulations{0};
   std::atomic<std::size_t> decompilations{0};
   // Shared decompile tail of Stage A (fresh simulation) and Stage A'
@@ -250,6 +251,9 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   support::ParallelFor(
       decomp_jobs.size(), config_.threads, [&](std::size_t index) {
         const DecompJob& job = decomp_jobs[index];
+        obs::ScopedSpan span("explore.decompile", "explore");
+        span.Arg("binary", spec.binaries[job.binary].name);
+        const obs::Stopwatch watch;
         auto artifact = std::make_shared<DecompileArtifact>();
         decomp_slots[index] = artifact;
         try {
@@ -262,19 +266,25 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
             artifact->status = Status::Error(
                 ErrorKind::kMalformedBinary,
                 "software run did not complete: " + run->fault_message);
-            return;
+          } else {
+            decompile_into(*artifact, binary, std::move(run));
           }
-          decompile_into(*artifact, binary, std::move(run));
         } catch (const std::exception& e) {
           artifact->status = Status::Error(
               ErrorKind::kUnsupported,
               std::string("internal error: ") + e.what());
         }
+        decomp_job_ms[index] = watch.Millis();
       });
+  // Decompile stage time per key, for point attribution; rehydrations
+  // (Stage A') add theirs below.
+  std::map<std::string, double> decomp_ms_by_key;
   for (std::size_t index = 0; index < decomp_jobs.size(); ++index) {
     std::shared_ptr<const DecompileArtifact> artifact =
         std::move(decomp_slots[index]);
     cache_->PutDecompile(decomp_jobs[index].key, artifact);
+    decomp_ms_by_key[decomp_jobs[index].key] = decomp_job_ms[index];
+    out.decompile_stage_ms += decomp_job_ms[index];
     if (artifact->status.ok()) {
       decomp_done.emplace(decomp_jobs[index].key, std::move(artifact));
     } else {
@@ -388,10 +398,14 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   }
   std::vector<std::shared_ptr<DecompileArtifact>> rehydrate_slots(
       rehydrate_jobs.size());
+  std::vector<double> rehydrate_job_ms(rehydrate_jobs.size(), 0.0);
   std::atomic<std::size_t> rehydrations{0};
   support::ParallelFor(
       rehydrate_jobs.size(), config_.threads, [&](std::size_t index) {
         const RehydrateJob& job = rehydrate_jobs[index];
+        obs::ScopedSpan span("explore.rehydrate", "explore");
+        span.Arg("binary", spec.binaries[job.binary].name);
+        const obs::Stopwatch watch;
         auto artifact = std::make_shared<DecompileArtifact>();
         rehydrate_slots[index] = artifact;
         try {
@@ -407,9 +421,12 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               ErrorKind::kUnsupported,
               std::string("internal error: ") + e.what());
         }
+        rehydrate_job_ms[index] = watch.Millis();
       });
   for (std::size_t index = 0; index < rehydrate_jobs.size(); ++index) {
     const std::string& key = rehydrate_jobs[index].key;
+    decomp_ms_by_key[key] += rehydrate_job_ms[index];
+    out.decompile_stage_ms += rehydrate_job_ms[index];
     std::shared_ptr<const DecompileArtifact> artifact =
         std::move(rehydrate_slots[index]);
     if (artifact->status.ok()) {
@@ -441,6 +458,8 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
 
   std::vector<std::shared_ptr<PartitionArtifact>> partition_slots(
       partition_jobs.size());
+  std::vector<double> partition_job_synth_ms(partition_jobs.size(), 0.0);
+  std::vector<double> partition_job_ms(partition_jobs.size(), 0.0);
   std::atomic<std::size_t> partitions{0};
   support::ParallelFor(
       partition_jobs.size(), config_.threads, [&](std::size_t index) {
@@ -456,13 +475,24 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
           // Every job on the same (program, partition options) pair shares
           // one pooled CandidateSet, so a strategy/objective/seed sweep
           // scans once and synthesizes each candidate once total.
-          strategy_options.candidates = cache_->candidate_pool()->Obtain(
-              decomp_key + ":" + options_hash, base->program,
-              base->software_run->profile);
+          {
+            obs::ScopedSpan synth_span("explore.synth", "partition");
+            synth_span.Arg("binary", spec.binaries[job.binary].name);
+            const obs::Stopwatch synth_watch;
+            strategy_options.candidates = cache_->candidate_pool()->Obtain(
+                decomp_key + ":" + options_hash, base->program,
+                base->software_run->profile);
+            partition_job_synth_ms[index] = synth_watch.Millis();
+          }
+          obs::ScopedSpan span("explore.partition", "partition");
+          span.Arg("strategy", spec.strategies[job.strategy])
+              .Arg("platform", spec.platforms[job.platform]);
+          const obs::Stopwatch watch;
           auto partitioned = strategies[job.strategy]->Partition(
               *base->program, base->software_run->profile,
               *platforms[job.platform], config_.partition, strategy_options);
           partitions.fetch_add(1);
+          partition_job_ms[index] = watch.Millis();
           if (!partitioned.ok()) {
             artifact->status = partitioned.status();
             return;
@@ -478,10 +508,19 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               std::string("internal error: ") + e.what());
         }
       });
+  struct StageMs {
+    double synth_ms = 0.0;
+    double partition_ms = 0.0;
+  };
+  std::map<std::string, StageMs> partition_ms_by_key;
   for (std::size_t index = 0; index < partition_jobs.size(); ++index) {
     std::shared_ptr<const PartitionArtifact> artifact =
         std::move(partition_slots[index]);
     cache_->PutPartition(partition_jobs[index].key, artifact);
+    partition_ms_by_key[partition_jobs[index].key] = {
+        partition_job_synth_ms[index], partition_job_ms[index]};
+    out.synth_stage_ms += partition_job_synth_ms[index];
+    out.partition_stage_ms += partition_job_ms[index];
     if (artifact->status.ok()) {
       partition_done.emplace(partition_jobs[index].key, std::move(artifact));
     } else {
@@ -516,6 +555,22 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
     }
     point.rejected = artifact.partition.rejected;
     point.from_cache = partition_cached_keys.count(point_keys[i]) != 0;
+    // Stage cost attribution: the job(s) that produced this point's
+    // artifacts this sweep (absent key = served from cache = 0 ms).
+    const std::size_t b = i / (out.num_platforms * out.num_strategies *
+                               out.num_objectives);
+    const std::size_t p =
+        (i / (out.num_strategies * out.num_objectives)) % out.num_platforms;
+    if (const auto ms =
+            decomp_ms_by_key.find(pair_decomp_key[b * out.num_platforms + p]);
+        ms != decomp_ms_by_key.end()) {
+      point.decompile_ms = ms->second;
+    }
+    if (const auto ms = partition_ms_by_key.find(point_keys[i]);
+        ms != partition_ms_by_key.end()) {
+      point.synth_ms = ms->second.synth_ms;
+      point.partition_ms = ms->second.partition_ms;
+    }
   }
   for (std::size_t b = 0; b < out.num_binaries; ++b) {
     std::vector<std::size_t> ok_points;
@@ -544,9 +599,9 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   out.cache_misses = cache_misses;
   out.cache_memory_hits = cache_memory_hits;
   out.cache_disk_hits = cache_disk_hits;
-  out.wall_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
-          .count();
+  out.wall_ms = wall.Millis();
+  sweep_span.Arg("cache_hits", static_cast<std::uint64_t>(cache_hits))
+      .Arg("cache_misses", static_cast<std::uint64_t>(cache_misses));
   return out;
 }
 
@@ -624,7 +679,7 @@ std::string ExploreResult::Report() const {
   return out.str();
 }
 
-std::string ExploreResult::Json() const {
+std::string ExploreResult::Json(bool include_stage_ms) const {
   std::ostringstream out;
   char number[64];
   const auto emit_double = [&](const char* name, double value) {
@@ -664,6 +719,13 @@ std::string ExploreResult::Json() const {
     emit_double("area_gates", point.area_gates);
     emit_strings("hw_regions", point.hw_names);
     emit_strings("rejected", point.rejected);
+    if (include_stage_ms) {
+      // Host-time data: only behind the opt-in flag, never on the
+      // byte-compared default surface (see the header contract).
+      emit_double("decompile_ms", point.decompile_ms);
+      emit_double("synth_ms", point.synth_ms);
+      emit_double("partition_ms", point.partition_ms);
+    }
     out << ",\"pareto\":" << (point.on_frontier ? "true" : "false") << "}";
   }
   out << "]}";
@@ -687,6 +749,11 @@ std::string ExploreResult::StatsReport() const {
                     ? 100.0 * static_cast<double>(cache_hits) /
                           static_cast<double>(cache_hits + cache_misses)
                     : 0.0);
+  out << line;
+  std::snprintf(line, sizeof line,
+                "stages: %.1f ms decompile, %.1f ms synth, "
+                "%.1f ms partition\n",
+                decompile_stage_ms, synth_stage_ms, partition_stage_ms);
   out << line;
   std::snprintf(line, sizeof line, "wall: %.1f ms\n", wall_ms);
   out << line;

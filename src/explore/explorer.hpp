@@ -78,6 +78,17 @@ struct ExplorePoint {
 
   bool on_frontier = false;   ///< Pareto-optimal within its binary
   bool from_cache = false;    ///< partition artifact predates this sweep
+
+  // Host-time cost (ms) of the stage jobs that produced this point's
+  // artifacts this sweep; 0 when the stage was served from the cache.
+  // Stage jobs are shared across points (one decompile per cycle model, one
+  // partition per artifact key), so every point served by a job reports the
+  // job's full cost.  Volatile like from_cache: excluded from the
+  // deterministic Report()/Json() surfaces unless explicitly requested
+  // (Json(/*include_stage_ms=*/true)).
+  double decompile_ms = 0.0;  ///< profile simulation + pass pipeline
+  double synth_ms = 0.0;      ///< candidate scan + synthesis (pool Obtain)
+  double partition_ms = 0.0;  ///< strategy selection over the candidates
 };
 
 /// Metrics the Pareto frontier is computed over: maximize speedup,
@@ -119,6 +130,11 @@ struct ExploreResult {
   std::size_t cache_memory_hits = 0;
   std::size_t cache_disk_hits = 0;
   double wall_ms = 0.0;  ///< host wall clock for the sweep
+  // Summed host time of the stage jobs this sweep actually ran (cache-warm
+  // sweeps report zeros).  Job time, not point time: shared jobs count once.
+  double decompile_stage_ms = 0.0;
+  double synth_stage_ms = 0.0;
+  double partition_stage_ms = 0.0;
 
   [[nodiscard]] const ExplorePoint& At(std::size_t binary,
                                        std::size_t platform,
@@ -135,7 +151,12 @@ struct ExploreResult {
   /// grid shape.  Deliberately excludes from_cache and all work counters so
   /// warm/cold and serial/concurrent runs serialize bit-identically — the
   /// serve daemon's `explore` responses embed this object.
-  [[nodiscard]] std::string Json() const;
+  ///
+  /// `include_stage_ms` additionally emits the per-point stage durations
+  /// (decompile_ms/synth_ms/partition_ms) — host-time data that varies
+  /// between runs, so it is OFF by default and must never be turned on for
+  /// a byte-compared surface (serve responses, the CI cache-warm gate).
+  [[nodiscard]] std::string Json(bool include_stage_ms = false) const;
 };
 
 struct ExplorerConfig {

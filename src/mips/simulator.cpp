@@ -4,10 +4,29 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/bits.hpp"
 #include "support/error.hpp"
 
 namespace b2h::mips {
+
+namespace {
+
+/// Tracing for a whole simulated run: engine + throughput args attach when
+/// the tracer is on; when off this is one relaxed atomic load per Run.
+void FinishRunSpan(obs::ScopedSpan& span, ExecEngine engine,
+                   const RunResult& result) {
+  if (!span.armed()) return;
+  const double ms = span.Millis();
+  span.Arg("engine",
+           engine == ExecEngine::kReference ? "reference" : "block")
+      .Arg("instructions", result.instructions)
+      .Arg("instr_per_sec",
+           ms > 0.0 ? static_cast<double>(result.instructions) * 1e3 / ms
+                    : 0.0);
+}
+
+}  // namespace
 
 Simulator::Simulator(const SoftBinary& binary, CycleModel model,
                      ExecEngine engine)
@@ -71,24 +90,31 @@ void Simulator::PokeWord(std::uint32_t addr, std::uint32_t value) {
 
 RunResult Simulator::Run(std::span<const std::int32_t> args,
                          std::uint64_t max_instructions) {
-  if (engine_ == ExecEngine::kReference) {
-    return ExecReference<false>(args, max_instructions, nullptr);
-  }
-  return ExecBlock<false>(args, max_instructions, nullptr);
+  obs::ScopedSpan span("sim.run", "sim");
+  RunResult result =
+      engine_ == ExecEngine::kReference
+          ? ExecReference<false>(args, max_instructions, nullptr)
+          : ExecBlock<false>(args, max_instructions, nullptr);
+  FinishRunSpan(span, engine_, result);
+  return result;
 }
 
 RunResult Simulator::RunInstrumented(std::span<const std::int32_t> args,
                                      std::uint64_t max_instructions,
                                      RunObserver* observer) {
+  obs::ScopedSpan span("sim.run_instrumented", "sim");
+  RunResult result;
   if (engine_ == ExecEngine::kReference) {
-    if (observer == nullptr) {
-      return ExecReference<false>(args, max_instructions, nullptr);
-    }
-    return ExecReference<true>(args, max_instructions, observer);
+    result = observer == nullptr
+                 ? ExecReference<false>(args, max_instructions, nullptr)
+                 : ExecReference<true>(args, max_instructions, observer);
+  } else {
+    result = observer == nullptr
+                 ? ExecBlock<false>(args, max_instructions, nullptr)
+                 : ExecBlock<true>(args, max_instructions, observer);
   }
-  if (observer == nullptr) return ExecBlock<false>(args, max_instructions,
-                                                   nullptr);
-  return ExecBlock<true>(args, max_instructions, observer);
+  FinishRunSpan(span, engine_, result);
+  return result;
 }
 
 template <bool kInstrumented>

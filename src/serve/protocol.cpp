@@ -18,6 +18,7 @@ std::optional<RequestKind> ParseKind(std::string_view name) {
   if (name == "partition") return RequestKind::kPartition;
   if (name == "explore") return RequestKind::kExplore;
   if (name == "stats") return RequestKind::kStats;
+  if (name == "metrics") return RequestKind::kMetrics;
   if (name == "shutdown") return RequestKind::kShutdown;
   return std::nullopt;
 }
@@ -58,6 +59,7 @@ std::string_view RequestKindName(RequestKind kind) {
     case RequestKind::kPartition: return "partition";
     case RequestKind::kExplore: return "explore";
     case RequestKind::kStats: return "stats";
+    case RequestKind::kMetrics: return "metrics";
     case RequestKind::kShutdown: return "shutdown";
   }
   return "ping";
@@ -124,6 +126,7 @@ std::optional<Request> ParseRequest(std::string_view payload,
   switch (request.kind) {
     case RequestKind::kPing:
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
     case RequestKind::kShutdown:
       return request;
     case RequestKind::kPartition: {

@@ -15,6 +15,7 @@
 //   {"schema":1,"kind":"explore","benchmarks":[...],"platforms":[...],
 //       "strategies":[...],"objectives":[...],"seed":1}
 //   {"schema":1,"kind":"stats"}
+//   {"schema":1,"kind":"metrics"}
 //   {"schema":1,"kind":"shutdown"}
 //
 // Responses:
@@ -53,7 +54,14 @@ inline constexpr char kErrShuttingDown[] = "shutting-down";
 inline constexpr char kErrFlowFailed[] = "flow-failed";    ///< analysis failure
 inline constexpr char kErrInternal[] = "internal";
 
-enum class RequestKind { kPing, kPartition, kExplore, kStats, kShutdown };
+enum class RequestKind {
+  kPing,
+  kPartition,
+  kExplore,
+  kStats,    ///< serving counters (StatsJson shape)
+  kMetrics,  ///< full obs::Registry snapshot (kMetricsSchemaVersion shape)
+  kShutdown
+};
 
 [[nodiscard]] std::string_view RequestKindName(RequestKind kind);
 

@@ -5,9 +5,30 @@
 #include <exception>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "serve/protocol.hpp"
 
 namespace b2h::serve {
+
+namespace {
+
+/// Registry-backed queue gauges, resolved once (instrument lookup takes a
+/// mutex; these are touched on every submit/execute).  serve.queue_depth is
+/// the live queued-not-running count, serve.in_flight the closures
+/// currently executing on workers.
+struct QueueMetrics {
+  obs::Gauge& queue_depth;
+  obs::Gauge& in_flight;
+
+  static QueueMetrics& Get() {
+    static QueueMetrics& metrics = *new QueueMetrics{
+        obs::Registry::Global().gauge("serve.queue_depth"),
+        obs::Registry::Global().gauge("serve.in_flight")};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Scheduler::Scheduler(Options options) : options_(options) {
   const unsigned workers = std::max(1u, options_.workers);
@@ -44,6 +65,8 @@ Scheduler::Outcome Scheduler::Run(const std::string& key,
     in_flight_.emplace(key, job);
     queue_.push_back(job);
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    QueueMetrics::Get().queue_depth.Set(
+        static_cast<std::int64_t>(queue_.size()));
     queue_cv_.notify_one();
   }
   ++stats_.submitted;
@@ -68,10 +91,15 @@ void Scheduler::WorkerLoop() {
     if (stopping_) return;  // Stop() already failed everything queued
     const std::shared_ptr<Job> job = queue_.front();
     queue_.pop_front();
+    QueueMetrics& metrics = QueueMetrics::Get();
+    metrics.queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
+    metrics.in_flight.Add(1);
     lock.unlock();
 
     JobResult result;
     try {
+      obs::ScopedSpan span("serve.execute", "serve");
+      span.Arg("key", job->key);
       result = job->work();
     } catch (const std::exception& e) {
       result = {false, kErrInternal,
@@ -79,6 +107,7 @@ void Scheduler::WorkerLoop() {
     } catch (...) {
       result = {false, kErrInternal, "work closure threw", ""};
     }
+    metrics.in_flight.Add(-1);
 
     lock.lock();
     job->result = std::make_shared<const JobResult>(std::move(result));
@@ -105,6 +134,7 @@ void Scheduler::Stop() {
         in_flight_.erase(job->key);
       }
       queue_.clear();
+      QueueMetrics::Get().queue_depth.Set(0);
     }
     queue_cv_.notify_all();
     done_cv_.notify_all();

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "partition/strategy.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
@@ -59,7 +60,36 @@ std::string PartitionReportJson(const explore::ExplorePoint& point) {
 
 Server::Server(Options options)
     : options_(std::move(options)),
-      scheduler_(Scheduler::Options{options_.workers, options_.max_queue}) {
+      scheduler_(Scheduler::Options{options_.workers, options_.max_queue}),
+      requests_(obs::Registry::Global().counter("serve.requests")),
+      protocol_errors_(obs::Registry::Global().counter(
+          "serve.protocol_errors")),
+      connections_served_(obs::Registry::Global().counter(
+          "serve.connections")),
+      simulations_run_(obs::Registry::Global().counter(
+          "serve.simulations_run")),
+      decompilations_run_(obs::Registry::Global().counter(
+          "serve.decompilations_run")),
+      partitions_run_(obs::Registry::Global().counter("serve.partitions_run")),
+      connections_open_(obs::Registry::Global().gauge(
+          "serve.connections_open")),
+      partition_latency_ms_(obs::Registry::Global().histogram(
+          "serve.latency_ms.partition")),
+      explore_latency_ms_(obs::Registry::Global().histogram(
+          "serve.latency_ms.explore")) {
+  // A fresh daemon starts its serve.* instruments at zero — the behavior of
+  // the per-instance counters this registry family replaced.  The registry
+  // is process-global, but a process runs one Server (b2h-serve) and the
+  // tests construct daemons sequentially, so nothing live is zeroed.
+  requests_.Reset();
+  protocol_errors_.Reset();
+  connections_served_.Reset();
+  simulations_run_.Reset();
+  decompilations_run_.Reset();
+  partitions_run_.Reset();
+  connections_open_.Reset();
+  partition_latency_ms_.Reset();
+  explore_latency_ms_.Reset();
   toolchain_.WithThreads(options_.toolchain_threads);
   if (!options_.cache_dir.empty()) {
     toolchain_.WithCacheDir(options_.cache_dir);
@@ -124,7 +154,8 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(int fd) {
-  connections_served_.fetch_add(1);
+  connections_served_.Add(1);
+  connections_open_.Add(1);
   std::string payload;
   while (!stopping_.load()) {
     const support::FrameStatus status = support::ReadFrame(
@@ -134,7 +165,7 @@ void Server::ServeConnection(int fd) {
     if (status == support::FrameStatus::kOversized) {
       // The prefix was consumed but the payload not; the stream is out of
       // sync, so answer structurally and close THIS connection only.
-      protocol_errors_.fetch_add(1);
+      protocol_errors_.Add(1);
       (void)support::WriteFrame(
           fd,
           ErrorResponse("", kErrBadFrame,
@@ -149,17 +180,21 @@ void Server::ServeConnection(int fd) {
     const std::string response = HandleRequest(payload);
     if (!support::WriteFrame(fd, response, options_.max_frame_bytes)) break;
   }
+  connections_open_.Add(-1);
   ::close(fd);
 }
 
 std::string Server::HandleRequest(std::string_view payload) {
-  requests_.fetch_add(1);
+  requests_.Add(1);
+  obs::ScopedSpan span("serve.request", "serve");
   ParseError error;
   const std::optional<Request> request = ParseRequest(payload, &error);
   if (!request.has_value()) {
-    protocol_errors_.fetch_add(1);
+    protocol_errors_.Add(1);
+    span.Arg("kind", "invalid");
     return ErrorResponse("", error.code, error.message);
   }
+  span.Arg("kind", RequestKindName(request->kind));
   switch (request->kind) {
     case RequestKind::kPing:
       return OkResponse(request->id, "{\"pong\":true}", "{}");
@@ -167,6 +202,11 @@ std::string Server::HandleRequest(std::string_view payload) {
       // Stats are volatile by definition, so they ride in "served", never
       // in the deterministic "report" slot.
       return OkResponse(request->id, "{}", StatsJson());
+    case RequestKind::kMetrics:
+      // Full registry snapshot, schema-stamped by SnapshotJson itself
+      // (kMetricsSchemaVersion).  Volatile like stats: "served" slot only.
+      return OkResponse(request->id, "{}",
+                        obs::Registry::Global().SnapshotJson());
     case RequestKind::kShutdown:
       RequestShutdown();
       return OkResponse(request->id, "{}", "{\"stopping\":true}");
@@ -180,12 +220,16 @@ std::string Server::HandleRequest(std::string_view payload) {
 std::string Server::HandleWork(const Request& request) {
   const ParseError invalid = ValidateNames(request);
   if (!invalid.code.empty()) {
-    protocol_errors_.fetch_add(1);
+    protocol_errors_.Add(1);
     return ErrorResponse(request.id, invalid.code, invalid.message);
   }
 
   const std::string key = RequestKey(request);
   Request job_request = request;  // owned copy; outlives this frame
+  obs::ScopedSpan span("serve.dispatch", "serve");
+  span.Arg("key", key);
+  const obs::Stopwatch latency;  // queue + coalesce + execute, as the
+                                 // connection thread sees it
   const Scheduler::Outcome outcome = scheduler_.Run(
       key,
       [this, job_request = std::move(job_request)]() -> JobResult {
@@ -194,6 +238,10 @@ std::string Server::HandleWork(const Request& request) {
                    : DoExplore(job_request);
       },
       request.deadline_ms);
+  (request.kind == RequestKind::kPartition ? partition_latency_ms_
+                                           : explore_latency_ms_)
+      .Observe(latency.Millis());
+  span.Arg("coalesced", static_cast<int>(outcome.coalesced));
 
   switch (outcome.code) {
     case Scheduler::OutcomeCode::kOverloaded:
@@ -221,6 +269,10 @@ std::string Server::HandleWork(const Request& request) {
 }
 
 JobResult Server::DoPartition(Request request) {
+  obs::ScopedSpan span("serve.partition", "serve");
+  span.Arg("benchmark", request.benchmark)
+      .Arg("platform", request.platform)
+      .Arg("strategy", request.strategy);
   auto binary = ObtainBinary(request.benchmark, request.opt_level);
   if (!binary.ok()) {
     return {false, kErrInternal, binary.status().message(), ""};
@@ -245,6 +297,11 @@ JobResult Server::DoPartition(Request request) {
 }
 
 JobResult Server::DoExplore(Request request) {
+  obs::ScopedSpan span("serve.explore", "serve");
+  span.Arg("benchmarks", static_cast<std::uint64_t>(request.benchmarks.size()))
+      .Arg("platforms", static_cast<std::uint64_t>(request.platforms.size()))
+      .Arg("strategies",
+           static_cast<std::uint64_t>(request.strategies.size()));
   explore::ExploreSpec spec;
   spec.binaries.reserve(request.benchmarks.size());
   for (const std::string& benchmark : request.benchmarks) {
@@ -334,9 +391,9 @@ ParseError Server::ValidateNames(const Request& request) const {
 }
 
 void Server::AccumulateWork(const explore::ExploreResult& result) {
-  simulations_run_.fetch_add(result.simulations_run);
-  decompilations_run_.fetch_add(result.decompilations_run);
-  partitions_run_.fetch_add(result.partitions_run);
+  simulations_run_.Add(result.simulations_run);
+  decompilations_run_.Add(result.decompilations_run);
+  partitions_run_.Add(result.partitions_run);
 }
 
 std::string Server::StatsJson() const {
@@ -344,20 +401,26 @@ std::string Server::StatsJson() const {
   const explore::ArtifactCache::Stats cache = toolchain_.CacheStats();
   const partition::CandidateSetPool::Stats pool =
       toolchain_.artifact_cache()->candidate_pool()->stats();
+  obs::Registry& registry = obs::Registry::Global();
   std::ostringstream out;
   out << "{\"schema\":" << kWireSchemaVersion
-      << ",\"requests\":" << requests_.load()
-      << ",\"protocol_errors\":" << protocol_errors_.load()
-      << ",\"connections\":" << connections_served_.load()
+      << ",\"requests\":" << requests_.Value()
+      << ",\"protocol_errors\":" << protocol_errors_.Value()
+      << ",\"connections\":" << connections_served_.Value()
+      // Live gauges (new fields; everything above keeps its name and shape
+      // for existing parsers).
+      << ",\"connections_open\":" << connections_open_.Value()
+      << ",\"queue_depth\":" << registry.gauge("serve.queue_depth").Value()
+      << ",\"in_flight\":" << registry.gauge("serve.in_flight").Value()
       << ",\"scheduler\":{\"submitted\":" << scheduler.submitted
       << ",\"executed\":" << scheduler.executed
       << ",\"coalesced\":" << scheduler.coalesced
       << ",\"rejected_overload\":" << scheduler.rejected_overload
       << ",\"deadline_expired\":" << scheduler.deadline_expired
       << ",\"max_queue_depth\":" << scheduler.max_queue_depth
-      << "},\"work\":{\"simulations_run\":" << simulations_run_.load()
-      << ",\"decompilations_run\":" << decompilations_run_.load()
-      << ",\"partitions_run\":" << partitions_run_.load()
+      << "},\"work\":{\"simulations_run\":" << simulations_run_.Value()
+      << ",\"decompilations_run\":" << decompilations_run_.Value()
+      << ",\"partitions_run\":" << partitions_run_.Value()
       << "},\"cache\":{\"memory_hits\":" << cache.memory_hits
       << ",\"disk_hits\":" << cache.disk_hits
       << ",\"misses\":" << cache.misses

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "support/error.hpp"
@@ -116,14 +117,22 @@ class Server {
   std::mutex binaries_mutex_;
   std::map<std::string, std::shared_ptr<const mips::SoftBinary>> binaries_;
 
-  // Request/traffic counters (volatile; exposed through StatsJson only).
-  std::atomic<std::size_t> requests_{0};
-  std::atomic<std::size_t> protocol_errors_{0};
-  std::atomic<std::size_t> connections_served_{0};
+  // Request/traffic metrics, backed by the process-wide obs::Registry so
+  // the same instruments feed StatsJson(), the `metrics` request kind, and
+  // --trace-out sessions.  References resolved once in the constructor
+  // (registry instruments live for the process lifetime).
+  obs::Counter& requests_;
+  obs::Counter& protocol_errors_;
+  obs::Counter& connections_served_;
   // Cumulative toolchain work this process actually performed.
-  std::atomic<std::size_t> simulations_run_{0};
-  std::atomic<std::size_t> decompilations_run_{0};
-  std::atomic<std::size_t> partitions_run_{0};
+  obs::Counter& simulations_run_;
+  obs::Counter& decompilations_run_;
+  obs::Counter& partitions_run_;
+  // Live connection count and per-endpoint request latency (queue + coalesce
+  // + execute wall time as seen by the connection thread).
+  obs::Gauge& connections_open_;
+  obs::Histogram& partition_latency_ms_;
+  obs::Histogram& explore_latency_ms_;
 };
 
 }  // namespace b2h::serve

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "mips/simulator.hpp"
+#include "obs/obs.hpp"
 #include "partition/partitioner.hpp"
 #include "support/json.hpp"
 #include "support/parallel_for.hpp"
@@ -82,6 +83,22 @@ Toolchain::Toolchain() {
                         ? std::make_shared<explore::ArtifactCache>()
                         : std::make_shared<explore::ArtifactCache>(
                               explore::DiskStore::Options{dir, 0});
+}
+
+Toolchain::~Toolchain() {
+  if (!trace_path_.empty()) (void)FlushTrace();
+}
+
+Toolchain& Toolchain::WithTrace(std::string trace_path, std::size_t capacity) {
+  trace_path_ = std::move(trace_path);
+  obs::Tracer::Global().Enable(capacity == 0 ? obs::Tracer::kDefaultCapacity
+                                             : capacity);
+  return *this;
+}
+
+bool Toolchain::FlushTrace() const {
+  if (trace_path_.empty()) return true;
+  return obs::Tracer::Global().WriteChromeTrace(trace_path_);
 }
 
 Toolchain& Toolchain::WithCacheDir(std::string directory,
@@ -181,6 +198,8 @@ Result<ToolchainRun> Toolchain::PartitionPrepared(
   run.binary = std::move(binary);
   run.software_run = std::move(software_run);
   run.program = std::move(program);
+  obs::ScopedSpan span("toolchain.partition", "partition");
+  span.Arg("binary", run.binary_name).Arg("platform", run.platform_name);
   auto partitioned =
       partition::PartitionProgram(*run.program, run.software_run->profile,
                                   platform, partition_options_);

@@ -98,6 +98,8 @@ class Toolchain {
   /// — the CI cache-warm gate points whole processes at a persisted cache
   /// this way.  Otherwise the cache starts memory-only.
   Toolchain();
+  /// Flushes the trace to the WithTrace path, if one was configured.
+  ~Toolchain();
 
   // ------------------------------------------------- builder configuration
   /// Decompilation pipeline spec (see PassManager::FromSpec).  Invalid
@@ -128,6 +130,19 @@ class Toolchain {
   /// on-disk size with LRU-by-mtime eviction (0 = unbounded).  Replaces the
   /// current artifact cache.
   Toolchain& WithCacheDir(std::string directory, std::uint64_t max_bytes = 0);
+
+  /// Enable the process-wide span tracer (obs::Tracer) and remember
+  /// `trace_path`; FlushTrace() — called automatically by the Toolchain
+  /// destructor when a path is set — writes the collected spans there as
+  /// Chrome trace-event JSON (Perfetto-loadable).  Pass an empty path to
+  /// record without auto-writing (embedders export via obs::Tracer::Global()
+  /// themselves).  Tracing is process-global: spans from EVERY toolchain and
+  /// subsystem land in the same ring.
+  Toolchain& WithTrace(std::string trace_path,
+                       std::size_t capacity = 0 /* 0 = default ring size */);
+  /// Write the trace collected so far to the WithTrace path (no-op without
+  /// one); returns false on I/O failure.
+  bool FlushTrace() const;
 
   /// Hit/miss/store counters of the artifact cache, split by tier.
   [[nodiscard]] explore::ArtifactCache::Stats CacheStats() const {
@@ -210,6 +225,7 @@ class Toolchain {
   std::optional<partition::Platform> custom_platform_;
   partition::DynamicPolicy dynamic_policy_;
   bool dynamic_enabled_ = false;
+  std::string trace_path_;  ///< WithTrace auto-flush target ("" = none)
   std::shared_ptr<explore::ArtifactCache> artifact_cache_;
 };
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "explore/explorer.hpp"
+#include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
@@ -590,6 +591,61 @@ TEST(ServeDaemon, LifecyclePingStatsShutdown) {
   // A clean shutdown removes the socket file so restarts never hang on a
   // stale path.
   EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(ServeDaemon, MetricsEndpointReturnsSchemaStampedSnapshot) {
+  TempDir scratch;
+  const std::string socket_path = scratch.path + "/serve.sock";
+  ServerHarness harness({socket_path});
+  ASSERT_TRUE(harness.Start());
+
+  Client client = MustConnect(socket_path);
+  // Real work first, so the snapshot has something to show.
+  const std::string worked =
+      Call(client, PartitionRequest("crc", "paper-greedy"));
+  ASSERT_TRUE(MustParse(worked).GetBool("ok", false)) << worked;
+
+  const std::string response =
+      Call(client, R"({"schema":1,"kind":"metrics","id":"m-1"})");
+  const JsonValue parsed = MustParse(response);
+  EXPECT_DOUBLE_EQ(parsed.GetNumber("schema"), kWireSchemaVersion);
+  EXPECT_TRUE(parsed.GetBool("ok", false)) << response;
+  EXPECT_EQ(parsed.GetString("id"), "m-1");
+
+  // The served slot is the registry snapshot, stamped with its OWN schema
+  // version (the metrics vocabulary evolves independently of the wire).
+  const JsonValue* served = parsed.Find("served");
+  ASSERT_NE(served, nullptr) << response;
+  EXPECT_DOUBLE_EQ(served->GetNumber("schema"), obs::kMetricsSchemaVersion);
+  const JsonValue* counters = served->Find("counters");
+  const JsonValue* gauges = served->Find("gauges");
+  const JsonValue* histograms = served->Find("histograms");
+  ASSERT_NE(counters, nullptr) << response;
+  ASSERT_NE(gauges, nullptr) << response;
+  ASSERT_NE(histograms, nullptr) << response;
+
+  // The metrics request itself is counted before the snapshot is taken,
+  // so the floor includes it (partition + metrics = 2).
+  EXPECT_GE(counters->GetNumber("serve.requests"), 2.0);
+  EXPECT_GE(counters->GetNumber("serve.partitions_run"), 1.0);
+  EXPECT_GE(counters->GetNumber("serve.connections"), 1.0);
+  EXPECT_GE(gauges->GetNumber("serve.connections_open"), 1.0);
+  const JsonValue* latency = histograms->Find("serve.latency_ms.partition");
+  ASSERT_NE(latency, nullptr) << response;
+  EXPECT_GE(latency->GetNumber("count"), 1.0);
+  EXPECT_GT(latency->GetNumber("sum"), 0.0);
+
+  // The registry-backed StatsJson keeps its original field names and adds
+  // the live gauges.
+  const std::string stats = Call(client, R"({"schema":1,"kind":"stats"})");
+  const JsonValue* stats_served = nullptr;
+  const JsonValue stats_parsed = MustParse(stats);
+  stats_served = stats_parsed.Find("served");
+  ASSERT_NE(stats_served, nullptr) << stats;
+  EXPECT_GE(stats_served->GetNumber("requests"), 3.0);
+  EXPECT_GE(stats_served->GetNumber("connections_open"), 1.0);
+  ASSERT_NE(stats_served->Find("queue_depth"), nullptr) << stats;
+  ASSERT_NE(stats_served->Find("in_flight"), nullptr) << stats;
 }
 
 TEST(ServeDaemon, SchemaMismatchAndMalformedJsonKeepConnectionServing) {

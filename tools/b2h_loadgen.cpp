@@ -27,6 +27,7 @@
 //   serve_extra_partitions   == 0   partitions beyond the unique cold keys
 //   serve_burst_executed     == 1   the burst coalesced onto one execution
 //   serve_report_identical   == 1   serial == concurrent, bit for bit
+//   serve_metrics_ok         == 1   `metrics` snapshot matches the load
 //   serve_shutdown_clean     == 1   (spawn mode) exit 0, socket removed
 #include <signal.h>
 #include <sys/stat.h>
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "../bench/bench_json.hpp"
+#include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "support/json_parse.hpp"
@@ -64,6 +66,7 @@ struct Options {
   std::string socket_path;
   std::string server_bin;  ///< spawn mode when non-empty
   std::string cache_dir;
+  std::string trace_out;  ///< Chrome/Perfetto trace of the client phases
   std::size_t requests = 1200;
   unsigned connections = 8;
   std::size_t cold_keys = 8;
@@ -74,7 +77,7 @@ int Usage() {
                "usage: b2h-loadgen (--spawn SERVER_BIN | --socket PATH)\n"
                "                   [--socket PATH] [--cache-dir DIR]\n"
                "                   [--requests N] [--connections C]\n"
-               "                   [--cold-keys K]\n");
+               "                   [--cold-keys K] [--trace-out FILE]\n");
   return 1;
 }
 
@@ -164,6 +167,30 @@ bool FetchStats(Client& client, StatsSnapshot* out) {
   out->memory_hits = cache->GetNumber("memory_hits");
   out->misses = cache->GetNumber("misses");
   return true;
+}
+
+/// Cross-check the `metrics` endpoint against the load we generated: the
+/// served body must be a schema-stamped registry snapshot whose
+/// serve.requests counter covers at least the requests this process sent.
+bool MetricsEndpointOk(Client& client, double min_requests) {
+  std::string response;
+  if (!client.Call(SimpleRequest("metrics"), &response, 10'000).ok()) {
+    return false;
+  }
+  const std::optional<JsonValue> parsed = JsonValue::Parse(response);
+  if (!parsed.has_value() || !parsed->GetBool("ok", false)) return false;
+  const JsonValue* served = parsed->Find("served");
+  if (served == nullptr) return false;
+  if (served->GetNumber("schema") !=
+      static_cast<double>(b2h::obs::kMetricsSchemaVersion)) {
+    return false;
+  }
+  const JsonValue* counters = served->Find("counters");
+  if (counters == nullptr || served->Find("gauges") == nullptr ||
+      served->Find("histograms") == nullptr) {
+    return false;
+  }
+  return counters->GetNumber("serve.requests") >= min_requests;
 }
 
 /// Baseline report registry: the first response for a key becomes the
@@ -258,10 +285,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
     } else if (arg == "--cold-keys" && i + 1 < argc) {
       options.cold_keys = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      options.trace_out = argv[++i];
     } else {
       return Usage();
     }
   }
+  if (!options.trace_out.empty()) b2h::obs::Tracer::Global().Enable();
   const bool spawn = !options.server_bin.empty();
   if (!spawn && options.socket_path.empty()) return Usage();
   if (options.socket_path.empty()) {
@@ -306,6 +336,7 @@ int main(int argc, char** argv) {
   std::size_t request_failures = 0;
 
   // ---- phase 1: cold serial ------------------------------------------------
+  b2h::obs::ScopedSpan phase1_span("loadgen.cold_prime", "loadgen");
   for (const std::string& request : warm_set) {
     std::string response;
     if (!control.Call(request, &response, 120'000).ok() ||
@@ -322,10 +353,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "b2h-loadgen: stats request failed\n");
     return 1;
   }
+  phase1_span.Arg("requests", static_cast<std::uint64_t>(warm_set.size()));
+  phase1_span.Close();
   std::printf("phase 1 (cold): %zu unique requests primed\n",
               warm_set.size());
 
   // ---- phase 2: mixed concurrent load -------------------------------------
+  b2h::obs::ScopedSpan phase2_span("loadgen.mixed_load", "loadgen");
   std::mutex merge_mutex;
   std::vector<double> warm_latencies_ms;
   std::vector<double> cold_latencies_ms;
@@ -383,6 +417,9 @@ int main(int argc, char** argv) {
   }
   const double phase2_seconds =
       std::chrono::duration<double>(Clock::now() - phase2_start).count();
+  phase2_span.Arg("requests", static_cast<std::uint64_t>(total))
+      .Arg("connections", static_cast<std::uint64_t>(connections));
+  phase2_span.Close();
   StatsSnapshot after_mixed;
   if (!FetchStats(control, &after_mixed)) return 1;
   std::printf("phase 2 (mixed): %zu requests over %u connections in %.2fs\n",
@@ -394,6 +431,7 @@ int main(int argc, char** argv) {
   const std::string burst_request =
       PartitionRequest("crc", "annealing", 999'983, 20'000);
   {
+    b2h::obs::ScopedSpan phase3_span("loadgen.coalesce_burst", "loadgen");
     std::mutex gate_mutex;
     std::condition_variable gate_cv;
     bool gate_open = false;
@@ -443,6 +481,7 @@ int main(int argc, char** argv) {
               connections, burst_executed);
 
   // ---- phase 4: serial verification ---------------------------------------
+  b2h::obs::ScopedSpan phase4_span("loadgen.verify", "loadgen");
   for (const std::string& request : registry.Keys()) {
     std::string response;
     if (!control.Call(request, &response, 120'000).ok() ||
@@ -454,8 +493,12 @@ int main(int argc, char** argv) {
       ++request_failures;
     }
   }
+  phase4_span.Close();
   StatsSnapshot final_stats;
   if (!FetchStats(control, &final_stats)) return 1;
+  // The new metrics endpoint must corroborate the load we just generated.
+  const bool metrics_ok =
+      MetricsEndpointOk(control, static_cast<double>(total));
 
   // ---- invariants ----------------------------------------------------------
   const double warm_simulations =
@@ -529,6 +572,7 @@ int main(int argc, char** argv) {
     json.Record("serve_burst_executed", burst_executed, "count");
     json.Record("serve_report_identical", reports_identical ? 1.0 : 0.0,
                 "bool");
+    json.Record("serve_metrics_ok", metrics_ok ? 1.0 : 0.0, "bool");
     json.Record("serve_coalesced_total", final_stats.coalesced, "count");
     json.Record("serve_client_coalesced",
                 static_cast<double>(client_coalesced.load()), "count");
@@ -560,6 +604,11 @@ int main(int argc, char** argv) {
   gate("serve_extra_partitions==0", extra_partitions == 0.0);
   gate("serve_burst_executed==1", burst_executed == 1.0);
   gate("serve_report_identical==1", reports_identical);
+  gate("serve_metrics_ok==1", metrics_ok);
   if (spawn) gate("serve_shutdown_clean==1", shutdown_clean == 1.0);
+  if (!options.trace_out.empty() &&
+      b2h::obs::Tracer::Global().WriteChromeTrace(options.trace_out)) {
+    std::printf("trace written to %s\n", options.trace_out.c_str());
+  }
   return failed ? 1 : 0;
 }

@@ -1,10 +1,11 @@
 // b2h-serve — the partitioning-as-a-service daemon.
 //
 //   b2h-serve --socket PATH [--cache-dir DIR] [--workers N]
-//             [--max-queue N] [--threads N]
+//             [--max-queue N] [--threads N] [--trace-out FILE]
 //
 // Listens on a unix-domain socket for length-prefixed JSON requests
-// (partition / explore / stats / ping / shutdown — src/serve/protocol.hpp)
+// (partition / explore / stats / metrics / ping / shutdown —
+// src/serve/protocol.hpp)
 // and serves them from one warm Toolchain with a shared two-tier artifact
 // cache.  Runs in the foreground; SIGINT/SIGTERM or a `shutdown` request
 // stop it cleanly (connections drained, socket file removed).  Exit code 0
@@ -15,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -30,12 +32,14 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: b2h-serve --socket PATH [--cache-dir DIR] [--workers N]\n"
-      "                 [--max-queue N] [--threads N]\n"
+      "                 [--max-queue N] [--threads N] [--trace-out FILE]\n"
       "  --socket PATH    unix socket to listen on (required)\n"
       "  --cache-dir DIR  persist the artifact cache under DIR\n"
       "  --workers N      concurrent heavy computations (default 2)\n"
       "  --max-queue N    bounded admission queue (default 64)\n"
-      "  --threads N      toolchain threads per computation (default 1)\n");
+      "  --threads N      toolchain threads per computation (default 1)\n"
+      "  --trace-out FILE write a Chrome/Perfetto trace of the whole\n"
+      "                   serving session to FILE at shutdown\n");
   return 1;
 }
 
@@ -43,6 +47,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   b2h::serve::Server::Options options;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
@@ -55,11 +60,14 @@ int main(int argc, char** argv) {
       options.max_queue = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--threads" && i + 1 < argc) {
       options.toolchain_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       return Usage();
     }
   }
   if (options.socket_path.empty()) return Usage();
+  if (!trace_out.empty()) b2h::obs::Tracer::Global().Enable();
 
   b2h::serve::Server server(options);
   const b2h::Status started = server.Start();
@@ -80,6 +88,10 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   server.Wait();
+  if (!trace_out.empty() &&
+      b2h::obs::Tracer::Global().WriteChromeTrace(trace_out)) {
+    std::printf("b2h-serve: trace written to %s\n", trace_out.c_str());
+  }
   std::printf("b2h-serve: shut down cleanly\n");
   return 0;
 }
