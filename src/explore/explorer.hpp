@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,19 @@ struct NamedBinary {
 
 namespace b2h::explore {
 
+/// Point-in-time progress of a running sweep, for long-explore streaming
+/// (the serve daemon forwards these as progress frames / a polled HTTP
+/// resource).  `stage` is a static string: "decompile", "rehydrate",
+/// "partition", or "done".
+struct ExploreProgress {
+  const char* stage = "";
+  std::uint64_t stage_done = 0;   ///< jobs finished in this stage
+  std::uint64_t stage_total = 0;  ///< jobs this stage will run
+  std::uint64_t points_total = 0; ///< grid points in the sweep
+  std::uint64_t cache_hits = 0;   ///< unique-artifact hits observed so far
+  bool done = false;              ///< the sweep has finished
+};
+
 struct ExploreSpec {
   std::vector<NamedBinary> binaries;
   /// Registered platform names (partition::PlatformRegistry).
@@ -56,6 +70,11 @@ struct ExploreSpec {
   /// Seed / iteration knobs shared by every point (the objective field is
   /// overridden per point).
   partition::StrategyOptions strategy_options;
+  /// Optional progress sink, invoked at stage boundaries and per finished
+  /// stage job — possibly concurrently from worker threads, so it must be
+  /// thread-safe.  Unset = zero cost (no call sites fire).  Purely
+  /// observational: the report surfaces stay byte-identical either way.
+  std::function<void(const ExploreProgress&)> progress;
 };
 
 /// One (binary, platform, strategy, objective) outcome.

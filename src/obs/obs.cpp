@@ -65,6 +65,12 @@ std::vector<std::uint64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+std::vector<std::uint64_t> Histogram::CumulativeBucketCounts() const {
+  std::vector<std::uint64_t> counts = BucketCounts();
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  return counts;
+}
+
 void Histogram::Reset() noexcept {
   for (auto& bucket : buckets_) {
     bucket.value.store(0, std::memory_order_relaxed);
@@ -153,6 +159,59 @@ std::string Registry::SnapshotJson() const {
   return out.str();
 }
 
+namespace {
+
+/// Sanitize an instrument name into the Prometheus metric-name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]* — dots (the repo's namespacing convention) and
+/// anything else illegal become '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = (c >= '0' && c <= '9');
+    if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) out[i] = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string metric = PrometheusName(name);
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string metric = PrometheusName(name);
+    out << "# TYPE " << metric << " gauge\n";
+    out << metric << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string metric = PrometheusName(name);
+    out << "# TYPE " << metric << " histogram\n";
+    const std::vector<double> bounds = histogram->Bounds();
+    // One consistent pass over the bucket atomics: the +Inf bucket and
+    // _count both render the same cumulative total, so the series stays
+    // spec-consistent even while Observe() runs concurrently.
+    const std::vector<std::uint64_t> cumulative =
+        histogram->CumulativeBucketCounts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << metric << "_bucket{le=\"" << Num(bounds[i]) << "\"} "
+          << cumulative[i] << "\n";
+    }
+    const std::uint64_t total = cumulative.empty() ? 0 : cumulative.back();
+    out << metric << "_bucket{le=\"+Inf\"} " << total << "\n";
+    out << metric << "_sum " << Num(histogram->Sum()) << "\n";
+    out << metric << "_count " << total << "\n";
+  }
+  return out.str();
+}
+
 void Registry::ResetForTest() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
@@ -167,60 +226,135 @@ Tracer& Tracer::Global() {
   return *instance;
 }
 
-void Tracer::Enable(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  capacity_ = std::max<std::size_t>(capacity, 1);
-  ring_.clear();
-  ring_.resize(capacity_);
-  next_ = 0;
-  size_ = 0;
-  dropped_ = 0;
-  enabled_.store(true, std::memory_order_relaxed);
+void Tracer::Ring::Size(std::size_t cap) {
+  capacity = std::max<std::size_t>(cap, 1);
+  // Allocate the replacement while the old buffer is still live so the new
+  // ring lands at a different address: bench_obs re-Enables to re-roll
+  // cache-set aliasing between the ring and the workload, which
+  // clear()+resize() would defeat by reusing the same allocation.
+  std::vector<Span> fresh(capacity);
+  spans.swap(fresh);
+  next = 0;
+  size = 0;
+  wrapped = 0;
 }
 
-void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+void Tracer::Ring::Push(Span&& span) {
+  if (capacity == 0) return;
+  if (size == capacity) ++wrapped;
+  spans[next] = std::move(span);
+  next = (next + 1) % capacity;
+  size = std::min(size + 1, capacity);
+}
+
+std::vector<Span> Tracer::Ring::CopyOldestFirst() const {
+  std::vector<Span> out;
+  out.reserve(size);
+  // Oldest span sits at next once the ring has wrapped, at 0 before.
+  const std::size_t start = (size == capacity) ? next : 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(spans[(start + i) % capacity]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Overwrite counters surfaced in /metrics (satellite: silent span loss
+/// must be visible).  Resolved lazily so merely linking obs does not
+/// create the series; referenced only on a wrap, never on the hot path.
+Counter& TraceDroppedCounter() {
+  static Counter& counter = Registry::Global().counter("obs.trace.dropped");
+  return counter;
+}
+Counter& FlightWrappedCounter() {
+  static Counter& counter = Registry::Global().counter("obs.flight.wrapped");
+  return counter;
+}
+
+}  // namespace
+
+void Tracer::Enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.Size(capacity);
+  modes_.fetch_or(kModeMain, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  modes_.fetch_and(~kModeMain, std::memory_order_relaxed);
+}
+
+void Tracer::EnableFlight(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flight_.Size(capacity);
+  modes_.fetch_or(kModeFlight, std::memory_order_relaxed);
+}
+
+void Tracer::DisableFlight() {
+  modes_.fetch_and(~kModeFlight, std::memory_order_relaxed);
+}
 
 void Tracer::Record(Span&& span) {
+  const std::uint32_t modes = modes_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (capacity_ == 0) return;
-  if (size_ == capacity_) ++dropped_;
-  ring_[next_] = std::move(span);
-  next_ = (next_ + 1) % capacity_;
-  size_ = std::min(size_ + 1, capacity_);
+  if ((modes & kModeFlight) != 0 && flight_.capacity != 0) {
+    const bool was_full = flight_.size == flight_.capacity;
+    if ((modes & kModeMain) != 0) {
+      flight_.Push(Span(span));  // main ring still needs the original
+    } else {
+      flight_.Push(std::move(span));
+    }
+    if (was_full) FlightWrappedCounter().Add();
+    if ((modes & kModeMain) == 0) return;
+  } else if ((modes & kModeMain) == 0) {
+    return;
+  }
+  const bool was_full = ring_.size == ring_.capacity && ring_.capacity != 0;
+  ring_.Push(std::move(span));
+  if (was_full) TraceDroppedCounter().Add();
 }
 
 std::vector<Span> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Span> spans;
-  spans.reserve(size_);
-  // Oldest span sits at next_ once the ring has wrapped, at 0 before.
-  const std::size_t start = (size_ == capacity_) ? next_ : 0;
-  for (std::size_t i = 0; i < size_; ++i) {
-    spans.push_back(ring_[(start + i) % capacity_]);
-  }
-  return spans;
+  return ring_.CopyOldestFirst();
 }
 
 std::size_t Tracer::dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return dropped_;
+  return ring_.wrapped;
 }
 
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  next_ = 0;
-  size_ = 0;
-  dropped_ = 0;
+  ring_.next = 0;
+  ring_.size = 0;
+  ring_.wrapped = 0;
 }
 
-std::string Tracer::ChromeTraceJson() const {
-  std::vector<Span> spans = Snapshot();
+std::vector<Span> Tracer::FlightSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flight_.CopyOldestFirst();
+}
+
+std::size_t Tracer::flight_wrapped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flight_.wrapped;
+}
+
+namespace {
+
+/// Shared Chrome trace-event serializer for both rings.  `dropped` lands in
+/// otherData so consumers (ci/validate_trace.py) can detect span loss
+/// without diffing counts.
+std::string SpansToChromeTraceJson(std::vector<Span> spans,
+                                   std::size_t dropped) {
   std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
     return a.start_ns < b.start_ns;
   });
   const std::uint64_t epoch = spans.empty() ? 0 : spans.front().start_ns;
   std::ostringstream out;
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << dropped
+      << "},\"traceEvents\":[";
   bool first = true;
   for (const Span& span : spans) {
     if (!first) out << ",";
@@ -248,6 +382,30 @@ std::string Tracer::ChromeTraceJson() const {
   }
   out << "]}";
   return out.str();
+}
+
+}  // namespace
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<Span> spans;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = ring_.CopyOldestFirst();
+    dropped = ring_.wrapped;
+  }
+  return SpansToChromeTraceJson(std::move(spans), dropped);
+}
+
+std::string Tracer::FlightChromeTraceJson() const {
+  std::vector<Span> spans;
+  std::size_t wrapped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = flight_.CopyOldestFirst();
+    wrapped = flight_.wrapped;
+  }
+  return SpansToChromeTraceJson(std::move(spans), wrapped);
 }
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
@@ -309,7 +467,7 @@ void ScopedSpan::Finish() {
   auto& stack = detail::ThreadSpanStack();
   if (stack.depth > 0) --stack.depth;
   Tracer& tracer = Tracer::Global();
-  if (tracer.enabled()) tracer.Record(std::move(span_));
+  if (tracer.sampling()) tracer.Record(std::move(span_));
 }
 
 }  // namespace b2h::obs

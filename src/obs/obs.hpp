@@ -162,6 +162,13 @@ class Histogram {
   [[nodiscard]] std::vector<double> Bounds() const;
   /// Per-bucket counts, bounds_count + 1 entries (last = overflow).
   [[nodiscard]] std::vector<std::uint64_t> BucketCounts() const;
+  /// Cumulative counts for `le`-labeled Prometheus exposition: entry i is
+  /// the number of observations <= bounds[i]; the final entry (the +Inf
+  /// bucket) is the total.  Derived from one pass over the per-bucket
+  /// atomics, so it is internally consistent even under concurrent Observe
+  /// (monotone by construction), unlike pairing BucketCounts() with a
+  /// separately-loaded Count().
+  [[nodiscard]] std::vector<std::uint64_t> CumulativeBucketCounts() const;
   void Reset() noexcept;
 
  private:
@@ -194,6 +201,13 @@ class Registry {
   /// {"schema":1,"counters":{...},"gauges":{...},"histograms":{...}} with
   /// names sorted for stable output.
   [[nodiscard]] std::string SnapshotJson() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+  /// per metric, instrument names sanitized to the Prometheus charset
+  /// ('.' and any other illegal character become '_'), histograms rendered
+  /// as cumulative `le`-labeled buckets plus `_sum`/`_count`.  Served by
+  /// the b2h-serve HTTP plane at GET /metrics.
+  [[nodiscard]] std::string PrometheusText() const;
 
   /// Zero every instrument (references stay valid).  Test-only: values are
   /// process-cumulative by design.
@@ -236,9 +250,25 @@ struct Span {
 /// Bounded ring of completed spans + Chrome trace-event JSON exporter.
 /// Disabled by default; when disabled every instrumentation site reduces to
 /// one relaxed atomic load.
+///
+/// Two independent rings share the instrumentation sites:
+///
+///   * the MAIN ring — Enable()/Disable()-gated, sized per recording
+///     session, exported by ChromeTraceJson().  This is the --trace-out /
+///     WithTrace surface.
+///   * the FLIGHT ring — a small always-on black-box recorder
+///     (EnableFlight(); b2h-serve turns it on at startup and never turns it
+///     off).  It keeps the most recent spans regardless of the main ring's
+///     state so a crash-time forensics dump always has recent history.
+///     Wraps are expected steady-state behavior and are counted separately
+///     (`obs.flight.wrapped`) from main-ring drops (`obs.trace.dropped`).
+///
+/// A span is armed when EITHER ring is recording — still one relaxed load
+/// on the fully-disabled path (both modes live in one atomic word).
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  static constexpr std::size_t kDefaultFlightCapacity = 1 << 12;
 
   static Tracer& Global();
 
@@ -251,9 +281,32 @@ class Tracer {
   /// reallocates).  For sites that toggle recording around a region after
   /// one up-front Enable() — e.g. bench_obs interleaving enabled/disabled
   /// samples.  A no-op recorder until Enable() has sized the ring.
-  void Resume() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void Resume() noexcept {
+    modes_.fetch_or(kModeMain, std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled() const noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return (modes_.load(std::memory_order_relaxed) & kModeMain) != 0;
+  }
+
+  /// Turn on the flight recorder (clears any previous flight spans).
+  /// Independent of Enable()/Disable(): once on, it stays on — only
+  /// DisableFlight() (test-only) turns it back off.
+  void EnableFlight(std::size_t capacity = kDefaultFlightCapacity);
+  /// Test-only: stop flight recording so later tests see the documented
+  /// single-load disabled path again.
+  void DisableFlight();
+  /// Flip flight recording back on WITHOUT clearing the flight ring — the
+  /// flight analogue of Resume(), for bench_obs's interleaved samples.
+  void ResumeFlight() noexcept {
+    modes_.fetch_or(kModeFlight, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool flight_enabled() const noexcept {
+    return (modes_.load(std::memory_order_relaxed) & kModeFlight) != 0;
+  }
+
+  /// True when any ring is recording: the ScopedSpan arming check.
+  [[nodiscard]] bool sampling() const noexcept {
+    return modes_.load(std::memory_order_relaxed) != 0;
   }
 
   void Record(Span&& span);
@@ -263,10 +316,19 @@ class Tracer {
   [[nodiscard]] std::size_t dropped() const;
   void Clear();
 
-  /// Chrome trace-event JSON ({"traceEvents":[...]}), events sorted by
-  /// start time; ts/dur are microseconds relative to the earliest span.
-  /// Loadable by Perfetto and chrome://tracing.
+  /// Flight-ring spans, oldest first.
+  [[nodiscard]] std::vector<Span> FlightSnapshot() const;
+  /// Spans overwritten in the flight ring since EnableFlight().
+  [[nodiscard]] std::size_t flight_wrapped() const;
+
+  /// Chrome trace-event JSON ({"otherData":{"dropped":N},
+  /// "traceEvents":[...]}), events sorted by start time; ts/dur are
+  /// microseconds relative to the earliest span.  Loadable by Perfetto and
+  /// chrome://tracing.
   [[nodiscard]] std::string ChromeTraceJson() const;
+  /// Same exporter over the flight ring (otherData.dropped reports wraps —
+  /// expected to be nonzero on a long-lived daemon).
+  [[nodiscard]] std::string FlightChromeTraceJson() const;
   /// Write ChromeTraceJson() to `path`; false (with a stderr note) on I/O
   /// failure.
   bool WriteChromeTrace(const std::string& path) const;
@@ -277,14 +339,25 @@ class Tracer {
   static std::uint32_t ThreadOrdinal();
 
  private:
+  static constexpr std::uint32_t kModeMain = 1u << 0;
+  static constexpr std::uint32_t kModeFlight = 1u << 1;
+
+  struct Ring {
+    std::vector<Span> spans;
+    std::size_t capacity = 0;
+    std::size_t next = 0;     // write index
+    std::size_t size = 0;     // spans held (<= capacity)
+    std::size_t wrapped = 0;  // overwritten since the ring was sized
+    void Size(std::size_t cap);
+    void Push(Span&& span);
+    [[nodiscard]] std::vector<Span> CopyOldestFirst() const;
+  };
+
   Tracer() = default;
-  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> modes_{0};
   mutable std::mutex mutex_;
-  std::vector<Span> ring_;
-  std::size_t capacity_ = 0;
-  std::size_t next_ = 0;      // ring write index
-  std::size_t size_ = 0;      // spans held (<= capacity_)
-  std::size_t dropped_ = 0;   // overwritten since Enable()
+  Ring ring_;         // main (Enable/Disable) ring
+  Ring flight_;       // always-on flight recorder
 };
 
 // ------------------------------------------------------- thread span stack
@@ -307,7 +380,7 @@ SpanStack& ThreadSpanStack();
 class ScopedSpan {
  public:
   ScopedSpan(std::string_view name, const char* category)
-      : armed_(Tracer::Global().enabled()) {
+      : armed_(Tracer::Global().sampling()) {
     if (armed_) Arm(name, category);
   }
   ScopedSpan(const ScopedSpan&) = delete;

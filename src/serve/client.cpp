@@ -5,7 +5,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
+
+#include "support/json_parse.hpp"
 
 namespace b2h::serve {
 
@@ -41,6 +44,28 @@ Status Client::Call(std::string_view request, std::string* response,
                     int timeout_ms) {
   if (const Status sent = Send(request); !sent.ok()) return sent;
   return Receive(response, timeout_ms);
+}
+
+Status Client::CallStreaming(
+    std::string_view request, std::string* response,
+    const std::function<void(std::string_view)>& on_progress, int timeout_ms) {
+  if (const Status sent = Send(request); !sent.ok()) return sent;
+  while (true) {
+    if (const Status received = Receive(response, timeout_ms);
+        !received.ok()) {
+      return received;
+    }
+    // A progress frame has "progress" and no "ok"; anything else —
+    // including unparseable payloads — is treated as the final response so
+    // a non-streaming daemon still satisfies this call.
+    const std::optional<support::JsonValue> parsed =
+        support::JsonValue::Parse(*response);
+    const bool is_progress = parsed.has_value() && parsed->is_object() &&
+                             parsed->Find("progress") != nullptr &&
+                             parsed->Find("ok") == nullptr;
+    if (!is_progress) return Status::Ok();
+    if (on_progress) on_progress(*response);
+  }
 }
 
 Status Client::Send(std::string_view request) {

@@ -5,6 +5,7 @@
 // state.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -33,6 +34,18 @@ class Client {
   /// for the response frame.
   [[nodiscard]] Status Call(std::string_view request, std::string* response,
                             int timeout_ms = -1);
+
+  /// Send one request and collect frames until the FINAL response arrives
+  /// (the frame carrying "ok"; progress frames carry "progress" instead —
+  /// serve/protocol.hpp).  Each progress frame's payload is handed to
+  /// `on_progress` (may be null) as it arrives; the final response lands in
+  /// `*response`.  `timeout_ms` bounds each individual frame read, so a
+  /// streaming explore keeps the effective timeout alive as long as the
+  /// daemon keeps talking.
+  [[nodiscard]] Status CallStreaming(
+      std::string_view request, std::string* response,
+      const std::function<void(std::string_view)>& on_progress,
+      int timeout_ms = -1);
 
   /// Send a frame without awaiting a response (pipelining; responses are
   /// returned in request order and can be collected with Receive).

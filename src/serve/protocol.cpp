@@ -19,6 +19,7 @@ std::optional<RequestKind> ParseKind(std::string_view name) {
   if (name == "explore") return RequestKind::kExplore;
   if (name == "stats") return RequestKind::kStats;
   if (name == "metrics") return RequestKind::kMetrics;
+  if (name == "dump") return RequestKind::kDump;
   if (name == "shutdown") return RequestKind::kShutdown;
   return std::nullopt;
 }
@@ -60,6 +61,7 @@ std::string_view RequestKindName(RequestKind kind) {
     case RequestKind::kExplore: return "explore";
     case RequestKind::kStats: return "stats";
     case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kDump: return "dump";
     case RequestKind::kShutdown: return "shutdown";
   }
   return "ping";
@@ -99,6 +101,18 @@ std::optional<Request> ParseRequest(std::string_view payload,
   Request request;
   request.kind = *kind;
   request.id = object.GetString("id");
+  request.corr = object.GetString("corr");
+  if (!request.corr.empty() && !ValidCorrelationId(request.corr)) {
+    return Fail(error, kErrBadRequest,
+                "\"corr\" must be 1-64 bytes of [A-Za-z0-9._-]");
+  }
+  const JsonValue* progress = object.Find("progress");
+  if (progress != nullptr) {
+    if (!progress->is_bool()) {
+      return Fail(error, kErrBadRequest, "\"progress\" must be a boolean");
+    }
+    request.progress = progress->bool_value();
+  }
 
   const JsonValue* deadline = object.Find("deadline_ms");
   if (deadline != nullptr) {
@@ -127,6 +141,7 @@ std::optional<Request> ParseRequest(std::string_view payload,
     case RequestKind::kPing:
     case RequestKind::kStats:
     case RequestKind::kMetrics:
+    case RequestKind::kDump:
     case RequestKind::kShutdown:
       return request;
     case RequestKind::kPartition: {
@@ -197,23 +212,59 @@ std::string RequestKey(const Request& request) {
   return out.str();
 }
 
+bool ValidCorrelationId(std::string_view corr) {
+  if (corr.empty() || corr.size() > 64) return false;
+  for (const char c : corr) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void AppendCorr(std::ostringstream& out, std::string_view corr) {
+  if (!corr.empty()) {
+    out << ",\"corr\":\"" << support::JsonEscape(std::string(corr)) << "\"";
+  }
+}
+
+}  // namespace
+
 std::string ErrorResponse(const std::string& id, std::string_view code,
-                          std::string_view message) {
+                          std::string_view message, std::string_view corr) {
   std::ostringstream out;
   out << "{\"schema\":" << kWireSchemaVersion << ",\"id\":\""
-      << support::JsonEscape(id) << "\",\"ok\":false,\"error\":{\"code\":\""
+      << support::JsonEscape(id) << "\"";
+  AppendCorr(out, corr);
+  out << ",\"ok\":false,\"error\":{\"code\":\""
       << support::JsonEscape(std::string(code)) << "\",\"message\":\""
       << support::JsonEscape(std::string(message)) << "\"}}";
   return out.str();
 }
 
 std::string OkResponse(const std::string& id, std::string_view report_json,
-                       std::string_view served_json) {
+                       std::string_view served_json, std::string_view corr) {
   std::ostringstream out;
   out << "{\"schema\":" << kWireSchemaVersion << ",\"id\":\""
-      << support::JsonEscape(id) << "\",\"ok\":true,\"report\":"
+      << support::JsonEscape(id) << "\"";
+  AppendCorr(out, corr);
+  out << ",\"ok\":true,\"report\":"
       << (report_json.empty() ? "{}" : report_json) << ",\"served\":"
       << (served_json.empty() ? "{}" : served_json) << "}";
+  return out.str();
+}
+
+std::string ProgressFrame(const std::string& id, std::string_view corr,
+                          std::string_view progress_json) {
+  std::ostringstream out;
+  out << "{\"schema\":" << kWireSchemaVersion << ",\"id\":\""
+      << support::JsonEscape(id) << "\"";
+  AppendCorr(out, corr);
+  out << ",\"progress\":" << (progress_json.empty() ? "{}" : progress_json)
+      << "}";
   return out.str();
 }
 

@@ -16,7 +16,15 @@
 //       "strategies":[...],"objectives":[...],"seed":1}
 //   {"schema":1,"kind":"stats"}
 //   {"schema":1,"kind":"metrics"}
+//   {"schema":1,"kind":"dump"}
 //   {"schema":1,"kind":"shutdown"}
+//
+// Any request may carry "corr" (a client correlation id, [A-Za-z0-9._-],
+// <= 64 bytes; the server assigns one when absent) — it is echoed in the
+// response envelope and stamped into every span the request produces.
+// Work requests may set "progress":true to receive progress frames
+// ({"schema":1,"id":...,"corr":...,"progress":{...}}) before the final
+// reply on the same connection.
 //
 // Responses:
 //
@@ -60,6 +68,7 @@ enum class RequestKind {
   kExplore,
   kStats,    ///< serving counters (StatsJson shape)
   kMetrics,  ///< full obs::Registry snapshot (kMetricsSchemaVersion shape)
+  kDump,     ///< write a forensics bundle now; report = {"path":...}
   kShutdown
 };
 
@@ -70,6 +79,8 @@ enum class RequestKind {
 struct Request {
   RequestKind kind = RequestKind::kPing;
   std::string id;        ///< opaque client tag, echoed in the response
+  std::string corr;      ///< correlation id; "" = server assigns one
+  bool progress = false; ///< stream progress frames before the final reply
   int deadline_ms = -1;  ///< < 0 = no deadline
 
   // partition
@@ -109,17 +120,33 @@ struct ParseError {
 /// volatile (no id, no deadline).
 [[nodiscard]] std::string RequestKey(const Request& request);
 
+/// True when `corr` is usable as a client-supplied correlation id:
+/// non-empty, at most 64 bytes, charset [A-Za-z0-9._-].
+[[nodiscard]] bool ValidCorrelationId(std::string_view corr);
+
 // ---- response builders (all stamped with kWireSchemaVersion) -------------
+// A non-empty `corr` adds a "corr" field to the envelope (additive: the
+// wire schema stays 1; report/served stay adjacent for byte-slicing
+// clients).
 
 [[nodiscard]] std::string ErrorResponse(const std::string& id,
                                         std::string_view code,
-                                        std::string_view message);
+                                        std::string_view message,
+                                        std::string_view corr = {});
 
 /// Success envelope around a pre-serialized deterministic `report` object
 /// and a pre-serialized volatile `served` object (both must be complete
 /// JSON values; pass "{}" when empty).
 [[nodiscard]] std::string OkResponse(const std::string& id,
                                      std::string_view report_json,
-                                     std::string_view served_json);
+                                     std::string_view served_json,
+                                     std::string_view corr = {});
+
+/// Progress frame for a streaming request: {"schema":1,"id":...,
+/// "corr":...,"progress":<progress_json>}.  Distinguished from the final
+/// reply by the presence of "progress" and the absence of "ok".
+[[nodiscard]] std::string ProgressFrame(const std::string& id,
+                                        std::string_view corr,
+                                        std::string_view progress_json);
 
 }  // namespace b2h::serve

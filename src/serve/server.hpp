@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,9 +38,11 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "serve/flight.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "support/error.hpp"
+#include "support/http.hpp"
 #include "support/socket.hpp"
 #include "toolchain/toolchain.hpp"
 
@@ -57,6 +60,12 @@ class Server {
     std::size_t max_queue = 64;  ///< bounded admission queue
     unsigned toolchain_threads = 1;  ///< intra-request fan-out
     std::uint32_t max_frame_bytes = support::kDefaultMaxFrameBytes;
+    /// Loopback HTTP introspection plane: <0 = disabled, 0 = pick an
+    /// ephemeral port (read it back via http_port()), >0 = bind that port.
+    int http_port = -1;
+    /// Directory for forensics dump bundles ("" = crash handlers and the
+    /// `dump` request kind are disabled).
+    std::string dump_dir;
   };
 
   explicit Server(Options options);
@@ -86,13 +95,31 @@ class Server {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Bound HTTP port after Start() (0 when the HTTP plane is disabled).
+  /// With Options::http_port == 0 this is the ephemeral port the kernel
+  /// picked.
+  [[nodiscard]] int http_port() const noexcept { return http_port_; }
+
  private:
+  /// Optional per-connection sink for mid-request frames (progress
+  /// streaming).  Returns false when the connection is gone; null when the
+  /// transport cannot stream (HTTP).
+  using FrameSink = std::function<bool(std::string_view)>;
+
   void AcceptLoop();
   void ServeConnection(int fd);
-  [[nodiscard]] std::string HandleRequest(std::string_view payload);
-  [[nodiscard]] std::string HandleWork(const Request& request);
-  [[nodiscard]] JobResult DoPartition(Request request);
-  [[nodiscard]] JobResult DoExplore(Request request);
+  void HttpAcceptLoop();
+  void ServeHttpConnection(int fd);
+  void HandleHttp(int fd, const support::HttpRequest& request);
+  [[nodiscard]] std::string HandleRequest(std::string_view payload,
+                                          const FrameSink* frame_sink);
+  [[nodiscard]] std::string HandleWork(const Request& request,
+                                       const std::string& corr,
+                                       const FrameSink* frame_sink);
+  [[nodiscard]] JobResult DoPartition(Request request, std::string key,
+                                      std::string corr);
+  [[nodiscard]] JobResult DoExplore(Request request, std::string key,
+                                    std::string corr);
 
   /// Compile-once benchmark binary cache (keyed bench + opt level).
   [[nodiscard]] Result<std::shared_ptr<const mips::SoftBinary>> ObtainBinary(
@@ -109,10 +136,20 @@ class Server {
   Scheduler scheduler_;
 
   int listen_fd_ = -1;
+  int http_listen_fd_ = -1;
+  int http_port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  std::thread http_accept_thread_;
   std::mutex connections_mutex_;
   std::vector<std::thread> connections_;
+
+  // Flight-recorder forensics: recent-request log, per-key progress board,
+  // and the crash-dump configuration the signal handlers read.
+  RequestLog request_log_;
+  ProgressBoard progress_;
+  Forensics forensics_;
+  std::atomic<std::uint64_t> next_corr_{1};  ///< server-assigned corr ids
 
   std::mutex binaries_mutex_;
   std::map<std::string, std::shared_ptr<const mips::SoftBinary>> binaries_;
@@ -124,6 +161,7 @@ class Server {
   obs::Counter& requests_;
   obs::Counter& protocol_errors_;
   obs::Counter& connections_served_;
+  obs::Counter& http_requests_;
   // Cumulative toolchain work this process actually performed.
   obs::Counter& simulations_run_;
   obs::Counter& decompilations_run_;

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <ctime>
 #include <utility>
+#include <vector>
 
 namespace b2h::support {
 
@@ -37,6 +39,13 @@ struct OverheadOptions {
   /// Stop retrying once the measured overhead drops to/below this; an
   /// assertion bound goes here so a passing measurement exits early.
   double early_exit_below = 0.0;
+  /// Use the median of per-pair ratios instead of min(variant)/min(plain).
+  /// Min-of-N assumes noise only ever inflates a sample, which holds for a
+  /// single-threaded loop but not for multi-threaded workloads measured
+  /// with process CPU time: worker wake/park costs land in the measured
+  /// quantity itself and swing both ways.  Adjacent baseline/variant pairs
+  /// see the same machine state, so the median pair ratio is robust there.
+  bool median = false;
 
   /// Out: the samples behind the returned minimum overhead (the winning
   /// attempt's best baseline/variant times), so callers can print times
@@ -58,6 +67,32 @@ struct OverheadOptions {
 template <typename Baseline, typename Variant>
 [[nodiscard]] double MeasureOverhead(Baseline&& baseline, Variant&& variant,
                                      OverheadOptions& options) {
+  if (options.median) {
+    // One flat pass of interleaved pairs; each attempt-block checks the
+    // running median so a measurement already inside the budget stays cheap.
+    std::vector<double> ratios;
+    double best_plain = 1e9, best_variant = 1e9;
+    double overhead = 1e9;
+    for (int attempt = 0; attempt < options.attempts; ++attempt) {
+      for (int sample = 0; sample < options.samples; ++sample) {
+        const double plain = CpuSecondsOf(baseline);
+        const double hooked = CpuSecondsOf(variant);
+        if (plain <= 0.0) continue;  // clock quantum too coarse; skip pair
+        ratios.push_back(hooked / plain - 1.0);
+        if (plain < best_plain) best_plain = plain;
+        if (hooked < best_variant) best_variant = hooked;
+      }
+      if (ratios.empty()) continue;
+      std::vector<double> sorted = ratios;
+      const std::size_t mid = sorted.size() / 2;
+      std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+      overhead = sorted[mid];
+      if (overhead <= options.early_exit_below && ratios.size() >= 8) break;
+    }
+    options.plain_seconds = best_plain;
+    options.variant_seconds = best_variant;
+    return overhead;
+  }
   double overhead = 1e9;
   for (int attempt = 0; attempt < options.attempts &&
                         overhead > options.early_exit_below;

@@ -1,0 +1,90 @@
+// Minimal HTTP/1.1 server-side helpers for the b2h-serve introspection
+// plane (src/serve/): loopback TCP listen/connect plus one-request-per-
+// connection parse and response writing.  Deliberately tiny — no keep-alive,
+// no chunked transfer, no TLS: the plane exists so an operator can `curl`
+// /metrics, /healthz, /trace and POST partition/explore bodies; every
+// response carries `Connection: close` and the connection ends there
+// (mirroring the framed path's connection-per-client simplicity without its
+// statefulness).
+//
+// Bounded by construction: the header block and the body each have a byte
+// cap, so a hostile Content-Length or an endless header stream can never
+// balloon RSS — oversized input is reported as kOversized and the server
+// answers 413 and closes, regression-tested next to the framed-abuse suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace b2h::support {
+
+/// Header-block cap: request line + headers must fit in this many bytes.
+inline constexpr std::size_t kMaxHttpHeaderBytes = 16u << 10;
+
+/// Outcome of reading one HTTP request (taxonomy parallels FrameStatus).
+enum class HttpStatus {
+  kOk,         ///< one complete request parsed
+  kClosed,     ///< clean EOF before any request byte
+  kMalformed,  ///< unparseable request line / headers / Content-Length
+  kOversized,  ///< header block or declared body beyond the cap
+  kTimeout,    ///< poll timeout before a complete request
+  kError,      ///< errno-level failure
+};
+
+[[nodiscard]] const char* ToString(HttpStatus status) noexcept;
+
+/// One parsed request.  Header names are lowercased; values are trimmed of
+/// surrounding whitespace.  `target` is the raw request-target (path +
+/// optional query), not URL-decoded.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value for `name` (lowercase), or "" when absent.
+  [[nodiscard]] std::string_view Header(std::string_view name) const;
+};
+
+/// Listen on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port); the
+/// introspection plane is loopback-only by design.  On success returns the
+/// listening fd and stores the bound port in `*bound_port`; on failure
+/// returns -1 with `*error` describing why.
+[[nodiscard]] int ListenTcp(std::uint16_t port, int backlog,
+                            std::uint16_t* bound_port, std::string* error);
+
+/// Connect to 127.0.0.1:`port`.  Returns the fd, or -1 with `*error` set.
+[[nodiscard]] int ConnectTcp(std::uint16_t port, std::string* error);
+
+/// Read and parse one request from `fd`.  `timeout_ms < 0` blocks
+/// indefinitely.  A body is read only when Content-Length says so (no
+/// chunked transfer); a declared length beyond `max_body_bytes` yields
+/// kOversized without reading the body.
+[[nodiscard]] HttpStatus ReadHttpRequest(int fd, HttpRequest* request,
+                                         std::size_t max_body_bytes,
+                                         int timeout_ms = -1);
+
+/// Write a complete `Connection: close` response.  False on any send error.
+[[nodiscard]] bool WriteHttpResponse(int fd, int status_code,
+                                     std::string_view reason,
+                                     std::string_view content_type,
+                                     std::string_view body);
+
+/// What one client call got back.
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+
+/// One loopback client call: connect, send `method target` with `body`
+/// (Content-Length set, `Connection: close`), read to EOF, split status
+/// and body.  For the load generator and the introspection tests — not a
+/// general HTTP client.  False on connect/send/timeout/parse failure.
+[[nodiscard]] bool HttpCall(std::uint16_t port, std::string_view method,
+                            std::string_view target, std::string_view body,
+                            HttpResponse* response, int timeout_ms = 10'000);
+
+}  // namespace b2h::support

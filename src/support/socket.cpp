@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -184,8 +185,42 @@ bool WriteFrame(int fd, std::string_view payload,
       static_cast<unsigned char>((length >> 16) & 0xFF),
       static_cast<unsigned char>((length >> 24) & 0xFF),
   };
-  if (!WriteExact(fd, prefix, sizeof prefix)) return false;
-  return payload.empty() || WriteExact(fd, payload.data(), payload.size());
+  // Queue prefix + payload with one writev: a receiver that rejects the
+  // frame on the prefix alone (oversized) and hangs up must not be able to
+  // EPIPE a sender caught between two separate sends.
+  iovec parts[2] = {
+      {const_cast<unsigned char*>(prefix), sizeof prefix},
+      {const_cast<char*>(payload.data()), payload.size()},
+  };
+  msghdr msg{};
+  msg.msg_iov = parts;
+  msg.msg_iovlen = payload.empty() ? 1 : 2;
+  std::size_t done = 0;
+  const std::size_t total = sizeof prefix + payload.size();
+  while (true) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+    if (done >= total) return true;
+    // Partial write (frame larger than the socket buffer): advance the iovec.
+    std::size_t skip = done;
+    if (skip < sizeof prefix) {
+      parts[0] = {const_cast<unsigned char*>(prefix) + skip,
+                  sizeof prefix - skip};
+      parts[1] = {const_cast<char*>(payload.data()), payload.size()};
+      msg.msg_iov = parts;
+      msg.msg_iovlen = payload.empty() ? 1 : 2;
+    } else {
+      skip -= sizeof prefix;
+      parts[0] = {const_cast<char*>(payload.data()) + skip,
+                  payload.size() - skip};
+      msg.msg_iov = parts;
+      msg.msg_iovlen = 1;
+    }
+  }
 }
 
 }  // namespace b2h::support

@@ -280,6 +280,115 @@ TEST(ObsTracer, ResumeKeepsRecordedSpans) {
   EXPECT_EQ(spans[1].name, "after.resume");
 }
 
+TEST(ObsTracer, FlightRingRecordsIndependentlyOfMainRing) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable(/*capacity=*/8);
+  tracer.EnableFlight(/*capacity=*/8);
+  { obs::ScopedSpan span("both.rings", "test"); }
+  tracer.Disable();  // main off, flight stays on (the daemon's idle state)
+  { obs::ScopedSpan span("flight.only", "test"); }
+  tracer.DisableFlight();
+  { obs::ScopedSpan span("neither", "test"); }  // fully off: recorded nowhere
+
+  const std::vector<obs::Span> main_spans = tracer.Snapshot();
+  ASSERT_EQ(main_spans.size(), 1u);
+  EXPECT_EQ(main_spans[0].name, "both.rings");
+
+  const std::vector<obs::Span> flight_spans = tracer.FlightSnapshot();
+  ASSERT_EQ(flight_spans.size(), 2u);
+  EXPECT_EQ(flight_spans[0].name, "both.rings");
+  EXPECT_EQ(flight_spans[1].name, "flight.only");
+}
+
+TEST(ObsTracer, FlightRingWrapsBoundedAndCountsIntoRegistry) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Disable();
+  obs::Counter& wrapped_counter =
+      obs::Registry::Global().counter("obs.flight.wrapped");
+  const std::uint64_t wrapped_before = wrapped_counter.Value();
+  tracer.EnableFlight(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    obs::ScopedSpan span("flight.fill", "test");
+  }
+  EXPECT_EQ(tracer.FlightSnapshot().size(), 2u);
+  EXPECT_EQ(tracer.flight_wrapped(), 3u);
+  // Wraps surface as a registry counter so /metrics and the CI trace
+  // validator can detect span loss without a snapshot diff.
+  EXPECT_EQ(wrapped_counter.Value() - wrapped_before, 3u);
+
+  // The flight export is the same Chrome trace shape as the main ring's,
+  // with the wrap count in otherData.dropped.
+  const auto parsed = JsonValue::Parse(tracer.FlightChromeTraceJson());
+  tracer.DisableFlight();
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* other = parsed->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->GetNumber("dropped"), 3.0);
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->array().size(), 2u);
+}
+
+TEST(ObsTracer, MainRingDropsSurfaceAsRegistryCounter) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::Counter& dropped_counter =
+      obs::Registry::Global().counter("obs.trace.dropped");
+  const std::uint64_t dropped_before = dropped_counter.Value();
+  tracer.Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    obs::ScopedSpan span("drop.fill", "test");
+  }
+  tracer.Disable();
+  EXPECT_EQ(dropped_counter.Value() - dropped_before, 6u);
+  // The export stamps the same count into otherData for the CI validator.
+  const auto parsed = JsonValue::Parse(tracer.ChromeTraceJson());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* other = parsed->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->GetNumber("dropped"), 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, PrometheusTextIsSpecConsistent) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.counter("test.prom.counter").Add(3);
+  registry.gauge("test.prom.gauge").Set(-4);
+  obs::Histogram& histogram =
+      registry.histogram("test.prom.hist", {1.0, 2.0, 4.0});
+  histogram.Reset();
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  histogram.Observe(3.0);
+  histogram.Observe(100.0);  // overflow bucket
+
+  const std::string text = registry.PrometheusText();
+  // Names are sanitized ('.' -> '_') and typed before their samples.
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge -4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram\n"),
+            std::string::npos);
+  // Buckets are CUMULATIVE (le="2" counts everything <= 2), the +Inf
+  // bucket equals _count, and _sum is present — the histogram contract
+  // Prometheus scrapers rely on.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum 105\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 4\n"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: a traced cold sweep covers every flow layer
 // ---------------------------------------------------------------------------

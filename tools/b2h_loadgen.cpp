@@ -18,16 +18,21 @@
 //                     instant; single-flight must execute it exactly once
 //   4. verify serial — replay every key; reports must be bit-identical to
 //                     the concurrent phase's
+//   5. http replay  — (with --http-port) every key again over POST
+//                     /v1/partition|/v1/explore; reports must be
+//                     bit-identical to the framed baseline and /healthz
+//                     must answer 200
 //
 // Self-gated invariants (non-zero exit on violation, enforced again by
 // ci/perf_trajectory.py ABSOLUTE_GATES):
 //
-//   serve_warm_simulations   == 0   phases 2-4 re-simulate nothing
+//   serve_warm_simulations   == 0   phases 2-5 re-simulate nothing
 //   serve_warm_decompilations== 0   ... and re-decompile nothing
 //   serve_extra_partitions   == 0   partitions beyond the unique cold keys
 //   serve_burst_executed     == 1   the burst coalesced onto one execution
 //   serve_report_identical   == 1   serial == concurrent, bit for bit
 //   serve_metrics_ok         == 1   `metrics` snapshot matches the load
+//   serve_http_identical     == 1   (with --http-port) HTTP == framed
 //   serve_shutdown_clean     == 1   (spawn mode) exit 0, socket removed
 #include <signal.h>
 #include <sys/stat.h>
@@ -53,6 +58,7 @@
 #include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "support/http.hpp"
 #include "support/json_parse.hpp"
 #include "support/schema.hpp"
 
@@ -70,6 +76,7 @@ struct Options {
   std::size_t requests = 1200;
   unsigned connections = 8;
   std::size_t cold_keys = 8;
+  int http_port = -1;  ///< >= 0: run the HTTP replay phase on this port
 };
 
 int Usage() {
@@ -77,7 +84,8 @@ int Usage() {
                "usage: b2h-loadgen (--spawn SERVER_BIN | --socket PATH)\n"
                "                   [--socket PATH] [--cache-dir DIR]\n"
                "                   [--requests N] [--connections C]\n"
-               "                   [--cold-keys K] [--trace-out FILE]\n");
+               "                   [--cold-keys K] [--trace-out FILE]\n"
+               "                   [--http-port N]\n");
   return 1;
 }
 
@@ -225,7 +233,7 @@ class ReportRegistry {
   std::size_t mismatches_ = 0;
 };
 
-pid_t SpawnServer(const Options& options) {
+pid_t SpawnServer(const Options& options, const std::string& http_port) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   std::vector<const char*> args = {options.server_bin.c_str(), "--socket",
@@ -234,6 +242,10 @@ pid_t SpawnServer(const Options& options) {
   if (!options.cache_dir.empty()) {
     args.push_back("--cache-dir");
     args.push_back(options.cache_dir.c_str());
+  }
+  if (!http_port.empty()) {
+    args.push_back("--http-port");
+    args.push_back(http_port.c_str());
   }
   args.push_back(nullptr);
   ::execv(options.server_bin.c_str(),
@@ -287,6 +299,8 @@ int main(int argc, char** argv) {
       options.cold_keys = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--trace-out" && i + 1 < argc) {
       options.trace_out = argv[++i];
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      options.http_port = std::atoi(argv[++i]);
     } else {
       return Usage();
     }
@@ -301,7 +315,9 @@ int main(int argc, char** argv) {
 
   pid_t server_pid = -1;
   if (spawn) {
-    server_pid = SpawnServer(options);
+    server_pid = SpawnServer(options, options.http_port >= 0
+                                          ? std::to_string(options.http_port)
+                                          : std::string());
     if (server_pid < 0) {
       std::fprintf(stderr, "b2h-loadgen: fork failed\n");
       return 1;
@@ -494,6 +510,52 @@ int main(int argc, char** argv) {
     }
   }
   phase4_span.Close();
+
+  // ---- phase 5: HTTP replay (--http-port) ---------------------------------
+  // Every baselined key again, this time as POST /v1/partition|/v1/explore.
+  // The daemon routes both transports through the same scheduler + cache,
+  // so the report slice must be byte-identical to the framed baseline and
+  // the replay must do zero new toolchain work (covered by the warm gates:
+  // the final stats snapshot is taken AFTER this phase).
+  bool http_identical = true;
+  const bool http_enabled = options.http_port >= 0;
+  if (http_enabled) {
+    b2h::obs::ScopedSpan phase5_span("loadgen.http_replay", "loadgen");
+    const auto http_port = static_cast<std::uint16_t>(options.http_port);
+    b2h::support::HttpResponse health;
+    if (!b2h::support::HttpCall(http_port, "GET", "/healthz", "", &health) ||
+        health.status_code != 200) {
+      std::fprintf(stderr, "b2h-loadgen: GET /healthz failed (status %d)\n",
+                   health.status_code);
+      http_identical = false;
+    }
+    std::size_t replayed = 0;
+    for (const std::string& request : registry.Keys()) {
+      const std::optional<JsonValue> parsed = JsonValue::Parse(request);
+      if (!parsed.has_value()) continue;
+      const std::string kind = parsed->GetString("kind");
+      if (kind != "partition" && kind != "explore") continue;
+      b2h::support::HttpResponse http_response;
+      if (!b2h::support::HttpCall(http_port, "POST", "/v1/" + kind, request,
+                                  &http_response, 120'000) ||
+          http_response.status_code != 200 ||
+          !ResponseOk(http_response.body)) {
+        std::fprintf(stderr, "b2h-loadgen: http replay failed: %s\n",
+                     request.c_str());
+        http_identical = false;
+        continue;
+      }
+      if (!registry.CheckOrInsert(request, ExtractReport(http_response.body))) {
+        http_identical = false;
+      }
+      ++replayed;
+    }
+    phase5_span.Arg("requests", static_cast<std::uint64_t>(replayed));
+    phase5_span.Close();
+    std::printf("phase 5 (http): %zu keys replayed over 127.0.0.1:%d\n",
+                replayed, options.http_port);
+  }
+
   StatsSnapshot final_stats;
   if (!FetchStats(control, &final_stats)) return 1;
   // The new metrics endpoint must corroborate the load we just generated.
@@ -573,6 +635,9 @@ int main(int argc, char** argv) {
     json.Record("serve_report_identical", reports_identical ? 1.0 : 0.0,
                 "bool");
     json.Record("serve_metrics_ok", metrics_ok ? 1.0 : 0.0, "bool");
+    if (http_enabled) {
+      json.Record("serve_http_identical", http_identical ? 1.0 : 0.0, "bool");
+    }
     json.Record("serve_coalesced_total", final_stats.coalesced, "count");
     json.Record("serve_client_coalesced",
                 static_cast<double>(client_coalesced.load()), "count");
@@ -605,6 +670,7 @@ int main(int argc, char** argv) {
   gate("serve_burst_executed==1", burst_executed == 1.0);
   gate("serve_report_identical==1", reports_identical);
   gate("serve_metrics_ok==1", metrics_ok);
+  if (http_enabled) gate("serve_http_identical==1", http_identical);
   if (spawn) gate("serve_shutdown_clean==1", shutdown_clean == 1.0);
   if (!options.trace_out.empty() &&
       b2h::obs::Tracer::Global().WriteChromeTrace(options.trace_out)) {

@@ -2,14 +2,19 @@
 //
 //   b2h-serve --socket PATH [--cache-dir DIR] [--workers N]
 //             [--max-queue N] [--threads N] [--trace-out FILE]
+//             [--http-port N] [--dump-dir DIR]
 //
 // Listens on a unix-domain socket for length-prefixed JSON requests
-// (partition / explore / stats / metrics / ping / shutdown —
+// (partition / explore / stats / metrics / ping / dump / shutdown —
 // src/serve/protocol.hpp)
 // and serves them from one warm Toolchain with a shared two-tier artifact
-// cache.  Runs in the foreground; SIGINT/SIGTERM or a `shutdown` request
-// stop it cleanly (connections drained, socket file removed).  Exit code 0
-// on clean shutdown, 1 on startup errors.
+// cache.  With --http-port it additionally serves the loopback HTTP
+// introspection plane (GET /metrics, /healthz, /trace, /v1/progress/<corr>;
+// POST /v1/partition, /v1/explore — docs/OPERATIONS.md); with --dump-dir a
+// crash (SIGSEGV/SIGABRT/std::terminate) or a `dump` request writes a
+// forensics bundle there.  Runs in the foreground; SIGINT/SIGTERM or a
+// `shutdown` request stop it cleanly (connections drained, socket file
+// removed).  Exit code 0 on clean shutdown, 1 on startup errors.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,13 +38,17 @@ int Usage() {
       stderr,
       "usage: b2h-serve --socket PATH [--cache-dir DIR] [--workers N]\n"
       "                 [--max-queue N] [--threads N] [--trace-out FILE]\n"
+      "                 [--http-port N] [--dump-dir DIR]\n"
       "  --socket PATH    unix socket to listen on (required)\n"
       "  --cache-dir DIR  persist the artifact cache under DIR\n"
       "  --workers N      concurrent heavy computations (default 2)\n"
       "  --max-queue N    bounded admission queue (default 64)\n"
       "  --threads N      toolchain threads per computation (default 1)\n"
       "  --trace-out FILE write a Chrome/Perfetto trace of the whole\n"
-      "                   serving session to FILE at shutdown\n");
+      "                   serving session to FILE at shutdown\n"
+      "  --http-port N    serve the HTTP introspection plane on\n"
+      "                   127.0.0.1:N (0 = ephemeral; printed at startup)\n"
+      "  --dump-dir DIR   write crash/dump forensics bundles under DIR\n");
   return 1;
 }
 
@@ -62,6 +71,10 @@ int main(int argc, char** argv) {
       options.toolchain_threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      options.http_port = std::atoi(argv[++i]);
+    } else if (arg == "--dump-dir" && i + 1 < argc) {
+      options.dump_dir = argv[++i];
     } else {
       return Usage();
     }
@@ -85,6 +98,10 @@ int main(int argc, char** argv) {
               server.options().max_queue,
               server.options().cache_dir.empty() ? "" : ", cache-dir=",
               server.options().cache_dir.c_str());
+  if (server.http_port() > 0) {
+    std::printf("b2h-serve: http introspection on 127.0.0.1:%d\n",
+                server.http_port());
+  }
   std::fflush(stdout);
 
   server.Wait();
