@@ -1,12 +1,21 @@
-// Simulator throughput bench: instructions/second of the block-compiled
-// engine (plain and instrumented) versus the retained per-instruction
-// reference interpreter, per suite benchmark and suite-aggregated.
+// Simulator throughput bench: instructions/second of the trace-compiled
+// engine — computed-goto threaded dispatch (default) and forced switch
+// dispatch — versus the retained per-instruction reference interpreter, per
+// suite benchmark and suite-aggregated.
 //
 // Writes BENCH_simulator.json (see bench_json.hpp):
-//   instr_per_sec               block engine, plain Run           [per bench + suite_avg]
-//   instr_per_sec_instrumented  block engine + detection observer [per bench + suite_avg]
-//   ref_instr_per_sec           reference engine, plain Run       [per bench + suite_avg]
-//   block_speedup               block vs reference                [per bench + suite_avg]
+//   instr_per_sec               threaded engine, plain Run        [per bench + suite_avg]
+//   instr_per_sec_instrumented  threaded engine + detection observer
+//   switch_instr_per_sec        switch-dispatch engine, plain Run
+//   ref_instr_per_sec           reference engine, plain Run
+//   block_speedup               threaded vs reference
+//   switch_speedup              switch-dispatch vs reference
+//   trace_len_mean              mean multi-exit trace length (static)
+//   trace_len_single_exit_mean  mean length if traces still ended at the
+//                               first conditional branch (the pre-multi-exit
+//                               engine's block shape, for the E9 comparison)
+//   blockcache_*                shared pre-decode cache counters for a warm
+//                               RunMany-shaped sweep over the whole suite
 //
 // block_speedup is a ratio of two measurements taken on the same host
 // seconds apart, so unlike the raw rates it is comparable across CI
@@ -18,17 +27,21 @@
 // only ever slows a sample down), CPU time not wall time.
 //
 // In Release builds the bench itself enforces the tentpole floor: suite
-// average block_speedup >= 3x (override/disable with B2H_SIM_SPEEDUP_GATE,
+// average block_speedup >= 4x (override/disable with B2H_SIM_SPEEDUP_GATE,
 // e.g. "2.5" or "0" to disable) — a throughput regression fails the bench
-// run, not just the trajectory diff.
+// run, not just the trajectory diff.  The warm-sweep self-gate is
+// unconditional: a warm suite sweep performing any pre-decode at all means
+// the shared cache broke, which no build type makes acceptable.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "dynamic/hot_region.hpp"
+#include "mips/shared_cache.hpp"
 #include "mips/simulator.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
@@ -76,12 +89,44 @@ Rates MeasureEngine(const mips::SoftBinary& binary, mips::ExecEngine engine,
   return rates;
 }
 
+struct TraceStats {
+  double mean_len = 0.0;          ///< mean multi-exit trace length
+  double single_exit_mean = 0.0;  ///< mean length truncated at first branch
+};
+
+/// Static trace-length statistics over every decodable entry: what the
+/// multi-exit traces look like, and what the same text's blocks looked like
+/// under the old first-branch-terminates rule (each trace truncated at its
+/// first side exit) — the before/after pair the E9 study plots.
+TraceStats MeasureTraces(const mips::BlockCache& cache) {
+  TraceStats stats;
+  const mips::BlockSpan* spans = cache.spans();
+  const mips::SideExit* exits = cache.exits();
+  std::uint64_t count = 0;
+  std::uint64_t total_len = 0;
+  std::uint64_t total_single = 0;
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    const mips::BlockSpan& span = spans[i];
+    if (span.len == 0) continue;
+    ++count;
+    total_len += span.len;
+    total_single += span.exit_count > 0
+                        ? exits[span.exit_begin].offset + 1
+                        : span.len;
+  }
+  if (count > 0) {
+    stats.mean_len = static_cast<double>(total_len) / count;
+    stats.single_exit_mean = static_cast<double>(total_single) / count;
+  }
+  return stats;
+}
+
 double SpeedupGate() {
   if (const char* env = std::getenv("B2H_SIM_SPEEDUP_GATE")) {
     return std::atof(env);  // "0" disables
   }
 #ifdef B2H_BUILD_TYPE
-  if (std::string_view(B2H_BUILD_TYPE) == "Release") return 3.0;
+  if (std::string_view(B2H_BUILD_TYPE) == "Release") return 4.0;
 #endif
   return 0.0;  // informational outside Release unless explicitly requested
 }
@@ -91,9 +136,10 @@ double SpeedupGate() {
 int main() {
   bench::JsonWriter json("simulator");
 
-  std::printf("Simulator throughput: block-compiled engine vs reference\n");
-  std::printf("%-12s %12s %12s %12s %9s\n", "benchmark", "block i/s",
-              "instrum i/s", "ref i/s", "speedup");
+  std::printf("Simulator throughput: trace-compiled engines vs reference\n");
+  std::printf("%-12s %12s %12s %12s %12s %9s %9s\n", "benchmark",
+              "threaded i/s", "instrum i/s", "switch i/s", "ref i/s",
+              "speedup", "sw-spdup");
 
   // Suite aggregation: harmonic weighting by each benchmark's per-run
   // instruction count, i.e. total instructions / total time — the rate a
@@ -101,7 +147,11 @@ int main() {
   double total_weight = 0.0;
   double block_time = 0.0;
   double instrumented_time = 0.0;
+  double switch_time = 0.0;
   double reference_time = 0.0;
+
+  // Binaries that produced a measurement, kept for the warm-sweep pass.
+  std::vector<std::pair<std::string, mips::SoftBinary>> measured;
 
   for (const suite::Benchmark& bench : suite::AllBenchmarks()) {
     auto built = suite::BuildBinary(bench, 1);
@@ -123,29 +173,41 @@ int main() {
 
     const Rates block =
         MeasureEngine(binary, mips::ExecEngine::kBlock, reps, true);
+    const Rates swdisp =
+        MeasureEngine(binary, mips::ExecEngine::kBlockSwitch, reps, false);
     const Rates reference =
         MeasureEngine(binary, mips::ExecEngine::kReference, reps, false);
     if (block.plain <= 0.0 || block.instrumented <= 0.0 ||
-        reference.plain <= 0.0) {
+        swdisp.plain <= 0.0 || reference.plain <= 0.0) {
       std::printf("%-12s skipped (clock quantum too coarse)\n",
                   bench.name.c_str());
       continue;
     }
     const double speedup = block.plain / reference.plain;
+    const double switch_speedup = swdisp.plain / reference.plain;
+    const TraceStats traces = MeasureTraces(probe.blocks());
 
     json.Record("instr_per_sec", block.plain, "instr/s", bench.name);
     json.Record("instr_per_sec_instrumented", block.instrumented, "instr/s",
                 bench.name);
+    json.Record("switch_instr_per_sec", swdisp.plain, "instr/s", bench.name);
     json.Record("ref_instr_per_sec", reference.plain, "instr/s", bench.name);
     json.Record("block_speedup", speedup, "x", bench.name);
-    std::printf("%-12s %12.3g %12.3g %12.3g %8.2fx\n", bench.name.c_str(),
-                block.plain, block.instrumented, reference.plain, speedup);
+    json.Record("switch_speedup", switch_speedup, "x", bench.name);
+    json.Record("trace_len_mean", traces.mean_len, "instr", bench.name);
+    json.Record("trace_len_single_exit_mean", traces.single_exit_mean,
+                "instr", bench.name);
+    std::printf("%-12s %12.3g %12.3g %12.3g %12.3g %8.2fx %8.2fx\n",
+                bench.name.c_str(), block.plain, block.instrumented,
+                swdisp.plain, reference.plain, speedup, switch_speedup);
 
     const auto weight = static_cast<double>(probe_run.instructions);
     total_weight += weight;
     block_time += weight / block.plain;
     instrumented_time += weight / block.instrumented;
+    switch_time += weight / swdisp.plain;
     reference_time += weight / reference.plain;
+    measured.emplace_back(bench.name, binary);
   }
 
   if (total_weight <= 0.0 || block_time <= 0.0) {
@@ -155,15 +217,71 @@ int main() {
 
   const double avg_block = total_weight / block_time;
   const double avg_instrumented = total_weight / instrumented_time;
+  const double avg_switch = total_weight / switch_time;
   const double avg_reference = total_weight / reference_time;
   const double avg_speedup = reference_time / block_time;
+  const double avg_switch_speedup = reference_time / switch_time;
   json.Record("instr_per_sec", avg_block, "instr/s", "suite_avg");
   json.Record("instr_per_sec_instrumented", avg_instrumented, "instr/s",
               "suite_avg");
+  json.Record("switch_instr_per_sec", avg_switch, "instr/s", "suite_avg");
   json.Record("ref_instr_per_sec", avg_reference, "instr/s", "suite_avg");
   json.Record("block_speedup", avg_speedup, "x", "suite_avg");
-  std::printf("%-12s %12.3g %12.3g %12.3g %8.2fx\n", "suite_avg", avg_block,
-              avg_instrumented, avg_reference, avg_speedup);
+  json.Record("switch_speedup", avg_switch_speedup, "x", "suite_avg");
+  std::printf("%-12s %12.3g %12.3g %12.3g %12.3g %8.2fx %8.2fx\n",
+              "suite_avg", avg_block, avg_instrumented, avg_switch,
+              avg_reference, avg_speedup, avg_switch_speedup);
+
+  // Warm RunMany-shaped sweep: every measured binary's pre-decode is
+  // resident by now, so constructing and running a fresh Simulator per
+  // benchmark must hit the shared cache every time and never re-decode.
+  const mips::SharedBlockCache::Stats warm_before =
+      mips::SharedBlockCache::Global().stats();
+  for (const auto& [name, binary] : measured) {
+    mips::Simulator sim(binary);
+    const auto run = sim.Run();
+    if (run.reason != mips::HaltReason::kReturned) {
+      std::fprintf(stderr, "bench_simulator: warm sweep run of %s failed\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  const mips::SharedBlockCache::Stats warm_after =
+      mips::SharedBlockCache::Global().stats();
+  const auto warm_predecodes =
+      static_cast<double>(warm_after.misses - warm_before.misses);
+  const auto warm_hits =
+      static_cast<double>(warm_after.hits - warm_before.hits);
+  json.Record("blockcache_warm_predecodes", warm_predecodes, "count",
+              "suite");
+  json.Record("blockcache_warm_hits", warm_hits, "count", "suite");
+  json.Record("blockcache_hits", static_cast<double>(warm_after.hits),
+              "count", "suite");
+  json.Record("blockcache_misses", static_cast<double>(warm_after.misses),
+              "count", "suite");
+  json.Record("blockcache_bytes", static_cast<double>(warm_after.bytes),
+              "byte", "suite");
+  const double lookups =
+      static_cast<double>(warm_after.hits + warm_after.misses);
+  json.Record("blockcache_hit_rate",
+              lookups > 0.0 ? static_cast<double>(warm_after.hits) / lookups
+                            : 0.0,
+              "ratio", "suite");
+  std::printf(
+      "shared cache: warm sweep %zu binaries, %d pre-decodes, %d hits "
+      "(process totals: %llu hits / %llu misses, %llu bytes resident)\n",
+      measured.size(), static_cast<int>(warm_predecodes),
+      static_cast<int>(warm_hits),
+      static_cast<unsigned long long>(warm_after.hits),
+      static_cast<unsigned long long>(warm_after.misses),
+      static_cast<unsigned long long>(warm_after.bytes));
+  if (warm_predecodes != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm suite sweep performed %d pre-decodes; the "
+                 "shared block cache must make warm construction free\n",
+                 static_cast<int>(warm_predecodes));
+    return 1;
+  }
 
   const double gate = SpeedupGate();
   if (gate > 0.0 && avg_speedup < gate) {

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate the documentation tree's links and repo-path references.
+
+Usage:
+  python3 ci/validate_docs.py [--root DIR]    # check README.md + docs/*.md
+  python3 ci/validate_docs.py --self-test     # prove the checker can fail
+
+Two classes of checks over README.md and every docs/*.md file:
+
+  * relative markdown links — `[text](target)` where the target is not a
+    URL or a pure in-page anchor must resolve to an existing file or
+    directory relative to the referencing document (a `#fragment` suffix
+    is stripped first; fragments themselves are not resolved);
+  * backtick repo paths — inline code spans that name a path under one of
+    the source roots (src/, tests/, docs/, ci/, bench/, examples/,
+    tools/) must exist, so prose like `src/mips/block_cache.hpp` cannot
+    silently rot when a file moves.  One level of brace expansion is
+    supported (`block_cache.{hpp,cpp}` checks both expansions), and spans
+    containing wildcard/placeholder characters (* ? < >) are skipped.
+
+The docs describe files more often than code does, and nothing else in CI
+notices when a rename orphans them — this is the docs' analogue of the
+trace/metrics validators next to it.
+
+--self-test builds a throwaway tree containing one broken link and one
+broken backtick path and verifies the checker FAILS it (and passes the
+fixed version).  CI runs the self-test first: a validator that cannot
+fail validates nothing.
+"""
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Inline code span naming a repo path: starts at a known source root and
+# has at least one more component.
+PATH_ROOTS = ("src/", "tests/", "docs/", "ci/", "bench/", "examples/",
+              "tools/")
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+# [text](target) — tolerates one level of nested brackets in the text
+# (image links in tables) and stops the target at the first unescaped ')'.
+MD_LINK = re.compile(r"\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+WILDCARDS = set("*?<>$")
+
+
+def expand_braces(path):
+    """One level of {a,b,c} expansion; returns [path] when there is none."""
+    match = re.search(r"\{([^{}]+)\}", path)
+    if not match or "," not in match.group(1):
+        return [path]
+    head, tail = path[:match.start()], path[match.end():]
+    return [head + option + tail for option in match.group(1).split(",")]
+
+
+def check_file(md_path, root):
+    """Returns a list of 'file:line: message' problem strings."""
+    problems = []
+    base_dir = os.path.dirname(md_path)
+    with open(md_path, encoding="utf-8") as handle:
+        in_fence = False
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue  # code blocks show commands/output, not references
+
+            for match in MD_LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(base_dir, target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{os.path.relpath(md_path, root)}:{lineno}: broken "
+                        f"relative link '{target}' (resolved to "
+                        f"'{os.path.relpath(resolved, root)}')")
+
+            for match in CODE_SPAN.finditer(line):
+                span = match.group(1).strip()
+                if not span.startswith(PATH_ROOTS) or "/" not in span:
+                    continue
+                if WILDCARDS & set(span) or " " in span:
+                    continue
+                # Trim trailing punctuation prose drags into the span and
+                # any :line suffix (`src/foo.cpp:42` references a line).
+                span = span.rstrip(".,;:").split(":", 1)[0]
+                for candidate in expand_braces(span):
+                    resolved = os.path.join(root, candidate)
+                    if not os.path.exists(resolved):
+                        problems.append(
+                            f"{os.path.relpath(md_path, root)}:{lineno}: "
+                            f"backtick path `{candidate}` does not exist")
+    return problems
+
+
+def run_checks(root):
+    docs = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        docs.extend(
+            os.path.join(docs_dir, name)
+            for name in sorted(os.listdir(docs_dir)) if name.endswith(".md"))
+    docs = [path for path in docs if os.path.isfile(path)]
+    if not docs:
+        print(f"validate_docs: FAIL: no markdown files under {root}")
+        return 1
+
+    problems = []
+    checked = 0
+    for path in docs:
+        checked += 1
+        problems.extend(check_file(path, root))
+
+    for problem in problems:
+        print(f"validate_docs: {problem}")
+    if problems:
+        print(f"validate_docs: FAIL: {len(problems)} problem(s) in "
+              f"{checked} file(s)")
+        return 1
+    print(f"validate_docs: OK: {checked} file(s), no broken links or paths")
+    return 0
+
+
+def self_test():
+    """The checker must fail a planted broken tree and pass the fixed one."""
+    with tempfile.TemporaryDirectory(prefix="validate-docs-") as root:
+        os.makedirs(os.path.join(root, "docs"))
+        os.makedirs(os.path.join(root, "src"))
+        with open(os.path.join(root, "src", "real.hpp"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("// present\n")
+        with open(os.path.join(root, "README.md"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("# T\n\nSee [the guide](docs/GONE.md) and "
+                         "`src/missing.cpp` and `src/real.hpp`.\n")
+        with open(os.path.join(root, "docs", "GOOD.md"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("[up](../README.md) and `src/real.hpp` and a "
+                         "[url](https://example.com) and [anchor](#x).\n"
+                         "```\nsrc/inside_fence_not_checked.xyz\n```\n")
+        if run_checks(root) == 0:
+            print("validate_docs: SELF-TEST FAIL: broken tree passed")
+            return 1
+
+        # Fix both plants; everything must now pass (fences, URLs and
+        # anchors were never flagged).
+        with open(os.path.join(root, "README.md"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("# T\n\nSee [the guide](docs/GOOD.md) and "
+                         "`src/real.hpp`.\n")
+        if run_checks(root) != 0:
+            print("validate_docs: SELF-TEST FAIL: clean tree flagged")
+            return 1
+    print("validate_docs: self-test OK (fails broken trees, passes clean)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker fails a planted broken tree")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_checks(os.path.abspath(args.root))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

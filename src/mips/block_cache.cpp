@@ -49,8 +49,9 @@ std::uint8_t MemSize(Op op) {
   }
 }
 
+/// Hard-terminator classification; conditional branches are SideExits, not
+/// terminators, and must be handled before calling this.
 TermKind TermKindOf(Op op) {
-  if (IsBranch(op)) return TermKind::kBranch;
   switch (op) {
     case Op::kJ: return TermKind::kJump;
     case Op::kJal: return TermKind::kJal;
@@ -92,34 +93,51 @@ BlockCache::BlockCache(std::span<const Instr> decoded,
         model.CyclesFor(in.op, /*taken=*/false));
   }
 
-  // Spans, by backward walk: a control instruction or the word before an
-  // undecodable one / the end of text terminates the straight-line run.
-  for (std::size_t ri = n; ri > 0; --ri) {
-    const std::size_t i = ri - 1;
-    if (!decode_ok[i]) continue;
-    const PreInstr& m = instrs_[i];
+  // Traces, by forward walk from every decodable entry: extend across
+  // conditional branches (recording a SideExit each) until a jump, an
+  // undecodable word, the end of text, or the kMaxTraceLen cap.  Spans
+  // overlap freely — each entry owns a full trace and its own side-exit
+  // slice, so per-(entry, exit) execution counters are a flat array.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!decode_ok[i]) continue;  // span stays {len=0}: fault on entry
     BlockSpan& span = spans_[i];
-    const TermKind kind = TermKindOf(m.op);
-    if (kind != TermKind::kFallthrough) {
-      span.len = 1;
-      span.cycles = m.cycles;
-      span.term = kind;
-      const std::uint32_t pc = kTextBase + static_cast<std::uint32_t>(i) * 4u;
-      span.backward_latch = (kind == TermKind::kBranch ||
-                             kind == TermKind::kJump) &&
-                            m.target < pc;
-    } else if (i + 1 < n && decode_ok[i + 1]) {
-      const BlockSpan& next = spans_[i + 1];
-      span.len = next.len + 1;
-      span.cycles = next.cycles + m.cycles;
-      span.term = next.term;
-      span.backward_latch = next.backward_latch;
-    } else {
-      // Runs off the decodable text: executes alone, then the fall-through
-      // pc faults ("undecodable instruction" / "pc outside text segment").
-      span.len = 1;
-      span.cycles = m.cycles;
+    span.exit_begin = static_cast<std::uint32_t>(exits_.size());
+    std::uint64_t cycles = 0;
+    std::size_t j = i;
+    while (true) {
+      if (j == n || !decode_ok[j]) {
+        // Runs off the decodable text: the fall-through pc faults at the
+        // top of the engine loop ("undecodable instruction" / "pc outside
+        // text segment"), exactly as the reference engine would.
+        span.term = TermKind::kFallthrough;
+        break;
+      }
+      const PreInstr& m = instrs_[j];
+      cycles += m.cycles;
+      const std::uint32_t pc = kTextBase + static_cast<std::uint32_t>(j) * 4u;
+      if (IsBranch(m.op)) {
+        exits_.push_back({static_cast<std::uint32_t>(j - i),
+                          static_cast<std::uint32_t>(cycles),
+                          m.target < pc});
+      } else {
+        const TermKind kind = TermKindOf(m.op);
+        if (kind != TermKind::kFallthrough) {
+          span.term = kind;
+          span.backward_latch = kind == TermKind::kJump && m.target < pc;
+          ++j;
+          break;
+        }
+      }
+      ++j;
+      if (j - i == kMaxTraceLen) {
+        span.term = TermKind::kFallthrough;
+        break;
+      }
     }
+    span.len = static_cast<std::uint32_t>(j - i);
+    span.cycles = cycles;
+    span.exit_count =
+        static_cast<std::uint32_t>(exits_.size()) - span.exit_begin;
   }
 
   // Leader census (reporting only): entry 0, control successors, and static
@@ -129,7 +147,7 @@ BlockCache::BlockCache(std::span<const Instr> decoded,
   for (std::size_t i = 0; i < n; ++i) {
     if (!decode_ok[i]) continue;
     const PreInstr& m = instrs_[i];
-    if (TermKindOf(m.op) == TermKind::kFallthrough) continue;
+    if (!IsControl(m.op)) continue;
     if (i + 1 < n) leader[i + 1] = true;
     if ((IsBranch(m.op) || IsDirectJump(m.op)) && m.target >= kTextBase &&
         (m.target - kTextBase) / 4u < n) {

@@ -1,8 +1,10 @@
 #include "mips/simulator.hpp"
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 
 #include "obs/obs.hpp"
 #include "support/bits.hpp"
@@ -18,8 +20,10 @@ void FinishRunSpan(obs::ScopedSpan& span, ExecEngine engine,
                    const RunResult& result) {
   if (!span.armed()) return;
   const double ms = span.Millis();
-  span.Arg("engine",
-           engine == ExecEngine::kReference ? "reference" : "block")
+  const char* name = engine == ExecEngine::kReference      ? "reference"
+                     : engine == ExecEngine::kBlockSwitch  ? "block-switch"
+                                                           : "block";
+  span.Arg("engine", name)
       .Arg("instructions", result.instructions)
       .Arg("instr_per_sec",
            ms > 0.0 ? static_cast<double>(result.instructions) * 1e3 / ms
@@ -28,18 +32,24 @@ void FinishRunSpan(obs::ScopedSpan& span, ExecEngine engine,
 
 }  // namespace
 
+ExecEngine DefaultExecEngine() noexcept {
+  static const ExecEngine engine = [] {
+    const char* env = std::getenv("B2H_SIM_ENGINE");
+    if (env == nullptr) return ExecEngine::kBlock;
+    const std::string_view choice(env);
+    if (choice == "reference") return ExecEngine::kReference;
+    if (choice == "block-switch") return ExecEngine::kBlockSwitch;
+    return ExecEngine::kBlock;
+  }();
+  return engine;
+}
+
 Simulator::Simulator(const SoftBinary& binary, CycleModel model,
                      ExecEngine engine)
-    : binary_(binary), model_(model), engine_(engine) {
-  decoded_.resize(binary.text.size());
-  decode_ok_.resize(binary.text.size(), false);
-  for (std::size_t i = 0; i < binary.text.size(); ++i) {
-    if (auto instr = Decode(binary.text[i])) {
-      decoded_[i] = *instr;
-      decode_ok_[i] = true;
-    }
-  }
-  blocks_ = BlockCache(decoded_, decode_ok_, model_);
+    : binary_(binary),
+      model_(model),
+      engine_(engine),
+      pre_(SharedBlockCache::Global().Obtain(binary, model)) {
   data_mem_.resize(kDataSegmentSize, 0);
   if (!binary.data.empty()) {
     std::memcpy(data_mem_.data(), binary.data.data(),
@@ -88,34 +98,93 @@ void Simulator::PokeWord(std::uint32_t addr, std::uint32_t value) {
   std::memcpy(p, &value, 4);
 }
 
-RunResult Simulator::Run(std::span<const std::int32_t> args,
-                         std::uint64_t max_instructions) {
-  obs::ScopedSpan span("sim.run", "sim");
-  RunResult result =
-      engine_ == ExecEngine::kReference
-          ? ExecReference<false>(args, max_instructions, nullptr)
-          : ExecBlock<false>(args, max_instructions, nullptr);
-  FinishRunSpan(span, engine_, result);
-  return result;
-}
+// ---------------------------------------------------------------------------
+// Trace-compiled run loops.  The loop body lives in exec_block_body.inc and
+// the op semantics in exec_ops.inc; each dispatcher below instantiates them
+// with its own macro set.  The switch build is the portable baseline
+// (ExecEngine::kBlockSwitch, and what kBlock degrades to without GNU
+// `&&label`); the threaded build dispatches through a per-opcode label
+// table, so the hot path is one indirect branch per instruction and the
+// branch predictor sees one distinct jump site per opcode instead of a
+// single shared dispatch branch.
+// ---------------------------------------------------------------------------
 
-RunResult Simulator::RunInstrumented(std::span<const std::int32_t> args,
+template <bool kInstrumented>
+RunResult Simulator::ExecBlockSwitch(std::span<const std::int32_t> args,
                                      std::uint64_t max_instructions,
                                      RunObserver* observer) {
-  obs::ScopedSpan span("sim.run_instrumented", "sim");
-  RunResult result;
-  if (engine_ == ExecEngine::kReference) {
-    result = observer == nullptr
-                 ? ExecReference<false>(args, max_instructions, nullptr)
-                 : ExecReference<true>(args, max_instructions, observer);
-  } else {
-    result = observer == nullptr
-                 ? ExecBlock<false>(args, max_instructions, nullptr)
-                 : ExecBlock<true>(args, max_instructions, observer);
+#define B2H_DISPATCH_TABLE
+#define B2H_DISPATCH_BEGIN                                            \
+  for (;; ++m) {                                                      \
+    if (m == block_end) goto trace_done;                              \
+    switch (m->op) {
+#define B2H_DISPATCH_END                                              \
+    }                                                                 \
   }
-  FinishRunSpan(span, engine_, result);
-  return result;
+#define B2H_OP(name) case Op::name: { B2H_DECLS
+#define B2H_OP2(a, b) case Op::a: case Op::b: { B2H_DECLS
+#define B2H_OP5(a, b, c, d, e)                                        \
+  case Op::a: case Op::b: case Op::c: case Op::d: case Op::e: { B2H_DECLS
+#define B2H_NEXT                                                      \
+    if (m->dest != 0) regs[m->dest] = write_value;                    \
+    break;                                                            \
+  }
+#include "mips/exec_block_body.inc"
+#undef B2H_DISPATCH_TABLE
+#undef B2H_DISPATCH_BEGIN
+#undef B2H_DISPATCH_END
+#undef B2H_OP
+#undef B2H_OP2
+#undef B2H_OP5
+#undef B2H_NEXT
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+
+template <bool kInstrumented>
+RunResult Simulator::ExecBlockThreaded(std::span<const std::int32_t> args,
+                                       std::uint64_t max_instructions,
+                                       RunObserver* observer) {
+#define B2H_LABEL_ADDR(name) &&L_##name,
+#define B2H_DISPATCH_TABLE                                            \
+  static const void* const kDispatch[] = {                            \
+      B2H_MIPS_OP_LIST(B2H_LABEL_ADDR) &&L_kInvalid,                  \
+  };                                                                  \
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == kOpCount, \
+                "dispatch table must cover every Op");
+#define B2H_DISPATCH_BEGIN                                            \
+  if (m == block_end) goto trace_done;                                \
+  goto* kDispatch[static_cast<std::size_t>(m->op)];
+#define B2H_DISPATCH_END
+#define B2H_OP(name) L_##name: { B2H_DECLS
+#define B2H_OP2(a, b) L_##a: L_##b: { B2H_DECLS
+#define B2H_OP5(a, b, c, d, e) L_##a: L_##b: L_##c: L_##d: L_##e: { B2H_DECLS
+#define B2H_NEXT                                                      \
+    if (m->dest != 0) regs[m->dest] = write_value;                    \
+    if (++m == block_end) goto trace_done;                            \
+    goto* kDispatch[static_cast<std::size_t>(m->op)];                 \
+  }
+#include "mips/exec_block_body.inc"
+#undef B2H_LABEL_ADDR
+#undef B2H_DISPATCH_TABLE
+#undef B2H_DISPATCH_BEGIN
+#undef B2H_DISPATCH_END
+#undef B2H_OP
+#undef B2H_OP2
+#undef B2H_OP5
+#undef B2H_NEXT
+}
+
+#else  // no computed goto: kBlock degrades to the switch dispatcher
+
+template <bool kInstrumented>
+RunResult Simulator::ExecBlockThreaded(std::span<const std::int32_t> args,
+                                       std::uint64_t max_instructions,
+                                       RunObserver* observer) {
+  return ExecBlockSwitch<kInstrumented>(args, max_instructions, observer);
+}
+
+#endif  // computed goto
 
 template <bool kInstrumented>
 RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
@@ -126,6 +195,9 @@ RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
   result.profile.cycle_count.assign(binary_.text.size(), 0);
   result.profile.branch_taken.assign(binary_.text.size(), 0);
   result.profile.branch_not_taken.assign(binary_.text.size(), 0);
+
+  const std::vector<Instr>& decoded = pre_->decoded;
+  const std::vector<bool>& decode_ok = pre_->decode_ok;
 
   std::array<std::int32_t, 32> regs{};
   std::int32_t hi = 0;
@@ -175,8 +247,8 @@ RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
     }
     if (!binary_.ContainsText(pc)) return fault("pc outside text segment");
     const std::size_t index = (pc - kTextBase) / 4u;
-    if (!decode_ok_[index]) return fault("undecodable instruction");
-    const Instr& in = decoded_[index];
+    if (!decode_ok[index]) return fault("undecodable instruction");
+    const Instr& in = decoded[index];
 
     std::uint32_t next_pc = pc + 4;
     bool taken = false;
@@ -344,330 +416,50 @@ RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
   return result;
 }
 
-// Block-compiled engine: one superblock per outer iteration.  The
-// per-instruction interpreter's fixed costs — halt/bounds/decode checks,
-// CyclesFor, branch-target computation, and four profile-vector increments —
-// are either hoisted into the BlockCache at construction or amortized to one
-// block-execution counter + one cycle add per block.  The per-index
-// ExecProfile vectors are reconstructed from the block counters lazily: at
-// every observer flush point (so RunInstrumented callbacks see exactly the
-// live profile the reference engine would show) and at halt.  Bit-identical
-// results are maintained by dropping to per-instruction accounting for the
-// partial block whenever a fault or the instruction budget lands mid-block.
-template <bool kInstrumented>
-RunResult Simulator::ExecBlock(std::span<const std::int32_t> args,
-                               std::uint64_t max_instructions,
-                               RunObserver* observer) {
+RunResult Simulator::Run(std::span<const std::int32_t> args,
+                         std::uint64_t max_instructions) {
+  obs::ScopedSpan span("sim.run", "sim");
   RunResult result;
-  const std::size_t text_words = binary_.text.size();
-  result.profile.instr_count.assign(text_words, 0);
-  result.profile.cycle_count.assign(text_words, 0);
-  result.profile.branch_taken.assign(text_words, 0);
-  result.profile.branch_not_taken.assign(text_words, 0);
-
-  std::array<std::int32_t, 32> regs{};
-  std::int32_t hi = 0;
-  std::int32_t lo = 0;
-  regs[kSp] = static_cast<std::int32_t>(kStackTop - 64);
-  regs[kRa] = static_cast<std::int32_t>(kHaltAddress);
-  for (std::size_t i = 0; i < args.size() && i < 4; ++i) {
-    regs[kA0 + i] = args[i];
+  switch (engine_) {
+    case ExecEngine::kReference:
+      result = ExecReference<false>(args, max_instructions, nullptr);
+      break;
+    case ExecEngine::kBlockSwitch:
+      result = ExecBlockSwitch<false>(args, max_instructions, nullptr);
+      break;
+    case ExecEngine::kBlock:
+      result = ExecBlockThreaded<false>(args, max_instructions, nullptr);
+      break;
   }
+  FinishRunSpan(span, engine_, result);
+  return result;
+}
 
-  const PreInstr* const mops = blocks_.instrs();
-  const BlockSpan* const spans = blocks_.spans();
-
-  // Block-level profile accumulation: executions of the span entered at
-  // each index, expanded into the per-index vectors only at flush points
-  // and at halt.  `touched` keeps expansion proportional to the number of
-  // distinct entries since the last expansion, not to the text size.
-  std::vector<std::uint64_t> block_count(text_words, 0);
-  std::vector<std::uint32_t> touched;
-  touched.reserve(64);
-  const auto expand_pending = [&] {
-    for (const std::uint32_t entry : touched) {
-      const std::uint64_t count = block_count[entry];
-      block_count[entry] = 0;
-      const std::uint32_t len = spans[entry].len;
-      for (std::uint32_t k = 0; k < len; ++k) {
-        result.profile.instr_count[entry + k] += count;
-        result.profile.cycle_count[entry + k] += count * mops[entry + k].cycles;
-      }
-    }
-    touched.clear();
-  };
-  // Per-instruction accounting for a partial block (fault / budget
-  // mid-block): the first `completed` instructions of the span at `entry`
-  // ran exactly once; the instruction that stopped the block is not charged,
-  // matching the reference engine.
-  const auto account_partial = [&](std::uint32_t entry,
-                                   std::uint32_t completed) {
-    for (std::uint32_t k = 0; k < completed; ++k) {
-      const std::uint32_t cycles = mops[entry + k].cycles;
-      result.profile.instr_count[entry + k] += 1;
-      result.profile.cycle_count[entry + k] += cycles;
-      result.cycles += cycles;
-    }
-    result.instructions += completed;
-  };
-
-  std::uint32_t pc = binary_.entry;
-  [[maybe_unused]] std::array<BranchEvent, kBranchBatch> events;
-  [[maybe_unused]] std::size_t event_count = 0;
-  [[maybe_unused]] std::uint64_t next_flush_at = kFlushIntervalInstrs;
-  const auto flush_events = [&] {
-    if constexpr (kInstrumented) {
-      if (event_count > 0) {
-        expand_pending();  // observers may snapshot the live profile
-        result.profile.total_instructions = result.instructions;
-        result.profile.total_cycles = result.cycles;
-        observer->OnBackwardBranches({events.data(), event_count}, result);
-        event_count = 0;
-      }
-      next_flush_at = result.instructions + kFlushIntervalInstrs;
-    }
-  };
-  const auto fault = [&](std::uint32_t fault_pc, const char* message) {
-    flush_events();
-    expand_pending();
-    result.reason = HaltReason::kFault;
-    std::ostringstream out;
-    out << "fault at pc=0x" << std::hex << fault_pc << ": " << message;
-    result.fault_message = out.str();
-    result.profile.total_instructions = result.instructions;
-    result.profile.total_cycles = result.cycles;
-    return result;
-  };
-
-  while (true) {
-    if (result.instructions >= max_instructions) {
-      flush_events();
-      expand_pending();
-      result.reason = HaltReason::kMaxInstructions;
-      result.fault_message = "instruction budget exhausted";
-      result.profile.total_instructions = result.instructions;
-      result.profile.total_cycles = result.cycles;
-      return result;
-    }
-    if (pc == kHaltAddress) {
-      flush_events();
-      expand_pending();
-      result.reason = HaltReason::kReturned;
-      result.return_value = regs[kV0];
-      result.profile.total_instructions = result.instructions;
-      result.profile.total_cycles = result.cycles;
-      return result;
-    }
-    if (!binary_.ContainsText(pc)) return fault(pc, "pc outside text segment");
-    const std::uint32_t index = (pc - kTextBase) / 4u;
-    const BlockSpan span = spans[index];
-    if (span.len == 0) return fault(pc, "undecodable instruction");
-
-    const std::uint64_t remaining = max_instructions - result.instructions;
-    const std::uint32_t run_len =
-        remaining < span.len ? static_cast<std::uint32_t>(remaining)
-                             : span.len;
-
-    bool taken = false;
-    std::uint32_t indirect_target = 0;
-    const PreInstr* const block_begin = mops + index;
-    const PreInstr* const block_end = block_begin + run_len;
-    for (const PreInstr* m = block_begin; m != block_end; ++m) {
-      const auto rs = static_cast<std::uint32_t>(regs[m->rs]);
-      const auto rt = static_cast<std::uint32_t>(regs[m->rt]);
-      const auto srs = regs[m->rs];
-      const auto srt = regs[m->rt];
-      std::int32_t write_value = 0;
-
-      switch (m->op) {
-        case Op::kSll:  write_value = static_cast<std::int32_t>(rt << m->shamt); break;
-        case Op::kSrl:  write_value = static_cast<std::int32_t>(rt >> m->shamt); break;
-        case Op::kSra:  write_value = srt >> m->shamt; break;
-        case Op::kSllv: write_value = static_cast<std::int32_t>(rt << (rs & 31u)); break;
-        case Op::kSrlv: write_value = static_cast<std::int32_t>(rt >> (rs & 31u)); break;
-        case Op::kSrav: write_value = srt >> (rs & 31u); break;
-        case Op::kAdd: case Op::kAddu:
-          write_value = static_cast<std::int32_t>(rs + rt); break;
-        case Op::kSub: case Op::kSubu:
-          write_value = static_cast<std::int32_t>(rs - rt); break;
-        case Op::kAnd:  write_value = static_cast<std::int32_t>(rs & rt); break;
-        case Op::kOr:   write_value = static_cast<std::int32_t>(rs | rt); break;
-        case Op::kXor:  write_value = static_cast<std::int32_t>(rs ^ rt); break;
-        case Op::kNor:  write_value = static_cast<std::int32_t>(~(rs | rt)); break;
-        case Op::kSlt:  write_value = srs < srt ? 1 : 0; break;
-        case Op::kSltu: write_value = rs < rt ? 1 : 0; break;
-        case Op::kMfhi: write_value = hi; break;
-        case Op::kMflo: write_value = lo; break;
-        case Op::kMthi: hi = srs; break;
-        case Op::kMtlo: lo = srs; break;
-        case Op::kMult: {
-          const std::int64_t product =
-              static_cast<std::int64_t>(srs) * static_cast<std::int64_t>(srt);
-          lo = static_cast<std::int32_t>(product & 0xFFFF'FFFF);
-          hi = static_cast<std::int32_t>(product >> 32);
-          break;
-        }
-        case Op::kMultu: {
-          const std::uint64_t product =
-              static_cast<std::uint64_t>(rs) * static_cast<std::uint64_t>(rt);
-          lo = static_cast<std::int32_t>(product & 0xFFFF'FFFF);
-          hi = static_cast<std::int32_t>(product >> 32);
-          break;
-        }
-        case Op::kDiv:
-          if (srt == 0) {
-            lo = 0; hi = srs;
-          } else if (srs == INT32_MIN && srt == -1) {
-            lo = INT32_MIN; hi = 0;
-          } else {
-            lo = srs / srt; hi = srs % srt;
-          }
-          break;
-        case Op::kDivu:
-          if (rt == 0) {
-            lo = 0; hi = srs;
-          } else {
-            lo = static_cast<std::int32_t>(rs / rt);
-            hi = static_cast<std::int32_t>(rs % rt);
-          }
-          break;
-        case Op::kAddi: case Op::kAddiu:
-          write_value =
-              static_cast<std::int32_t>(rs + static_cast<std::uint32_t>(m->imm));
-          break;
-        case Op::kSlti:  write_value = srs < m->imm ? 1 : 0; break;
-        case Op::kSltiu:
-          write_value = rs < static_cast<std::uint32_t>(m->imm) ? 1 : 0;
-          break;
-        case Op::kAndi: write_value = static_cast<std::int32_t>(rs & static_cast<std::uint32_t>(m->imm)); break;
-        case Op::kOri:  write_value = static_cast<std::int32_t>(rs | static_cast<std::uint32_t>(m->imm)); break;
-        case Op::kXori: write_value = static_cast<std::int32_t>(rs ^ static_cast<std::uint32_t>(m->imm)); break;
-        case Op::kLui:  write_value = static_cast<std::int32_t>(static_cast<std::uint32_t>(m->imm) << 16); break;
-        case Op::kLb: case Op::kLbu: case Op::kLh: case Op::kLhu: case Op::kLw: {
-          const std::uint32_t addr = rs + static_cast<std::uint32_t>(m->imm);
-          const unsigned size = m->mem_size;
-          const auto offset = static_cast<std::uint32_t>(m - block_begin);
-          if ((addr & (size - 1)) != 0) {
-            account_partial(index, offset);
-            return fault(pc + 4u * offset, "unaligned load");
-          }
-          // Word loads from .text are allowed (jump tables / constant pools).
-          std::uint32_t raw = 0;
-          if (m->op == Op::kLw && binary_.ContainsText(addr)) {
-            raw = binary_.WordAt(addr);
-          } else {
-            const std::uint8_t* p = MemPtr(addr, size);
-            if (p == nullptr) {
-              account_partial(index, offset);
-              return fault(pc + 4u * offset, "load outside memory");
-            }
-            for (unsigned b = 0; b < size; ++b) raw |= static_cast<std::uint32_t>(p[b]) << (8 * b);
-          }
-          switch (m->op) {
-            case Op::kLb:  write_value = SignExtend(raw, 8); break;
-            case Op::kLbu: write_value = static_cast<std::int32_t>(raw & 0xFFu); break;
-            case Op::kLh:  write_value = SignExtend(raw, 16); break;
-            case Op::kLhu: write_value = static_cast<std::int32_t>(raw & 0xFFFFu); break;
-            default:       write_value = static_cast<std::int32_t>(raw); break;
-          }
-          break;
-        }
-        case Op::kSb: case Op::kSh: case Op::kSw: {
-          const std::uint32_t addr = rs + static_cast<std::uint32_t>(m->imm);
-          const unsigned size = m->mem_size;
-          const auto offset = static_cast<std::uint32_t>(m - block_begin);
-          if ((addr & (size - 1)) != 0) {
-            account_partial(index, offset);
-            return fault(pc + 4u * offset, "unaligned store");
-          }
-          std::uint8_t* p = MemPtr(addr, size);
-          if (p == nullptr) {
-            account_partial(index, offset);
-            return fault(pc + 4u * offset, "store outside memory");
-          }
-          for (unsigned b = 0; b < size; ++b) p[b] = static_cast<std::uint8_t>((rt >> (8 * b)) & 0xFFu);
-          break;
-        }
-        case Op::kBeq:  taken = srs == srt; break;
-        case Op::kBne:  taken = srs != srt; break;
-        case Op::kBlez: taken = srs <= 0; break;
-        case Op::kBgtz: taken = srs > 0; break;
-        case Op::kBltz: taken = srs < 0; break;
-        case Op::kBgez: taken = srs >= 0; break;
-        case Op::kJ:    break;  // target handled in the terminator postlude
-        case Op::kJal:
-          write_value = static_cast<std::int32_t>(
-              pc + 4u * static_cast<std::uint32_t>(m - block_begin) + 4u);
-          break;
-        case Op::kJr:   indirect_target = rs; break;
-        case Op::kJalr:
-          write_value = static_cast<std::int32_t>(
-              pc + 4u * static_cast<std::uint32_t>(m - block_begin) + 4u);
-          indirect_target = rs;
-          break;
-        case Op::kInvalid: {
-          const auto offset = static_cast<std::uint32_t>(m - block_begin);
-          account_partial(index, offset);
-          return fault(pc + 4u * offset, "invalid instruction");
-        }
-      }
-      if (m->dest != 0) regs[m->dest] = write_value;
-    }
-
-    if (run_len < span.len) {
-      // Budget exhausted mid-block: charge the straight-line prefix
-      // per-instruction and let the top-of-loop check report it.
-      account_partial(index, run_len);
-      continue;
-    }
-
-    // Full block: batched accounting plus the terminator's dynamic part.
-    if (block_count[index]++ == 0) touched.push_back(index);
-    result.instructions += span.len;
-    result.cycles += span.cycles;
-    const std::uint32_t term_index = index + span.len - 1;
-    const std::uint32_t term_pc = pc + 4u * (span.len - 1);
-    std::uint32_t next_pc = 0;
-    switch (span.term) {
-      case TermKind::kFallthrough:
-        next_pc = term_pc + 4;
-        break;
-      case TermKind::kBranch:
-        if (taken) {
-          ++result.profile.branch_taken[term_index];
-          result.profile.cycle_count[term_index] += model_.taken_extra;
-          result.cycles += model_.taken_extra;
-          next_pc = mops[term_index].target;
-        } else {
-          ++result.profile.branch_not_taken[term_index];
-          next_pc = term_pc + 4;
-        }
-        break;
-      case TermKind::kJump:
-      case TermKind::kJal:
-        next_pc = mops[term_index].target;
-        break;
-      case TermKind::kJr:
-      case TermKind::kJalr:
-        next_pc = indirect_target;
-        break;
-    }
-    if constexpr (kInstrumented) {
-      // Loop-latch observation, block-grained: the latch candidate is the
-      // terminator, pre-classified at construction (backward conditional
-      // branch, firing when taken, or backward direct j, firing always) —
-      // same events, same order, same flush points as the reference engine.
-      if (span.backward_latch &&
-          (taken || span.term == TermKind::kJump)) [[unlikely]] {
-        events[event_count++] = {next_pc, term_pc};
-        if (event_count == kBranchBatch ||
-            result.instructions >= next_flush_at) {
-          flush_events();
-        }
-      }
-    }
-    pc = next_pc;
+RunResult Simulator::RunInstrumented(std::span<const std::int32_t> args,
+                                     std::uint64_t max_instructions,
+                                     RunObserver* observer) {
+  obs::ScopedSpan span("sim.run_instrumented", "sim");
+  RunResult result;
+  switch (engine_) {
+    case ExecEngine::kReference:
+      result = observer == nullptr
+                   ? ExecReference<false>(args, max_instructions, nullptr)
+                   : ExecReference<true>(args, max_instructions, observer);
+      break;
+    case ExecEngine::kBlockSwitch:
+      result = observer == nullptr
+                   ? ExecBlockSwitch<false>(args, max_instructions, nullptr)
+                   : ExecBlockSwitch<true>(args, max_instructions, observer);
+      break;
+    case ExecEngine::kBlock:
+      result =
+          observer == nullptr
+              ? ExecBlockThreaded<false>(args, max_instructions, nullptr)
+              : ExecBlockThreaded<true>(args, max_instructions, observer);
+      break;
   }
+  FinishRunSpan(span, engine_, result);
+  return result;
 }
 
 }  // namespace b2h::mips

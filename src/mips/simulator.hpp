@@ -21,12 +21,15 @@
 // the plain Run() path compiles without even the hook check.
 //
 // Execution engines: the default interpreter is block-compiled — text is
-// pre-decoded into superblocks at construction (mips/block_cache.hpp) and
-// executed block-at-a-time, with profile accounting kept as per-block
-// counters that are expanded into the per-index ExecProfile vectors at
-// observer flush points and at halt.  The original per-instruction
-// interpreter is retained (ExecEngine::kReference) as a differential oracle;
-// both engines produce bit-identical RunResults and observer event streams.
+// pre-decoded into multi-exit superblock traces (mips/block_cache.hpp,
+// built once per process per (text, cycle model) by the SharedBlockCache)
+// and executed trace-at-a-time with computed-goto threaded dispatch where
+// the compiler supports it, with profile accounting kept as per-trace /
+// per-side-exit counters that are expanded into the per-index ExecProfile
+// vectors at observer flush points and at halt.  The original
+// per-instruction interpreter is retained (ExecEngine::kReference) as a
+// differential oracle; all engines produce bit-identical RunResults and
+// observer event streams.  docs/ENGINE.md is the deep dive.
 //
 // Semantics notes (documented platform definition, see DESIGN.md §6):
 //   - no branch delay slots;
@@ -35,13 +38,16 @@
 //   - little-endian memory; unaligned word/half accesses are a fault.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "mips/binary.hpp"
 #include "mips/block_cache.hpp"
 #include "mips/isa.hpp"
+#include "mips/shared_cache.hpp"
 
 namespace b2h::mips {
 
@@ -96,31 +102,45 @@ class RunObserver {
                                   const RunResult& so_far) = 0;
 };
 
-/// Which interpreter Run()/RunInstrumented() use.  Both produce bit-identical
+/// Which interpreter Run()/RunInstrumented() use.  All produce bit-identical
 /// RunResults (profiles included) and identical observer event streams; the
 /// reference path is retained as the differential-testing oracle and as the
 /// pre-block-engine baseline the throughput bench measures speedup against.
 enum class ExecEngine {
-  /// Block-compiled engine (default): superblocks pre-decoded at
-  /// construction (see BlockCache), executed straight-line with block-level
-  /// profile accounting expanded into the per-index vectors at observer
-  /// flush points and at halt.
+  /// Block-compiled engine (default): multi-exit superblock traces from the
+  /// process-wide SharedBlockCache, executed with computed-goto threaded
+  /// dispatch (per-opcode label table) on compilers with GNU `&&label`
+  /// support; identical to kBlockSwitch elsewhere.
   kBlock,
+  /// The same trace engine with the portable switch dispatch loop forced —
+  /// the threaded-dispatch baseline bench_simulator measures against, and
+  /// the behavior kBlock compiles to without `&&label`.
+  kBlockSwitch,
   /// The original one-instruction-at-a-time interpreter.
   kReference,
 };
 
+/// The engine Simulator uses when the caller doesn't pick one: kBlock,
+/// overridable per process via B2H_SIM_ENGINE=block|block-switch|reference
+/// (read once; see the "simulator throughput regression" runbook in
+/// docs/OPERATIONS.md — pinning `reference` bisects engine bugs without
+/// rebuilding callers).
+[[nodiscard]] ExecEngine DefaultExecEngine() noexcept;
+
 class Simulator {
  public:
   explicit Simulator(const SoftBinary& binary, CycleModel model = {},
-                     ExecEngine engine = ExecEngine::kBlock);
+                     ExecEngine engine = DefaultExecEngine());
 
   /// Switch interpreters between runs (testing/benchmarking).
   void SetEngine(ExecEngine engine) noexcept { engine_ = engine; }
   [[nodiscard]] ExecEngine engine() const noexcept { return engine_; }
 
-  /// The pre-decoded superblock cache backing the block engine.
-  [[nodiscard]] const BlockCache& blocks() const noexcept { return blocks_; }
+  /// The pre-decoded superblock cache backing the block engine (shared
+  /// process-wide; see mips/shared_cache.hpp).
+  [[nodiscard]] const BlockCache& blocks() const noexcept {
+    return pre_->blocks;
+  }
 
   /// Run from the entry point; `args` fill $a0..$a3.
   [[nodiscard]] RunResult Run(std::span<const std::int32_t> args = {},
@@ -149,16 +169,28 @@ class Simulator {
   static constexpr std::uint64_t kFlushIntervalInstrs = 2048;
 
  private:
-  /// Block-compiled interpreter loop (ExecEngine::kBlock): executes one
-  /// superblock per iteration with block-level accounting; a fault or an
-  /// exhausted instruction budget mid-block drops to per-instruction
-  /// accounting for the partial block so results stay bit-identical with
-  /// the reference path.  kInstrumented=false compiles the exact pre-hook
-  /// hot path (no observer checks at all) for static flows.
+  /// Trace-compiled interpreter loops (kBlock / kBlockSwitch): execute one
+  /// multi-exit superblock trace per iteration with trace-level accounting;
+  /// a fault or an exhausted instruction budget mid-trace drops to
+  /// per-instruction accounting for the partial trace so results stay
+  /// bit-identical with the reference path.  Both share one loop body
+  /// (mips/exec_block_body.inc, which in turn instantiates the op handlers
+  /// in mips/exec_ops.inc), differing only in the dispatch macro set:
+  /// Threaded is the computed-goto token-threaded dispatcher (GNU
+  /// `&&label`; falls back to the switch body on other compilers), Switch
+  /// is the portable switch loop.  Keeping the dispatcher inside the run
+  /// loop — rather than a per-trace callee — matters: GCC cannot inline
+  /// functions containing computed goto, and branchy code dispatches a
+  /// trace every few instructions.  kInstrumented=false compiles the exact
+  /// pre-hook hot path (no observer checks at all) for static flows.
   template <bool kInstrumented>
-  [[nodiscard]] RunResult ExecBlock(std::span<const std::int32_t> args,
-                                    std::uint64_t max_instructions,
-                                    RunObserver* observer);
+  [[nodiscard]] RunResult ExecBlockThreaded(std::span<const std::int32_t> args,
+                                            std::uint64_t max_instructions,
+                                            RunObserver* observer);
+  template <bool kInstrumented>
+  [[nodiscard]] RunResult ExecBlockSwitch(std::span<const std::int32_t> args,
+                                          std::uint64_t max_instructions,
+                                          RunObserver* observer);
 
   /// Reference per-instruction interpreter loop (ExecEngine::kReference).
   template <bool kInstrumented>
@@ -173,9 +205,10 @@ class Simulator {
   const SoftBinary& binary_;
   CycleModel model_;
   ExecEngine engine_;
-  std::vector<Instr> decoded_;     // predecoded text
-  std::vector<bool> decode_ok_;
-  BlockCache blocks_;              // superblock pre-decode (block engine)
+  /// Shared pre-decode: decoded text + decode-ok bitmap (reference engine)
+  /// and the superblock trace tables (block engines).  One per process per
+  /// (text, cycle model) — see SharedBlockCache.
+  std::shared_ptr<const PredecodedProgram> pre_;
   std::vector<std::uint8_t> data_mem_;
   std::vector<std::uint8_t> stack_mem_;
 };

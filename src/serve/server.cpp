@@ -717,6 +717,7 @@ void Server::AccumulateWork(const explore::ExploreResult& result) {
 std::string Server::StatsJson() const {
   const Scheduler::Stats scheduler = scheduler_.stats();
   const explore::ArtifactCache::Stats cache = toolchain_.CacheStats();
+  const mips::SharedBlockCache::Stats blockcache = Toolchain::BlockCacheStats();
   const partition::CandidateSetPool::Stats pool =
       toolchain_.artifact_cache()->candidate_pool()->stats();
   obs::Registry& registry = obs::Registry::Global();
@@ -744,6 +745,11 @@ std::string Server::StatsJson() const {
       << ",\"disk_hits\":" << cache.disk_hits
       << ",\"misses\":" << cache.misses
       << ",\"entries\":" << cache.entries
+      << "},\"blockcache\":{\"hits\":" << blockcache.hits
+      << ",\"misses\":" << blockcache.misses
+      << ",\"evictions\":" << blockcache.evictions
+      << ",\"bytes\":" << blockcache.bytes
+      << ",\"entries\":" << blockcache.entries
       << "},\"candidate_pool\":{\"scans\":" << pool.scans
       << ",\"hits\":" << pool.hits << ",\"entries\":" << pool.entries
       << ",\"synthesis_runs\":" << pool.synthesis_runs << "}}";

@@ -33,6 +33,7 @@
 #include "decomp/pass_manager.hpp"
 #include "dynamic/dynamic_partitioner.hpp"
 #include "explore/explorer.hpp"
+#include "mips/shared_cache.hpp"
 #include "partition/flow.hpp"
 #include "partition/platform.hpp"
 #include "partition/platform_registry.hpp"
@@ -147,6 +148,12 @@ class Toolchain {
   /// Hit/miss/store counters of the artifact cache, split by tier.
   [[nodiscard]] explore::ArtifactCache::Stats CacheStats() const {
     return artifact_cache_->stats();
+  }
+  /// Hit/miss counters of the process-wide simulator pre-decode cache
+  /// (mips/shared_cache.hpp): every Simulator this toolchain constructs —
+  /// Run, RunMany, explore sweeps — shares its superblock tables through it.
+  [[nodiscard]] static mips::SharedBlockCache::Stats BlockCacheStats() {
+    return mips::SharedBlockCache::Global().stats();
   }
   [[nodiscard]] const std::shared_ptr<explore::ArtifactCache>&
   artifact_cache() const {

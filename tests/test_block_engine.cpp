@@ -1,6 +1,8 @@
-// Differential tests for the block-compiled execution engine.
+// Differential tests for the trace-compiled execution engines.
 //
-// The block engine (ExecEngine::kBlock, the default) must be observationally
+// Both block engines — ExecEngine::kBlock (computed-goto threaded dispatch,
+// the default) and ExecEngine::kBlockSwitch (the same trace engine with the
+// portable switch dispatcher forced) — must be observationally
 // indistinguishable from the retained per-instruction reference interpreter
 // (ExecEngine::kReference): bit-identical RunResult — return value,
 // instruction/cycle totals, halt reason, fault message, and all four
@@ -10,18 +12,21 @@
 // profile mid-run, so expansion points are part of the contract).
 //
 // Coverage: the whole benchmark suite (plain + instrumented), faults landing
-// mid-block (with and without pending block counters), instruction budgets
-// landing mid-block (exhaustive small-budget sweep), and randomized
+// mid-trace (with and without pending trace counters), instruction budgets
+// landing mid-trace (exhaustive small-budget sweep), randomized
 // assembler-generated programs mixing loops, calls, wild/unaligned memory
-// access, and every ALU class.
+// access, and every ALU class, plus the process-wide SharedBlockCache
+// (single-flight pre-decode under construction races, warm-sweep reuse).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <random>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "mips/assembler.hpp"
+#include "mips/shared_cache.hpp"
 #include "mips/simulator.hpp"
 #include "suite/runner.hpp"
 #include "suite/suite.hpp"
@@ -108,25 +113,32 @@ void ExpectSameObservations(const RecordingObserver& block,
   }
 }
 
-/// Runs the binary on both engines, plain and instrumented, and expects
-/// bit-identical results and observations throughout.
+/// Runs the binary on all three engines, plain and instrumented, and expects
+/// both block engines (threaded and switch dispatch) to be bit-identical to
+/// the reference interpreter throughout.
 void ExpectEnginesAgree(const SoftBinary& binary,
                         std::uint64_t max_instructions = 100'000'000) {
-  Simulator block(binary, {}, ExecEngine::kBlock);
   Simulator reference(binary, {}, ExecEngine::kReference);
-  {
-    SCOPED_TRACE("plain Run");
-    ExpectIdentical(block.Run({}, max_instructions),
-                    reference.Run({}, max_instructions));
-  }
-  {
-    SCOPED_TRACE("RunInstrumented");
-    RecordingObserver block_obs;
-    RecordingObserver reference_obs;
-    ExpectIdentical(
-        block.RunInstrumented({}, max_instructions, &block_obs),
-        reference.RunInstrumented({}, max_instructions, &reference_obs));
-    ExpectSameObservations(block_obs, reference_obs);
+  const RunResult ref_plain = reference.Run({}, max_instructions);
+  RecordingObserver ref_obs;
+  const RunResult ref_hooked =
+      reference.RunInstrumented({}, max_instructions, &ref_obs);
+  for (const ExecEngine engine :
+       {ExecEngine::kBlock, ExecEngine::kBlockSwitch}) {
+    SCOPED_TRACE(engine == ExecEngine::kBlock ? "engine block"
+                                              : "engine block-switch");
+    Simulator sim(binary, {}, engine);
+    {
+      SCOPED_TRACE("plain Run");
+      ExpectIdentical(sim.Run({}, max_instructions), ref_plain);
+    }
+    {
+      SCOPED_TRACE("RunInstrumented");
+      RecordingObserver obs;
+      ExpectIdentical(sim.RunInstrumented({}, max_instructions, &obs),
+                      ref_hooked);
+      ExpectSameObservations(obs, ref_obs);
+    }
   }
 }
 
@@ -333,7 +345,7 @@ TEST(BlockEngine, RandomizedProgramsBitIdentical) {
 // ---------------------------------------------------------------------------
 // Block-cache structure sanity.
 
-TEST(BlockEngine, BlockCacheSpansCoverText) {
+TEST(BlockEngine, BlockCacheTracesAreWellFormed) {
   const suite::Benchmark* bench = suite::FindBenchmark("fir");
   ASSERT_NE(bench, nullptr);
   auto built = suite::BuildBinary(*bench, 1);
@@ -344,18 +356,125 @@ TEST(BlockEngine, BlockCacheSpansCoverText) {
   EXPECT_GT(cache.leader_blocks(), 0u);
   const BlockSpan* spans = cache.spans();
   const PreInstr* instrs = cache.instrs();
+  const SideExit* exits = cache.exits();
+  bool saw_multi_exit = false;
   for (std::size_t i = 0; i < cache.size(); ++i) {
-    ASSERT_GE(spans[i].len, 1u) << i;  // suite text decodes fully
-    ASSERT_LE(i + spans[i].len, cache.size()) << i;
-    // Straight-line interior: only the terminator may be a control op.
+    const BlockSpan& span = spans[i];
+    ASSERT_GE(span.len, 1u) << i;  // suite text decodes fully
+    ASSERT_LE(span.len, BlockCache::kMaxTraceLen) << i;
+    ASSERT_LE(i + span.len, cache.size()) << i;
+    ASSERT_LE(span.exit_begin + span.exit_count, cache.total_side_exits())
+        << i;
+    saw_multi_exit |= span.exit_count > 0;
+    // Walk the trace: conditional branches appear exactly at the side-exit
+    // offsets (strictly increasing, with prefix_cycles equal to the static
+    // cycle sum through the branch); a jump may only be the terminator.
     std::uint64_t cycles = 0;
-    for (std::uint32_t k = 0; k + 1 < spans[i].len; ++k) {
-      EXPECT_FALSE(IsControl(instrs[i + k].op)) << i << "+" << k;
+    std::uint32_t next_exit = 0;
+    for (std::uint32_t k = 0; k < span.len; ++k) {
+      const Op op = instrs[i + k].op;
       cycles += instrs[i + k].cycles;
+      if (IsBranch(op)) {
+        ASSERT_LT(next_exit, span.exit_count) << i << "+" << k;
+        const SideExit& se = exits[span.exit_begin + next_exit];
+        EXPECT_EQ(se.offset, k) << i;
+        EXPECT_EQ(se.prefix_cycles, cycles) << i << "+" << k;
+        EXPECT_EQ(se.backward,
+                  instrs[i + k].target < kTextBase + (i + k) * 4u)
+            << i << "+" << k;
+        ++next_exit;
+      } else if (IsControl(op)) {
+        EXPECT_EQ(k, span.len - 1) << i;  // jumps terminate the trace
+        EXPECT_NE(span.term, TermKind::kFallthrough) << i;
+      }
     }
-    cycles += instrs[i + spans[i].len - 1].cycles;
-    EXPECT_EQ(spans[i].cycles, cycles) << i;
+    EXPECT_EQ(next_exit, span.exit_count) << i;
+    EXPECT_EQ(span.cycles, cycles) << i;
   }
+  // fir has loops with conditional branches, so multi-exit traces must
+  // actually occur — otherwise this test exercises nothing.
+  EXPECT_TRUE(saw_multi_exit);
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide shared pre-decode cache.
+
+std::uint64_t ResultHash(const RunResult& result) {
+  std::uint64_t h = ProfileHash(result.profile);
+  h = HashU64(h, static_cast<std::uint64_t>(result.return_value));
+  h = HashU64(h, result.instructions);
+  h = HashU64(h, result.cycles);
+  return h;
+}
+
+TEST(SharedBlockCache, ConcurrentConstructionDoesOnePredecode) {
+  // A program no other test assembles, so its (text, model) key is cold.
+  auto binary = Assemble(R"(
+    main:
+      li $t0, 24683
+      li $v0, 0
+    loop:
+      addiu $t0, $t0, -3
+      xor $v0, $v0, $t0
+      bgtz $t0, loop
+      jr $ra
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+
+  SharedBlockCache& cache = SharedBlockCache::Global();
+  const SharedBlockCache::Stats before = cache.stats();
+  constexpr int kThreads = 8;
+  std::vector<RunResult> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Simulator sim(binary.value());
+        results[static_cast<std::size_t>(t)] = sim.Run();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const SharedBlockCache::Stats after = cache.stats();
+  // Single-flight: all eight construction races resolve to one pre-decode;
+  // the other seven callers count as hits (waiting on the in-flight build).
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_GT(after.bytes, 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE("thread " + std::to_string(t));
+    EXPECT_EQ(results[static_cast<std::size_t>(t)].reason,
+              HaltReason::kReturned);
+    EXPECT_EQ(ResultHash(results[static_cast<std::size_t>(t)]),
+              ResultHash(results[0]));
+  }
+}
+
+TEST(SharedBlockCache, WarmSweepNeverRedecodes) {
+  const suite::Benchmark* bench = suite::FindBenchmark("crc");
+  ASSERT_NE(bench, nullptr);
+  auto built = suite::BuildBinary(*bench, 1);
+  ASSERT_TRUE(built.ok());
+  {
+    Simulator warmup(built.value());  // cold construction (at most one miss)
+  }
+  const SharedBlockCache::Stats before = SharedBlockCache::Global().stats();
+  // A platform sweep over one binary with a shared cycle model — the RunMany
+  // shape: every further Simulator must reuse the resident pre-decode.
+  for (int platform = 0; platform < 6; ++platform) {
+    Simulator sim(built.value());
+    const RunResult run = sim.Run();
+    EXPECT_EQ(run.reason, HaltReason::kReturned);
+  }
+  const SharedBlockCache::Stats after = SharedBlockCache::Global().stats();
+  EXPECT_EQ(after.misses, before.misses);  // zero redundant pre-decodes
+  EXPECT_EQ(after.hits - before.hits, 6u);
+  // A different cycle model is a different key, though.
+  CycleModel slow_mem;
+  slow_mem.load_extra = 7;
+  Simulator slow(built.value(), slow_mem);
+  EXPECT_EQ(SharedBlockCache::Global().stats().misses, after.misses + 1);
 }
 
 }  // namespace
