@@ -22,7 +22,8 @@ Three kinds of checks:
     zero work, the disk-warm report is bit-identical) — these fail even
     when no baseline artifact exists;
   * absolute minimum gates: floors the current run must clear on its own
-    (the block-engine simulator speedup stays >= its release target);
+    (the tiered and block-engine simulator speedups stay >= their release
+    targets, jump-table benches keep chaining);
   * trajectory gates: metric-by-metric comparison against the baseline,
     with direction and tolerance chosen per metric family.  Deterministic
     quality metrics (speedups, convergence, hit rates) get tight gates;
@@ -79,13 +80,23 @@ ABSOLUTE_GATES = [
 ]
 
 # --- absolute minimum gates: (bench, metric, label, floor) on the NEW run ---
-# The block-compiled engine's tentpole: suite-average speedup over the
-# reference interpreter must hold its 4x Release floor (raised from 3x when
-# multi-exit traces + threaded dispatch landed; the bench self-gates at the
-# same value via B2H_SIM_SPEEDUP_GATE).  Like the equality gates above, a
-# missing record fails — renaming the metric must not silently disable the
-# invariant.
+# The tiered engine's tentpole: suite-average translated speedup over the
+# reference interpreter must hold its 6x Release floor (raised from the 4x
+# block-engine floor when tier-3 translation + inline-cache chaining
+# landed; the bench self-gates at the same value via
+# B2H_SIM_TRANSLATED_GATE), with per-benchmark floors on the jump-table
+# benches — the benchmarks indirect chaining exists for — and chain-hit
+# rates that must stay nonzero there (a zero means the inline caches
+# stopped engaging entirely; the tiny floor is just "strictly positive").
+# block_speedup keeps its own 4x floor so a tier-2 regression cannot hide
+# under tier 3.  Like the equality gates above, a missing record fails —
+# renaming the metric must not silently disable the invariant.
 ABSOLUTE_MIN_GATES = [
+    ("simulator", "translated_speedup", "suite_avg", 6.0),
+    ("simulator", "translated_speedup", "switch01", 4.0),
+    ("simulator", "translated_speedup", "state02", 4.0),
+    ("simulator", "translate_chain_hit_rate", "switch01", 1e-6),
+    ("simulator", "translate_chain_hit_rate", "state02", 1e-6),
     ("simulator", "block_speedup", "suite_avg", 4.0),
 ]
 
@@ -123,6 +134,13 @@ RULES = [
     # speedup between trace shape and dispatch strategy, not as a target.
     # Must precede both "block_speedup" and the generic "speedup" rule.
     ("switch_speedup", "higher", None, False),
+    # The tiered engine's same-host ratio: gated with the same headroom as
+    # block_speedup.  The chain-hit-rate family is workload-shape dependent
+    # (sample counts vary run to run) — its hard floor is the absolute gate
+    # above, the trajectory is informational.  Both must precede the generic
+    # "speedup"/"hit_rate" rules (first match wins).
+    ("translate_chain", None, None, False),
+    ("translated_speedup", "higher", 0.25, True),
     ("block_speedup", "higher", 0.25, True),
     ("speedup", "higher", 0.02, True),          # deterministic model outputs
     ("convergence", "higher", 0.02, True),

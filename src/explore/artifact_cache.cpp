@@ -515,7 +515,50 @@ std::shared_ptr<const PartitionArtifact> ArtifactCache::FindPartition(
 void ArtifactCache::PutDecompile(
     const std::string& key, std::shared_ptr<const DecompileArtifact> artifact) {
   PutInTiers(decompiles_, kDecompileKind, &EncodeDecompileArtifact, key,
-             std::move(artifact));
+             artifact);
+  // Release single-flight waiters AFTER the memory tier holds the artifact,
+  // so a waiter that re-probes instead of holding the future still hits.
+  // The promise is fulfilled outside the lock — waiters wake straight into
+  // their own work, and a double Put (job + any later refresh) finds the
+  // registry entry already gone.
+  std::shared_ptr<InFlightDecompile> flight;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = in_flight_decompiles_.find(key);
+    if (it != in_flight_decompiles_.end()) {
+      flight = std::move(it->second);
+      in_flight_decompiles_.erase(it);
+    }
+  }
+  if (flight != nullptr) flight->promise.set_value(std::move(artifact));
+}
+
+bool ArtifactCache::LeadDecompile(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (decompiles_.count(key) != 0) return false;  // published: waiters hit
+  const auto [it, inserted] = in_flight_decompiles_.try_emplace(key);
+  if (inserted) {
+    auto flight = std::make_shared<InFlightDecompile>();
+    flight->future = flight->promise.get_future().share();
+    it->second = std::move(flight);
+  }
+  return inserted;
+}
+
+std::shared_ptr<const DecompileArtifact> ArtifactCache::WaitDecompile(
+    const std::string& key) {
+  DecompileFlight future;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = decompiles_.find(key); it != decompiles_.end()) {
+      return it->second;
+    }
+    const auto it = in_flight_decompiles_.find(key);
+    if (it == in_flight_decompiles_.end()) return nullptr;
+    future = it->second->future;
+  }
+  obs::ScopedSpan span("cache.wait_decompile", "cache");
+  return future.get();
 }
 
 void ArtifactCache::PutPartition(

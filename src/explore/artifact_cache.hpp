@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -148,10 +149,32 @@ class ArtifactCache {
   [[nodiscard]] std::shared_ptr<const PartitionArtifact> FindPartition(
       const std::string& key, HitTier* tier = nullptr);
 
+  /// Publishing a decompile artifact also releases any single-flight
+  /// waiters registered for `key` (see LeadDecompile); keys that were never
+  /// led — Stage A' rehydrations refreshing a disk hit — pass through
+  /// unaffected.
   void PutDecompile(const std::string& key,
                     std::shared_ptr<const DecompileArtifact> artifact);
   void PutPartition(const std::string& key,
                     std::shared_ptr<const PartitionArtifact> artifact);
+
+  /// Single-flight coordination for cold decompile keys on a shared cache:
+  /// concurrent explorers that miss the same key would otherwise each run
+  /// the profile+decompile (the daemon's scheduler only coalesces identical
+  /// *requests*; distinct strategies over one binary share the decompile
+  /// key but not the request key).  The first caller for a key that is
+  /// neither published nor in flight becomes the leader (returns true) and
+  /// MUST eventually PutDecompile that key — success or failure — to
+  /// release the others.  Everyone else gets false and blocks in
+  /// WaitDecompile until the leader publishes.
+  [[nodiscard]] bool LeadDecompile(const std::string& key);
+  /// Blocks until the leader's PutDecompile and returns the published
+  /// artifact.  Returns immediately when the key is already in the memory
+  /// tier; nullptr only when the key is neither published nor in flight
+  /// (the entry vanished, e.g. Clear() raced the wait — callers should fall
+  /// back to computing locally).
+  [[nodiscard]] std::shared_ptr<const DecompileArtifact> WaitDecompile(
+      const std::string& key);
 
   [[nodiscard]] Stats stats() const;
   /// Drop the memory tier (and reset counters); disk entries survive.
@@ -189,10 +212,23 @@ class ArtifactCache {
       std::string_view kind, std::string (*encode)(const Artifact&),
       const std::string& key, std::shared_ptr<const Artifact> artifact);
 
+  /// In-flight single-flight decompiles: key -> the future every waiter
+  /// blocks on.  Entries are created by the losing LeadDecompile race,
+  /// fulfilled and erased by PutDecompile.  Clear() leaves them alone —
+  /// their leaders are still running and must be able to release waiters.
+  using DecompileFlight =
+      std::shared_future<std::shared_ptr<const DecompileArtifact>>;
+  struct InFlightDecompile {
+    std::promise<std::shared_ptr<const DecompileArtifact>> promise;
+    DecompileFlight future;
+  };
+
   mutable std::mutex mutex_;
   mutable Stats stats_;
   std::unordered_map<std::string, std::shared_ptr<const DecompileArtifact>>
       decompiles_;
+  std::unordered_map<std::string, std::shared_ptr<InFlightDecompile>>
+      in_flight_decompiles_;
   std::unordered_map<std::string, std::shared_ptr<const PartitionArtifact>>
       partitions_;
   std::unique_ptr<DiskStore> disk_;

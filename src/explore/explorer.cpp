@@ -198,6 +198,10 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
     std::string key;
     std::size_t binary = 0;
     mips::CycleModel model;
+    /// Single-flight outcome (ArtifactCache::LeadDecompile): leaders run
+    /// the profile+decompile and publish; non-leaders wait on the cache's
+    /// in-flight future instead of duplicating the work.
+    bool lead = true;
   };
   std::vector<DecompJob> decomp_jobs;
   std::map<std::string, std::shared_ptr<const DecompileArtifact>> decomp_done;
@@ -238,12 +242,13 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
         }
       } else {
         ++cache_misses;
-        decomp_jobs.push_back({key, b, platforms[p]->cpu.cycle_model});
+        decomp_jobs.push_back({key, b, platforms[p]->cpu.cycle_model,
+                               cache_->LeadDecompile(key)});
       }
     }
   }
 
-  std::vector<std::shared_ptr<DecompileArtifact>> decomp_slots(
+  std::vector<std::shared_ptr<const DecompileArtifact>> decomp_slots(
       decomp_jobs.size());
   std::vector<double> decomp_job_ms(decomp_jobs.size(), 0.0);
   std::atomic<std::size_t> simulations{0};
@@ -273,8 +278,28 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
         obs::ScopedSpan span("explore.decompile", "explore");
         span.Arg("binary", spec.binaries[job.binary].name);
         const obs::Stopwatch watch;
+        const auto finish = [&] {
+          decomp_job_ms[index] = watch.Millis();
+          report_progress(
+              "decompile",
+              decomp_progress.fetch_add(1, std::memory_order_relaxed) + 1,
+              decomp_jobs.size());
+        };
+        if (!job.lead) {
+          // Another explorer sharing this cache is already running this
+          // key (single-flight): block HERE, inside a parallel job — two
+          // explorers waiting on each other's keys from their serial
+          // epilogues would deadlock — and run no work of our own.
+          span.Arg("single_flight", "wait");
+          if (auto shared = cache_->WaitDecompile(job.key)) {
+            decomp_slots[index] = std::move(shared);
+            finish();
+            return;
+          }
+          // The in-flight entry vanished (a Clear() raced the leader's
+          // publish): recompute locally like a leader after all.
+        }
         auto artifact = std::make_shared<DecompileArtifact>();
-        decomp_slots[index] = artifact;
         try {
           const auto& binary = spec.binaries[job.binary].binary;
           mips::Simulator simulator(*binary, job.model);
@@ -293,19 +318,22 @@ ExploreResult Explorer::Run(const ExploreSpec& spec) const {
               ErrorKind::kUnsupported,
               std::string("internal error: ") + e.what());
         }
-        decomp_job_ms[index] = watch.Millis();
-        report_progress("decompile",
-                        decomp_progress.fetch_add(1, std::memory_order_relaxed)
-                            + 1,
-                        decomp_jobs.size());
+        // Publish from inside the job, unconditionally: waiters in other
+        // explorers unblock the moment the artifact exists, and a failed
+        // decompile releases them too (the failure is cached like any
+        // other result).
+        cache_->PutDecompile(job.key, artifact);
+        decomp_slots[index] = std::move(artifact);
+        finish();
       });
   // Decompile stage time per key, for point attribution; rehydrations
   // (Stage A') add theirs below.
   std::map<std::string, double> decomp_ms_by_key;
   for (std::size_t index = 0; index < decomp_jobs.size(); ++index) {
+    // No PutDecompile here: the jobs published (leaders) or consumed a
+    // publication (single-flight waiters) already.
     std::shared_ptr<const DecompileArtifact> artifact =
         std::move(decomp_slots[index]);
-    cache_->PutDecompile(decomp_jobs[index].key, artifact);
     decomp_ms_by_key[decomp_jobs[index].key] = decomp_job_ms[index];
     out.decompile_stage_ms += decomp_job_ms[index];
     if (artifact->status.ok()) {

@@ -1,6 +1,7 @@
 #include "mips/simulator.hpp"
 
 #include <array>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -22,6 +23,7 @@ void FinishRunSpan(obs::ScopedSpan& span, ExecEngine engine,
   const double ms = span.Millis();
   const char* name = engine == ExecEngine::kReference      ? "reference"
                      : engine == ExecEngine::kBlockSwitch  ? "block-switch"
+                     : engine == ExecEngine::kTranslated   ? "translated"
                                                            : "block";
   span.Arg("engine", name)
       .Arg("instructions", result.instructions)
@@ -35,11 +37,12 @@ void FinishRunSpan(obs::ScopedSpan& span, ExecEngine engine,
 ExecEngine DefaultExecEngine() noexcept {
   static const ExecEngine engine = [] {
     const char* env = std::getenv("B2H_SIM_ENGINE");
-    if (env == nullptr) return ExecEngine::kBlock;
+    if (env == nullptr) return ExecEngine::kTranslated;
     const std::string_view choice(env);
     if (choice == "reference") return ExecEngine::kReference;
     if (choice == "block-switch") return ExecEngine::kBlockSwitch;
-    return ExecEngine::kBlock;
+    if (choice == "block") return ExecEngine::kBlock;
+    return ExecEngine::kTranslated;
   }();
   return engine;
 }
@@ -186,11 +189,138 @@ RunResult Simulator::ExecBlockThreaded(std::span<const std::int32_t> args,
 
 #endif  // computed goto
 
+// ---------------------------------------------------------------------------
+// Tiered loop (ExecEngine::kTranslated): the same run-loop body with
+// B2H_TIER3 defined, which compiles in the tier-3 hooks — hot-dispatch
+// counting / promotion, the translated-trace runner
+// (mips/exec_translate_body.inc with the fused-op handlers in
+// mips/exec_translate_ops.inc), and the indirect-successor observation
+// feed on tier-2 jr/jalr exits.  The tier-2 portion uses the threaded
+// dispatcher where available (the switch set elsewhere), and the tier-3
+// runner mirrors that choice with its own label table over TOp.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+
+template <bool kInstrumented>
+RunResult Simulator::ExecTranslated(std::span<const std::int32_t> args,
+                                    std::uint64_t max_instructions,
+                                    RunObserver* observer) {
+#define B2H_TIER3
+// Tier 2 inside the tiered engine runs only *untranslated* traces — once
+// the working set is promoted it is the cold warm-up path — so it uses the
+// compact switch dispatcher here.  Keeping a second ~110-label computed-
+// goto loop in the same function measurably degrades the register
+// allocation of the tier-3 loop (the one that is actually hot).
+#define B2H_DISPATCH_TABLE
+#define B2H_DISPATCH_BEGIN                                            \
+  for (;; ++m) {                                                      \
+    if (m == block_end) goto trace_done;                              \
+    switch (m->op) {
+#define B2H_DISPATCH_END                                              \
+    }                                                                 \
+  }
+#define B2H_OP(name) case Op::name: { B2H_DECLS
+#define B2H_OP2(a, b) case Op::a: case Op::b: { B2H_DECLS
+#define B2H_OP5(a, b, c, d, e)                                        \
+  case Op::a: case Op::b: case Op::c: case Op::d: case Op::e: { B2H_DECLS
+#define B2H_NEXT                                                      \
+    if (m->dest != 0) regs[m->dest] = write_value;                    \
+    break;                                                            \
+  }
+#define B2H_TLABEL_ADDR(name) &&T_##name,
+#define B2H_TDISPATCH_TABLE                                           \
+  static const void* const kTDispatch[] = {                           \
+      B2H_TRANSLATE_OP_LIST(B2H_TLABEL_ADDR)                          \
+  };                                                                  \
+  static_assert(sizeof(kTDispatch) / sizeof(kTDispatch[0]) ==         \
+                    translate::kTOpCount,                             \
+                "translated dispatch table must cover every TOp");
+#define B2H_TDISPATCH_BEGIN                                           \
+  goto* kTDispatch[static_cast<std::size_t>(top->op)];
+#define B2H_TDISPATCH_END
+#define B2H_TOP(name) T_##name: { B2H_TDECLS
+#define B2H_TNEXT                                                     \
+    ++top;                                                            \
+    goto* kTDispatch[static_cast<std::size_t>(top->op)];              \
+  }
+#define B2H_TSTOP }
+#include "mips/exec_block_body.inc"
+#undef B2H_DISPATCH_TABLE
+#undef B2H_DISPATCH_BEGIN
+#undef B2H_DISPATCH_END
+#undef B2H_OP
+#undef B2H_OP2
+#undef B2H_OP5
+#undef B2H_NEXT
+#undef B2H_TLABEL_ADDR
+#undef B2H_TDISPATCH_TABLE
+#undef B2H_TDISPATCH_BEGIN
+#undef B2H_TDISPATCH_END
+#undef B2H_TOP
+#undef B2H_TNEXT
+#undef B2H_TSTOP
+#undef B2H_TIER3
+}
+
+#else  // no computed goto: both tiers dispatch through switches
+
+template <bool kInstrumented>
+RunResult Simulator::ExecTranslated(std::span<const std::int32_t> args,
+                                    std::uint64_t max_instructions,
+                                    RunObserver* observer) {
+#define B2H_TIER3
+#define B2H_DISPATCH_TABLE
+#define B2H_DISPATCH_BEGIN                                            \
+  for (;; ++m) {                                                      \
+    if (m == block_end) goto trace_done;                              \
+    switch (m->op) {
+#define B2H_DISPATCH_END                                              \
+    }                                                                 \
+  }
+#define B2H_OP(name) case Op::name: { B2H_DECLS
+#define B2H_OP2(a, b) case Op::a: case Op::b: { B2H_DECLS
+#define B2H_OP5(a, b, c, d, e)                                        \
+  case Op::a: case Op::b: case Op::c: case Op::d: case Op::e: { B2H_DECLS
+#define B2H_NEXT                                                      \
+    if (m->dest != 0) regs[m->dest] = write_value;                    \
+    break;                                                            \
+  }
+#define B2H_TDISPATCH_TABLE
+#define B2H_TDISPATCH_BEGIN                                           \
+  t_dispatch:                                                         \
+  switch (top->op) {
+#define B2H_TDISPATCH_END }
+#define B2H_TOP(name) case translate::TOp::name: { B2H_TDECLS
+#define B2H_TNEXT                                                     \
+    ++top;                                                            \
+    goto t_dispatch;                                                  \
+  }
+#define B2H_TSTOP }
+#include "mips/exec_block_body.inc"
+#undef B2H_DISPATCH_TABLE
+#undef B2H_DISPATCH_BEGIN
+#undef B2H_DISPATCH_END
+#undef B2H_OP
+#undef B2H_OP2
+#undef B2H_OP5
+#undef B2H_NEXT
+#undef B2H_TDISPATCH_TABLE
+#undef B2H_TDISPATCH_BEGIN
+#undef B2H_TDISPATCH_END
+#undef B2H_TOP
+#undef B2H_TNEXT
+#undef B2H_TSTOP
+#undef B2H_TIER3
+}
+
+#endif  // computed goto (tiered)
+
 template <bool kInstrumented>
 RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
                                    std::uint64_t max_instructions,
                                    RunObserver* observer) {
-  RunResult result;
+  RunResult result = TakeRecycle();
   result.profile.instr_count.assign(binary_.text.size(), 0);
   result.profile.cycle_count.assign(binary_.text.size(), 0);
   result.profile.branch_taken.assign(binary_.text.size(), 0);
@@ -416,6 +546,24 @@ RunResult Simulator::ExecReference(std::span<const std::int32_t> args,
   return result;
 }
 
+RunResult Simulator::TakeRecycle() noexcept {
+  RunResult result = std::move(recycle_);
+  result.return_value = 0;
+  result.instructions = 0;
+  result.cycles = 0;
+  result.reason = HaltReason::kFault;
+  result.fault_message.clear();
+  result.profile.total_instructions = 0;
+  result.profile.total_cycles = 0;
+  return result;
+}
+
+RunResult Simulator::Run(std::span<const std::int32_t> args,
+                         std::uint64_t max_instructions, RunResult&& recycle) {
+  recycle_ = std::move(recycle);
+  return Run(args, max_instructions);
+}
+
 RunResult Simulator::Run(std::span<const std::int32_t> args,
                          std::uint64_t max_instructions) {
   obs::ScopedSpan span("sim.run", "sim");
@@ -429,6 +577,9 @@ RunResult Simulator::Run(std::span<const std::int32_t> args,
       break;
     case ExecEngine::kBlock:
       result = ExecBlockThreaded<false>(args, max_instructions, nullptr);
+      break;
+    case ExecEngine::kTranslated:
+      result = ExecTranslated<false>(args, max_instructions, nullptr);
       break;
   }
   FinishRunSpan(span, engine_, result);
@@ -456,6 +607,11 @@ RunResult Simulator::RunInstrumented(std::span<const std::int32_t> args,
           observer == nullptr
               ? ExecBlockThreaded<false>(args, max_instructions, nullptr)
               : ExecBlockThreaded<true>(args, max_instructions, observer);
+      break;
+    case ExecEngine::kTranslated:
+      result = observer == nullptr
+                   ? ExecTranslated<false>(args, max_instructions, nullptr)
+                   : ExecTranslated<true>(args, max_instructions, observer);
       break;
   }
   FinishRunSpan(span, engine_, result);

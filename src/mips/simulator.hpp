@@ -107,7 +107,7 @@ class RunObserver {
 /// reference path is retained as the differential-testing oracle and as the
 /// pre-block-engine baseline the throughput bench measures speedup against.
 enum class ExecEngine {
-  /// Block-compiled engine (default): multi-exit superblock traces from the
+  /// Block-compiled engine: multi-exit superblock traces from the
   /// process-wide SharedBlockCache, executed with computed-goto threaded
   /// dispatch (per-opcode label table) on compilers with GNU `&&label`
   /// support; identical to kBlockSwitch elsewhere.
@@ -116,15 +116,22 @@ enum class ExecEngine {
   /// the threaded-dispatch baseline bench_simulator measures against, and
   /// the behavior kBlock compiles to without `&&label`.
   kBlockSwitch,
+  /// Tiered engine (default): the block engine plus tier 3 — hot traces
+  /// are promoted into fused host-op streams (mips/translate.hpp) that
+  /// chain trace-to-trace through static successors and inline-cache-hit
+  /// indirect jumps without returning to the dispatch loop.  Cold code
+  /// runs exactly as kBlock.
+  kTranslated,
   /// The original one-instruction-at-a-time interpreter.
   kReference,
 };
 
-/// The engine Simulator uses when the caller doesn't pick one: kBlock,
-/// overridable per process via B2H_SIM_ENGINE=block|block-switch|reference
-/// (read once; see the "simulator throughput regression" runbook in
-/// docs/OPERATIONS.md — pinning `reference` bisects engine bugs without
-/// rebuilding callers).
+/// The engine Simulator uses when the caller doesn't pick one: kTranslated,
+/// overridable per process via
+/// B2H_SIM_ENGINE=translated|block|block-switch|reference (read once; see
+/// the "simulator throughput regression" runbook in docs/OPERATIONS.md —
+/// pinning `reference` bisects engine bugs without rebuilding callers, and
+/// `block` isolates tier-3 chaining regressions from the trace engine).
 [[nodiscard]] ExecEngine DefaultExecEngine() noexcept;
 
 class Simulator {
@@ -145,6 +152,16 @@ class Simulator {
   /// Run from the entry point; `args` fill $a0..$a3.
   [[nodiscard]] RunResult Run(std::span<const std::int32_t> args = {},
                               std::uint64_t max_instructions = 100'000'000);
+
+  /// Run() variant for tight run-after-run loops (benchmarks, explorers):
+  /// move a no-longer-needed RunResult in and its heap storage — the four
+  /// profile vectors and the fault string — is reused for the new run
+  /// instead of freed and reallocated.  Results are identical to Run();
+  /// only the allocator traffic differs, which is a measurable slice of
+  /// short-run workloads (switch01 retires ~280 instructions per run).
+  [[nodiscard]] RunResult Run(std::span<const std::int32_t> args,
+                              std::uint64_t max_instructions,
+                              RunResult&& recycle);
 
   /// Run with the dynamic-partitioning hook enabled: the observer (may be
   /// null) sees every taken backward branch, batched.  Semantically
@@ -192,6 +209,15 @@ class Simulator {
                                           std::uint64_t max_instructions,
                                           RunObserver* observer);
 
+  /// Tiered loop (ExecEngine::kTranslated): the threaded block engine with
+  /// the tier-3 hooks compiled in (B2H_TIER3) — promotion counting, the
+  /// translated-trace runner (mips/exec_translate_body.inc) and the
+  /// indirect-successor observation feed.  Bit-identical to the others.
+  template <bool kInstrumented>
+  [[nodiscard]] RunResult ExecTranslated(std::span<const std::int32_t> args,
+                                         std::uint64_t max_instructions,
+                                         RunObserver* observer);
+
   /// Reference per-instruction interpreter loop (ExecEngine::kReference).
   template <bool kInstrumented>
   [[nodiscard]] RunResult ExecReference(std::span<const std::int32_t> args,
@@ -201,6 +227,30 @@ class Simulator {
   [[nodiscard]] const std::uint8_t* MemPtr(std::uint32_t addr,
                                            unsigned size) const;
   [[nodiscard]] std::uint8_t* MemPtr(std::uint32_t addr, unsigned size);
+
+  /// The engine bodies build their RunResult from this: whatever storage
+  /// the recycling Run() overload parked in `recycle_` (empty otherwise),
+  /// with every scalar field reset.  The vectors are re-assigned by the
+  /// body itself, so a recycled and a fresh result are indistinguishable.
+  [[nodiscard]] RunResult TakeRecycle() noexcept;
+
+  /// Per-run tally storage reused across Run() calls by the block engines
+  /// (exec_block_body.inc).  Steady-state runs do no heap work — and no
+  /// zero-fill either: profile expansion drains every touched entry back
+  /// to zero before each return, so `clean` lets the next run skip the
+  /// assign() entirely.  For short-run workloads (switch01 is ~280
+  /// instructions per run) both the per-run vector allocations and the
+  /// per-run memsets were a measurable slice of the whole run.
+  struct BlockScratch {
+    std::vector<std::uint64_t> block_count;
+    std::vector<std::uint64_t> side_count;
+    std::vector<std::uint8_t> dirty;
+    std::vector<std::uint32_t> touched;
+    bool clean = false;
+  };
+  BlockScratch scratch_;
+  /// Storage parked by the recycling Run() overload (see TakeRecycle).
+  RunResult recycle_;
 
   const SoftBinary& binary_;
   CycleModel model_;

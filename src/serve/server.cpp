@@ -750,6 +750,14 @@ std::string Server::StatsJson() const {
       << ",\"evictions\":" << blockcache.evictions
       << ",\"bytes\":" << blockcache.bytes
       << ",\"entries\":" << blockcache.entries
+      // Tier-3 translation state (resident traces + process-monotonic
+      // promotion/chaining counters; see docs/ENGINE.md "Tier 3").
+      << ",\"translated_traces\":" << blockcache.translated_traces
+      << ",\"translated_bytes\":" << blockcache.translated_bytes
+      << ",\"promotions\":" << blockcache.promotions
+      << ",\"chain_hits\":" << blockcache.chain_hits
+      << ",\"chain_misses\":" << blockcache.chain_misses
+      << ",\"evicted_translated\":" << blockcache.evicted_translated
       << "},\"candidate_pool\":{\"scans\":" << pool.scans
       << ",\"hits\":" << pool.hits << ",\"entries\":" << pool.entries
       << ",\"synthesis_runs\":" << pool.synthesis_runs << "}}";

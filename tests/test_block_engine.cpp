@@ -113,9 +113,13 @@ void ExpectSameObservations(const RecordingObserver& block,
   }
 }
 
-/// Runs the binary on all three engines, plain and instrumented, and expects
-/// both block engines (threaded and switch dispatch) to be bit-identical to
-/// the reference interpreter throughout.
+/// Runs the binary on all four engines, plain and instrumented, and expects
+/// the block engines (threaded and switch dispatch) and the tiered
+/// translated engine to be bit-identical to the reference interpreter
+/// throughout.  kTranslated runs twice: the first pass covers cold traces
+/// plus mid-run promotion (the shared TranslationBank accumulates dispatch
+/// counts across runs), the second a fully warm bank where hot paths
+/// execute as chained translated traces.
 void ExpectEnginesAgree(const SoftBinary& binary,
                         std::uint64_t max_instructions = 100'000'000) {
   Simulator reference(binary, {}, ExecEngine::kReference);
@@ -123,10 +127,17 @@ void ExpectEnginesAgree(const SoftBinary& binary,
   RecordingObserver ref_obs;
   const RunResult ref_hooked =
       reference.RunInstrumented({}, max_instructions, &ref_obs);
-  for (const ExecEngine engine :
-       {ExecEngine::kBlock, ExecEngine::kBlockSwitch}) {
-    SCOPED_TRACE(engine == ExecEngine::kBlock ? "engine block"
-                                              : "engine block-switch");
+  const struct {
+    ExecEngine engine;
+    const char* label;
+  } kEngines[] = {
+      {ExecEngine::kBlock, "engine block"},
+      {ExecEngine::kBlockSwitch, "engine block-switch"},
+      {ExecEngine::kTranslated, "engine translated (warming)"},
+      {ExecEngine::kTranslated, "engine translated (warm)"},
+  };
+  for (const auto& [engine, label] : kEngines) {
+    SCOPED_TRACE(label);
     Simulator sim(binary, {}, engine);
     {
       SCOPED_TRACE("plain Run");
@@ -343,6 +354,111 @@ TEST(BlockEngine, RandomizedProgramsBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Computed dispatch: jump tables through jr, function tables through jalr.
+
+/// A dispatch loop driving `targets` cases (a power of two) through a
+/// table of code addresses built at runtime.  `call` picks the dispatch
+/// style: jr into labeled cases that rejoin at a common point, or jalr to
+/// leaf functions that return.  Iteration counts are high enough to cross
+/// the tier-3 promotion threshold mid-run, so one program exercises cold
+/// traces, promotion, inline-cache chaining on the indirect terminator
+/// (monomorphic at 1 target, polymorphic at 2/4) and megamorphic fallback
+/// (8 targets exceed the inline cache), all under the differential oracle.
+std::string ComputedDispatchProgram(std::mt19937& rng, int targets, int iters,
+                                    bool call) {
+  std::ostringstream s;
+  s << "main:\n";
+  s << "  move $s7, $ra\n";
+  s << "  la $s0, buf\n";
+  for (int t = 0; t < targets; ++t) {
+    s << "  la $t0, case" << t << "\n";
+    s << "  sw $t0, " << 4 * t << "($s0)\n";
+  }
+  s << "  li $s1, " << iters << "\n";
+  s << "  li $s2, " << static_cast<int>(rng() % 1024) << "\n";
+  s << "  li $v0, 0\n";
+  s << "loop:\n";
+  // Scramble the selector, mask it to the table size, and dispatch.
+  s << "  addiu $s2, $s2, " << (7 + static_cast<int>(rng() % 13)) << "\n";
+  s << "  andi $t1, $s2, " << (targets - 1) << "\n";
+  s << "  sll $t1, $t1, 2\n";
+  s << "  addu $t1, $t1, $s0\n";
+  s << "  lw $t1, 0($t1)\n";
+  if (call) {
+    s << "  jalr $t1\n";
+  } else {
+    s << "  jr $t1\n";
+  }
+  s << "join:\n";
+  s << "  addiu $s1, $s1, -1\n";
+  s << "  bgtz $s1, loop\n";
+  s << "  move $ra, $s7\n";
+  s << "  jr $ra\n";
+  for (int t = 0; t < targets; ++t) {
+    s << "case" << t << ":\n";
+    s << "  addiu $v0, $v0, " << (t + 1) << "\n";
+    s << "  xor $v0, $v0, $s2\n";
+    if (call) {
+      s << "  jr $ra\n";
+    } else {
+      s << "  j join\n";
+    }
+  }
+  s << ".data\n";
+  s << "buf: .space " << 4 * targets << "\n";
+  return s.str();
+}
+
+TEST(BlockEngine, JumpTableDispatchBitIdentical) {
+  // jr through a runtime-built jump table: monomorphic, polymorphic within
+  // the inline cache, and megamorphic (8 targets observed > 4 cache ways).
+  for (const int targets : {1, 2, 4, 8}) {
+    std::mt19937 rng(static_cast<std::uint32_t>(100 + targets));
+    const std::string source = ComputedDispatchProgram(rng, targets, 220,
+                                                       /*call=*/false);
+    SCOPED_TRACE("targets " + std::to_string(targets) + "\n" + source);
+    auto binary = Assemble(source);
+    ASSERT_TRUE(binary.ok()) << binary.status().message();
+    ExpectEnginesAgree(binary.value());
+  }
+}
+
+TEST(BlockEngine, FunctionTableCallsBitIdentical) {
+  // jalr through a function-pointer table: the link write and the indirect
+  // return (jr $ra, itself a polymorphic exit back into the loop).
+  for (const int targets : {1, 4, 8}) {
+    std::mt19937 rng(static_cast<std::uint32_t>(200 + targets));
+    const std::string source = ComputedDispatchProgram(rng, targets, 220,
+                                                       /*call=*/true);
+    SCOPED_TRACE("targets " + std::to_string(targets) + "\n" + source);
+    auto binary = Assemble(source);
+    ASSERT_TRUE(binary.ok()) << binary.status().message();
+    ExpectEnginesAgree(binary.value());
+  }
+}
+
+TEST(BlockEngine, JumpTableBudgetSweepBitIdentical) {
+  // Budgets landing inside warm chained traces: the translated runner must
+  // refuse to chain when the remaining budget can't cover the next trace,
+  // demoting to tier 2's partial accounting at exactly the same boundary.
+  std::mt19937 rng(7);
+  const std::string source =
+      ComputedDispatchProgram(rng, 4, 220, /*call=*/false);
+  auto binary = Assemble(source);
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+  // Warm the translation bank first so the sweep hits translated traces.
+  ExpectEnginesAgree(binary.value());
+  for (std::uint64_t budget = 0; budget <= 64; ++budget) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectEnginesAgree(binary.value(), budget);
+  }
+  for (std::uint64_t budget : {463u, 1999u}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectEnginesAgree(binary.value(), budget);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Block-cache structure sanity.
 
 TEST(BlockEngine, BlockCacheTracesAreWellFormed) {
@@ -475,6 +591,76 @@ TEST(SharedBlockCache, WarmSweepNeverRedecodes) {
   slow_mem.load_extra = 7;
   Simulator slow(built.value(), slow_mem);
   EXPECT_EQ(SharedBlockCache::Global().stats().misses, after.misses + 1);
+}
+
+TEST(SharedBlockCache, EvictionDropsTranslatedTracesSafely) {
+  // A hot loop long enough to cross the tier-3 promotion threshold, on a
+  // key no other test assembles.
+  auto binary = Assemble(R"(
+    main:
+      li $t0, 4003
+      li $v0, 0
+    loop:
+      addu $v0, $v0, $t0
+      addiu $t0, $t0, -1
+      bgtz $t0, loop
+      jr $ra
+  )");
+  ASSERT_TRUE(binary.ok()) << binary.status().message();
+  Simulator reference(binary.value(), {}, ExecEngine::kReference);
+  const RunResult want = reference.Run();
+
+  Simulator sim(binary.value(), {}, ExecEngine::kTranslated);
+  ExpectIdentical(sim.Run(), want);
+
+  SharedBlockCache& cache = SharedBlockCache::Global();
+  const SharedBlockCache::Stats mid = cache.stats();
+  EXPECT_GT(mid.translated_traces, 0u);  // the loop really got promoted
+
+  // Fresher keys make the translated entry the LRU victim; a byte budget
+  // nothing fits under then forces eviction while `sim` still holds the
+  // entry through its shared_ptr.
+  auto other1 = Assemble("main:\n li $v0, 11\n jr $ra\n");
+  auto other2 = Assemble("main:\n li $v0, 22\n jr $ra\n");
+  ASSERT_TRUE(other1.ok());
+  ASSERT_TRUE(other2.ok());
+  Simulator keep1(other1.value());
+  Simulator keep2(other2.value());
+  cache.set_max_bytes(1);
+  const SharedBlockCache::Stats after = cache.stats();
+  cache.set_max_bytes(SharedBlockCache::kDefaultMaxBytes);
+  // The translated closures left the cache with their entry — counted, so
+  // operators can see re-warm churn under memory pressure.
+  EXPECT_GT(after.evicted_translated, mid.evicted_translated);
+
+  // No dangling: the evicted bank stays alive through the Simulator's
+  // reference and further runs (still chaining translated traces) are
+  // bit-identical.
+  ExpectIdentical(sim.Run(), want);
+  ExpectIdentical(sim.Run(), want);
+}
+
+TEST(BlockEngine, RecyclingRunOverloadIsBitIdentical) {
+  // The storage-recycling overload (used by the bench hot loop) must
+  // produce byte-for-byte the same RunResult as a fresh Run, on every
+  // engine, across repeated recycled runs.
+  for (const suite::Benchmark& bench : suite::AllBenchmarks()) {
+    SCOPED_TRACE(bench.name);
+    auto built = suite::BuildBinary(bench, 1);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    Simulator reference(built.value(), {}, ExecEngine::kReference);
+    const RunResult want = reference.Run();
+    for (ExecEngine engine :
+         {ExecEngine::kReference, ExecEngine::kBlock, ExecEngine::kBlockSwitch,
+          ExecEngine::kTranslated}) {
+      Simulator sim(built.value(), {}, engine);
+      RunResult recycled;
+      for (int rep = 0; rep < 3; ++rep) {
+        recycled = sim.Run({}, 100'000'000, std::move(recycled));
+        ExpectIdentical(recycled, want);
+      }
+    }
+  }
 }
 
 }  // namespace

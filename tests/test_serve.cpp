@@ -764,6 +764,60 @@ TEST(ServeDaemon, WarmRepeatDoesZeroWorkAndReportsIdentically) {
   EXPECT_EQ(after_second.partitions, 1.0);
 }
 
+// Single-flight decompiles: two explorers sharing one artifact cache,
+// launched cold at the same instant with DISTINCT strategies over the same
+// binary+platform.  Their request keys differ — the daemon's scheduler
+// cannot coalesce them — but the decompile key (binary, pipeline, cycle
+// model) is shared, so exactly one profile+decompile may run; the loser of
+// the LeadDecompile race blocks on the leader's in-flight future inside
+// its own parallel job and reports zero work.
+TEST(ServeWork, ConcurrentDistinctColdExploresRunOneDecompile) {
+  const suite::Benchmark* bench = suite::FindBenchmark("crc");
+  ASSERT_NE(bench, nullptr);
+  Result<mips::SoftBinary> built = suite::BuildBinary(*bench, 1);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const auto binary =
+      std::make_shared<const mips::SoftBinary>(std::move(built).take());
+
+  const auto shared_cache = std::make_shared<explore::ArtifactCache>();
+  const char* strategies[2] = {"paper-greedy", "annealing"};
+  explore::ExploreResult results[2];
+  std::atomic<bool> go{false};
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < 2; ++t) {
+    tenants.emplace_back([&, t] {
+      Toolchain toolchain;
+      toolchain.WithThreads(1).WithArtifactCache(shared_cache);
+      explore::ExploreSpec spec;
+      spec.binaries.push_back({"crc", binary});
+      spec.platforms = {"mips200-xc2v1000"};
+      spec.strategies = {strategies[t]};
+      while (!go.load()) std::this_thread::yield();
+      results[t] = toolchain.Explore(spec);
+    });
+  }
+  go.store(true);
+  for (std::thread& tenant : tenants) tenant.join();
+
+  std::size_t simulations = 0;
+  std::size_t decompilations = 0;
+  std::size_t partitions = 0;
+  for (const explore::ExploreResult& result : results) {
+    for (const explore::ExplorePoint& point : result.points) {
+      EXPECT_TRUE(point.status.ok()) << point.status.message();
+    }
+    simulations += result.simulations_run;
+    decompilations += result.decompilations_run;
+    partitions += result.partitions_run;
+  }
+  // One decompile total across both tenants, regardless of interleaving
+  // (full overlap resolves via the in-flight future, no overlap via the
+  // memory tier) — and each tenant still computed its own partition.
+  EXPECT_EQ(simulations, 1u);
+  EXPECT_EQ(decompilations, 1u);
+  EXPECT_EQ(partitions, 2u);
+}
+
 TEST(ServeDaemon, DeadlineRequestGetsErrorAndLaterServesWarm) {
   TempDir scratch;
   Server::Options options{scratch.path + "/serve.sock"};
